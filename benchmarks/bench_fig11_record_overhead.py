@@ -1,0 +1,45 @@
+"""Figure 11: model training time with and without Flor record.
+
+Paper shape: overhead labels of a few percent (1.47% average), never
+exceeding the 6.67% tolerance.  The live part records a miniature workload
+and compares against its vanilla execution.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import DEFAULT_EPSILON
+from repro.record.recorder import record_source
+from repro.sim import experiments as ex
+from repro.workloads import build_training_script, run_vanilla_training
+
+
+def test_fig11_paper_scale_overheads(benchmark):
+    rows = benchmark(ex.figure11_record_overhead)
+    print("\nFigure 11: training time with and without record (hours)")
+    print(ex.format_table(rows))
+    assert all(row["Overhead"] <= DEFAULT_EPSILON + 1e-6 for row in rows)
+    average = sum(row["Overhead"] for row in rows) / len(rows)
+    assert average < 0.04
+
+
+def test_fig11_live_record_vs_vanilla(benchmark, bench_config):
+    """Record overhead measured on a live miniature workload."""
+    script = build_training_script("ImgN", epochs=3)
+
+    def record_once():
+        return record_source(script, name="fig11-imgn", config=bench_config)
+
+    result = benchmark.pedantic(record_once, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    run_vanilla_training("ImgN", epochs=3)
+    vanilla_seconds = time.perf_counter() - start
+
+    overhead = (result.wall_seconds - vanilla_seconds) / vanilla_seconds
+    print(f"\nLive ImgN miniature: vanilla {vanilla_seconds:.2f}s, "
+          f"record {result.wall_seconds:.2f}s, overhead {overhead:+.1%} "
+          f"(main-thread materialization "
+          f"{result.materialization_main_thread_seconds:.3f}s)")
+    assert result.checkpoint_count == 3

@@ -1,0 +1,71 @@
+"""Figure 12: replay latency, factored by the position of the probe.
+
+Paper shape: probing only the outer main loop gives order-of-magnitude
+speedups (7x to ~1000x, favouring longer experiments, latencies measured in
+minutes); probing the inner training loop forces a full re-execution whose
+only lever is hindsight parallelism (speedups bounded by GPU count and the
+number of epochs).  The live part replays a recorded miniature run with an
+outer-loop probe and with an inner-loop probe and compares the latencies.
+"""
+
+from __future__ import annotations
+
+from repro.replay.replayer import replay_script
+from repro.sim import experiments as ex
+
+
+def test_fig12_paper_scale_latencies(benchmark):
+    rows = benchmark(ex.figure12_replay_latency)
+    print("\nFigure 12: replay latency by probe position")
+    print(ex.format_table(rows))
+
+    dense = {"Cifr", "RsNt", "Wiki", "Jasp", "ImgN", "RnnT"}
+    for row in rows:
+        assert row["Outer-probe speedup"] >= 1.0
+        assert row["Inner-probe speedup"] <= 16.0 + 1e-9
+        if row["Workload"] in dense:
+            # Densely checkpointed workloads: skipping memoized loops beats
+            # even 16-way parallel re-execution.
+            assert row["Outer-probe speedup"] > row["Inner-probe speedup"]
+    # Longer experiments gain the most from partial replay.
+    speedups = {row["Workload"]: row["Outer-probe speedup"] for row in rows}
+    assert speedups["RsNt"] > speedups["Cifr"] > speedups["RTE"]
+    assert max(speedups.values()) > 100
+
+
+def test_fig12_live_outer_vs_inner_probe(benchmark, recorded_cifr_run):
+    """On a live run, an outer-loop probe replays faster than an inner probe."""
+    record = recorded_cifr_run["record"]
+    script = recorded_cifr_run["script"]
+    config = recorded_cifr_run["config"]
+
+    outer_probe = script.replace(
+        '    flor.log("accuracy", evaluate(net))',
+        '    flor.log("accuracy", evaluate(net))\n'
+        '    flor.log("weight_norm", float(sum(float((p ** 2).sum())'
+        ' for p in net.parameters())))')
+    inner_probe = script.replace(
+        "        optimizer.step()",
+        "        optimizer.step()\n"
+        "        flor.log(\"step_loss\", loss.item())")
+    assert outer_probe != script and inner_probe != script
+
+    def outer():
+        return replay_script(record.run_id, new_source=outer_probe,
+                             config=config)
+
+    outer_result = benchmark.pedantic(outer, rounds=1, iterations=1)
+    inner_result = replay_script(record.run_id, new_source=inner_probe,
+                                 config=config)
+
+    print(f"\nLive Cifr miniature replay: outer probe "
+          f"{outer_result.wall_seconds:.2f}s (probed={outer_result.probed_blocks}), "
+          f"inner probe {inner_result.wall_seconds:.2f}s "
+          f"(probed={inner_result.probed_blocks})")
+    assert outer_result.probed_blocks == set()
+    assert inner_result.probed_blocks == {"skipblock_0"}
+    assert len(outer_result.values("weight_norm")) == 4
+    assert len(inner_result.values("step_loss")) > 4
+    # The partial (outer-probe) replay avoids re-executing the training loop,
+    # so it is faster than the probed full re-execution.
+    assert outer_result.wall_seconds <= inner_result.wall_seconds * 1.5

@@ -1,0 +1,23 @@
+"""Figure 14: the dollar cost of serial vs parallel replay.
+
+Paper shape: parallel replay finishes the same work in a fraction of the
+time at nearly the same dollar cost (marginal cost under $3), because the
+per-GPU-hour price is what matters and Flor's parallelism is near-ideal.
+"""
+
+from __future__ import annotations
+
+from repro.sim import experiments as ex
+
+
+def test_fig14_cost_of_parallelism(benchmark):
+    rows = benchmark(ex.figure14_parallel_cost)
+    print("\nFigure 14: serial vs parallel replay cost")
+    print(ex.format_table(rows))
+
+    for row in rows:
+        assert row["Marginal cost ($)"] < 3.00
+        assert row["Parallel hours"] <= row["Serial hours"]
+        assert row["Hours saved"] >= 0
+    rsnt = next(row for row in rows if row["Workload"] == "RsNt")
+    assert rsnt["Hours saved"] > 10

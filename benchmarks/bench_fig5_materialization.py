@@ -1,0 +1,63 @@
+"""Figure 5: background materialization performance.
+
+The paper materializes a 1.1 GB RTE checkpoint under four strategies
+(cloudpickle baseline, IPC-Queue, IPC-Plasma, fork) and measures how long
+the *main thread* stays busy.  This benchmark runs the same comparison with
+this repository's materializers on a scaled-down synthetic state dict; the
+expected shape is that strategies which serialize on the main thread
+(sequential, ipc_queue) block it for much longer than those that do not
+(fork, shared_memory, thread).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.record.materializer import create_materializer
+from repro.sim import experiments as ex
+from repro.storage.checkpoint_store import CheckpointStore
+from repro.storage.serializer import snapshot_value
+
+PAYLOAD_MB = 8
+
+
+def _payload():
+    rng = np.random.default_rng(0)
+    arrays = {f"layer_{index}": rng.standard_normal(
+        PAYLOAD_MB * 1024 * 1024 // 16 // 4).astype(np.float32)
+        for index in range(16)}
+    return [snapshot_value("model", type("S", (), {"state_dict": lambda self=None, a=arrays: a})())]
+
+
+@pytest.mark.parametrize("strategy",
+                         ["sequential", "thread", "ipc_queue", "fork",
+                          "shared_memory"])
+def test_fig5_main_thread_blocking_per_strategy(benchmark, tmp_path, strategy):
+    """Main-thread seconds to submit one checkpoint under each strategy."""
+    snapshots = _payload()
+
+    def submit_once():
+        store = CheckpointStore(tmp_path / f"{strategy}-{np.random.randint(1 << 30)}",
+                                compress=False)
+        materializer = create_materializer(strategy, store)
+        ticket = materializer.submit("fig5", 0, snapshots)
+        materializer.close()
+        return ticket.main_thread_seconds
+
+    blocked = benchmark.pedantic(submit_once, rounds=3, iterations=1)
+    assert blocked >= 0
+
+
+def test_fig5_strategy_comparison_table(tmp_path):
+    """The full Figure 5 comparison in one table (not timed by the harness)."""
+    rows = ex.figure5_materialization_microbenchmark(tmp_path,
+                                                     payload_mb=PAYLOAD_MB)
+    print("\nFigure 5: background materialization (main-thread seconds)")
+    print(ex.format_table(rows, columns=["Strategy", "Main-thread seconds",
+                                         "Total seconds", "Blocked fraction"]))
+    by_name = {row["Strategy"]: row["Main-thread seconds"] for row in rows}
+    # Strategies that avoid serializing on the main thread block it less than
+    # the sequential baseline.
+    assert by_name["fork"] <= by_name["sequential"]
+    assert by_name["thread"] <= by_name["sequential"]

@@ -1,0 +1,45 @@
+"""End-to-end live record/replay benchmark (the §6.3 takeaway, in miniature).
+
+Records a miniature workload once, then measures the three replay modes the
+paper distinguishes: unchanged source (maximally partial), outer-loop probe
+(partial), and inner-loop probe (full re-execution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replay.replayer import replay_script
+
+
+@pytest.mark.parametrize("mode", ["unchanged", "outer_probe", "inner_probe"])
+def test_live_replay_modes(benchmark, recorded_cifr_run, mode):
+    record = recorded_cifr_run["record"]
+    script = recorded_cifr_run["script"]
+    config = recorded_cifr_run["config"]
+
+    if mode == "unchanged":
+        source = None
+    elif mode == "outer_probe":
+        source = script.replace(
+            '    flor.log("accuracy", evaluate(net))',
+            '    flor.log("accuracy", evaluate(net))\n'
+            '    flor.log("lr", optimizer.lr)')
+        assert source != script
+    else:
+        source = script.replace(
+            "        optimizer.step()",
+            "        optimizer.step()\n"
+            "        flor.log(\"batch_loss\", loss.item())")
+        assert source != script
+
+    def replay_once():
+        return replay_script(record.run_id, new_source=source, config=config)
+
+    result = benchmark.pedantic(replay_once, rounds=1, iterations=1)
+    assert result.succeeded
+    assert result.consistency is not None and result.consistency.consistent
+    if mode == "inner_probe":
+        assert result.probed_blocks == {"skipblock_0"}
+    else:
+        assert result.probed_blocks == set()

@@ -1,0 +1,31 @@
+"""Table 3: the eight evaluation workloads.
+
+Regenerates the workload catalogue row-for-row and, as the measured part,
+times one vanilla training epoch of every miniature workload — the quantity
+every other experiment normalizes against.
+"""
+
+from __future__ import annotations
+
+from repro.sim import experiments as ex
+from repro.workloads import run_vanilla_training, workload_names
+
+
+def test_table3_rows(benchmark):
+    rows = benchmark(ex.table3_workloads)
+    assert len(rows) == 8
+    print("\nTable 3: evaluation workloads")
+    print(ex.format_table(rows))
+
+
+def test_table3_vanilla_epoch_times(benchmark):
+    """One miniature training epoch per workload (the vanilla baseline)."""
+    def run_all():
+        return {name: run_vanilla_training(name, epochs=1)[-1]
+                for name in workload_names()}
+
+    losses = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert set(losses) == set(workload_names())
+    print("\nFinal first-epoch loss per miniature workload:")
+    for name, loss in losses.items():
+        print(f"  {name}: {loss:.4f}")

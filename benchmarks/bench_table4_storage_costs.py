@@ -1,0 +1,33 @@
+"""Table 4: S3 storage costs for one execution of Flor record.
+
+The paper-scale rows come from the published gzip-compressed checkpoint
+sizes and 2020 S3 pricing; the live part measures the compressed size of a
+real miniature-workload record run and prices it with the same model.
+"""
+
+from __future__ import annotations
+
+from repro.sim import experiments as ex
+from repro.storage.costs import storage_cost_per_month
+
+
+def test_table4_rows(benchmark):
+    rows = benchmark(ex.table4_storage_costs)
+    assert len(rows) == 8
+    assert all(row["Storage Cost / Mo. ($)"] < 1.00 for row in rows)
+    print("\nTable 4: checkpoint storage costs (paper scale)")
+    print(ex.format_table(rows))
+
+
+def test_table4_live_miniature_run_cost(benchmark, recorded_cifr_run):
+    """Compressed checkpoint bytes and monthly cost of a live recorded run."""
+    record = recorded_cifr_run["record"]
+
+    def price():
+        return storage_cost_per_month(record.stored_nbytes)
+
+    cost = benchmark(price)
+    assert record.stored_nbytes > 0
+    assert cost < 0.01  # miniature checkpoints cost fractions of a cent
+    print(f"\nLive miniature Cifr run: {record.checkpoint_count} checkpoints, "
+          f"{record.stored_nbytes} stored bytes, ${cost:.6f}/month")

@@ -1,0 +1,71 @@
+"""Adaptive checkpointing: why fine-tuning is checkpointed sparsely.
+
+Fine-tuning updates a small head on top of a huge frozen model, so each
+epoch is short but a full checkpoint is enormous — materializing one every
+epoch would add ~91% overhead on RTE (Figure 7).  The Joint Invariant
+(Eq. 4) notices the poor materialization-to-computation ratio and backs off
+to periodic checkpoints, keeping overhead below the user's tolerance.
+
+This example shows the mechanism twice:
+
+1. live, by driving the real ``AdaptiveController`` with the cost profile of
+   a fine-tuning loop and of a from-scratch training loop;
+2. at paper scale, by regenerating Figure 7 from the simulator.
+
+Run it with::
+
+    python examples/adaptive_checkpointing_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_EPSILON
+from repro.record.adaptive import AdaptiveController
+from repro.sim import experiments
+
+
+def drive_controller(label: str, epochs: int, compute_seconds: float,
+                     checkpoint_nbytes: int, materialize_seconds: float) -> None:
+    """Run the Joint Invariant over a simulated workload and report."""
+    controller = AdaptiveController(epsilon=DEFAULT_EPSILON)
+    controller._throughput = checkpoint_nbytes / materialize_seconds
+    block = label
+    kept: list[int] = []
+    for epoch in range(epochs):
+        controller.observe_execution(block, compute_seconds)
+        decision = controller.should_materialize(block, compute_seconds,
+                                                 checkpoint_nbytes)
+        if decision.materialize:
+            controller.observe_materialization(block, materialize_seconds,
+                                               checkpoint_nbytes)
+            kept.append(epoch)
+    overhead = len(kept) * materialize_seconds / (epochs * compute_seconds)
+    print(f"{label:22s} M/C={materialize_seconds / compute_seconds:6.2f}  "
+          f"checkpoints {len(kept):3d}/{epochs}  overhead {overhead:6.2%}  "
+          f"(tolerance {DEFAULT_EPSILON:.2%})")
+    if len(kept) < epochs:
+        print(f"{'':22s} checkpointed epochs: {kept[:8]}"
+              f"{' ...' if len(kept) > 8 else ''}")
+
+
+def main() -> None:
+    print("=== Live Joint Invariant decisions (Eq. 4) ===")
+    # A from-scratch training loop: long epochs, modest checkpoints.
+    drive_controller("training (Cifr-like)", epochs=50, compute_seconds=18.0,
+                     checkpoint_nbytes=4_000_000, materialize_seconds=0.3)
+    # A fine-tuning loop: short epochs, enormous checkpoints.
+    drive_controller("fine-tuning (RTE-like)", epochs=50, compute_seconds=2.0,
+                     checkpoint_nbytes=70_000_000, materialize_seconds=1.8)
+
+    print("\n=== Paper-scale reproduction of Figure 7 ===")
+    rows = experiments.figure7_adaptive_overhead()
+    print(experiments.format_table(rows))
+    print("\nTakeaway: with adaptivity disabled the fine-tuning workloads blow")
+    print("past any budget (91% / 28%); with the Joint Invariant no workload")
+    print("exceeds the 6.67% tolerance, at the cost of sparser checkpoints —")
+    print("which is exactly why RTE/CoLA later need weak initialization on")
+    print("parallel replay (Figure 10).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Hindsight parallelism: replaying a recorded run across parallel workers.
+
+The paper's Section 5.4: checkpoints taken at record time break the
+cross-iteration dependencies of the main training loop, so replay can run
+the epochs in parallel, coordination-free — "even sequential code can be
+re-executed in parallel if the right checkpoints are materialized on the
+first pass".
+
+This example records a miniature image-classification run, adds an
+inner-loop probe (forcing a full re-execution), and replays it with 1, 2
+and 4 workers, reporting the wall-clock times, the work partition each
+worker received, and the deferred correctness check.
+
+Run it with::
+
+    python examples/parallel_replay.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.modes import InitStrategy
+from repro.workloads import build_training_script
+
+
+def main() -> None:
+    home = Path(tempfile.mkdtemp(prefix="flor_parallel_"))
+    repro.set_config(repro.FlorConfig(home=home))
+
+    epochs = 8
+    script = build_training_script("ImgN", epochs=epochs)
+
+    print(f"=== Recording {epochs} epochs of the miniature ImgN workload ===")
+    record = repro.record_source(script, name="parallel-demo")
+    print(f"run id: {record.run_id}; vanilla wall time {record.wall_seconds:.2f}s; "
+          f"{record.checkpoint_count} checkpoints")
+
+    # A probe inside the training loop: every epoch must be re-executed, so
+    # hindsight parallelism is the only lever (Figure 12, bottom).
+    probed = script.replace(
+        "        optimizer.step()",
+        "        optimizer.step()\n"
+        "        flor.log(\"batch_loss\", loss.item())")
+
+    print("\n=== Parallel replay of the probed run ===")
+    results = {}
+    for workers in (1, 2, 4):
+        replay = repro.replay_script(record.run_id, new_source=probed,
+                                     num_workers=workers,
+                                     init_strategy=InitStrategy.WEAK)
+        results[workers] = replay
+        shares = {worker.pid: worker.iterations
+                  for worker in replay.worker_results}
+        print(f"\nworkers={workers}: wall {replay.wall_seconds:.2f}s, "
+              f"probed={sorted(replay.probed_blocks)}, "
+              f"consistent={replay.consistency.consistent}")
+        for pid, iterations in sorted(shares.items()):
+            print(f"  worker {pid}: epochs {iterations}")
+        print(f"  hindsight records recovered: "
+              f"{len(replay.values('batch_loss'))} batch losses")
+
+    baseline = results[1].wall_seconds
+    print("\n=== Summary ===")
+    for workers, replay in results.items():
+        speedup = baseline / replay.wall_seconds if replay.wall_seconds else 1.0
+        print(f"  {workers} worker(s): {replay.wall_seconds:6.2f}s "
+              f"({speedup:.2f}x vs single worker)")
+    print("\nNote: miniature epochs take milliseconds, so process start-up "
+          "dominates here; at paper scale (hours of GPU time per epoch) the "
+          "same partitioning yields the near-ideal scale-out of Figure 13.")
+
+
+if __name__ == "__main__":
+    main()

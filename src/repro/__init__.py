@@ -1,0 +1,52 @@
+"""Reproduction of "Hindsight Logging for Model Training" (Flor, VLDB 2020).
+
+Hindsight logging lets a model developer add ordinary log statements to a
+training script *after* a run finished and still get their output quickly,
+by combining low-overhead checkpointing at record time with partial and
+parallel replay.  This package implements the full system:
+
+* :mod:`repro.torchlike` — a NumPy PyTorch-like substrate the workloads
+  train against,
+* :mod:`repro.analysis` — static side-effect analysis and automatic
+  instrumentation,
+* :mod:`repro.record` / :mod:`repro.replay` — the record-replay engine
+  (SkipBlocks, adaptive checkpointing, background materialization,
+  hindsight parallelism, deferred correctness checks),
+* :mod:`repro.storage` — the SQLite-indexed checkpoint store and cloud
+  cost models,
+* :mod:`repro.workloads` — miniature versions of the paper's eight
+  evaluation workloads,
+* :mod:`repro.sim` — the paper-scale evaluation simulator that regenerates
+  every table and figure,
+* :mod:`repro.api` — the user-facing ``flor``-style interface.
+"""
+
+from . import analysis, api, record, replay, storage, torchlike
+from .api import (RecordResult, ReplayResult, log, loop, record_script,
+                  record_session, record_source, replay_script,
+                  replay_session, skipblock)
+from .config import FlorConfig, get_config, reset_config, set_config
+from .exceptions import (CheckpointNotFoundError, ConfigError, FlorError,
+                         InstrumentationError, RecordError, ReplayAnomalyError,
+                         ReplayError, SerializationError,
+                         SideEffectAnalysisError, SimulationError,
+                         StorageError, WorkloadError)
+from .modes import InitStrategy, Mode, Phase
+from .session import Session, get_active_session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "analysis", "api", "record", "replay", "storage", "torchlike",
+    "log", "loop", "skipblock",
+    "record_session", "replay_session", "record_script", "record_source",
+    "replay_script", "RecordResult", "ReplayResult",
+    "FlorConfig", "get_config", "set_config", "reset_config",
+    "Mode", "Phase", "InitStrategy",
+    "Session", "get_active_session",
+    "FlorError", "RecordError", "ReplayError", "ReplayAnomalyError",
+    "CheckpointNotFoundError", "InstrumentationError",
+    "SideEffectAnalysisError", "StorageError", "SerializationError",
+    "ConfigError", "SimulationError", "WorkloadError",
+]

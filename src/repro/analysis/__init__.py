@@ -1,0 +1,28 @@
+"""Static side-effect analysis and automatic instrumentation (Section 5.2).
+
+The pipeline is: ``rules`` (Table 1) -> ``changeset`` accumulation ->
+``scope`` filtering of loop-scoped variables -> runtime ``augmentation``
+with library knowledge -> ``instrument`` (SkipBlocks + Flor generator).
+"""
+
+from .augmentation import (augment_changeset, clear_augmentation_rules,
+                           default_rules, register_augmentation_rule)
+from .changeset import Changeset, RuleApplication
+from .instrument import (BlockSpec, FLOR_MODULE_ALIAS, InstrumentationResult,
+                         instrument_source)
+from .loop_finder import (LoopAnalysis, ScriptAnalysis, analyze_loop,
+                          analyze_script, find_loops)
+from .rules import apply_rules_to_statement, build_changeset
+from .scope import bound_names, loop_scoped_names, names_bound_before
+
+__all__ = [
+    "RuleApplication", "Changeset",
+    "apply_rules_to_statement", "build_changeset",
+    "bound_names", "names_bound_before", "loop_scoped_names",
+    "LoopAnalysis", "ScriptAnalysis", "analyze_loop", "analyze_script",
+    "find_loops",
+    "augment_changeset", "register_augmentation_rule",
+    "clear_augmentation_rules", "default_rules",
+    "BlockSpec", "InstrumentationResult", "instrument_source",
+    "FLOR_MODULE_ALIAS",
+]

@@ -1,0 +1,114 @@
+"""Runtime changeset augmentation with library-specific knowledge.
+
+Static analysis cannot see that ``optimizer.step()`` mutates the model, or
+that ``scheduler.step()`` mutates the optimizer (Section 5.2.1).  The paper
+encodes exactly two library facts for PyTorch:
+
+1. the model may be updated via the optimizer, and
+2. the optimizer may be updated via the learning-rate schedule.
+
+We encode the same two facts for the torchlike substrate, and expose a small
+registry so additional libraries can be supported the way the paper suggests
+("adopting another training library involves only encoding any side-effects
+in the library's API").
+
+Augmentation runs at *runtime*: given the loop's statically-estimated
+changeset and the live namespace, each augmentation rule may add further
+names whose objects are mutated indirectly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+__all__ = ["AugmentationRule", "register_augmentation_rule",
+           "clear_augmentation_rules", "default_rules", "augment_changeset"]
+
+#: An augmentation rule maps (object in changeset, namespace) -> extra names.
+AugmentationRule = Callable[[object, Mapping[str, object]], set[str]]
+
+_RULES: list[AugmentationRule] = []
+
+
+def register_augmentation_rule(rule: AugmentationRule) -> AugmentationRule:
+    """Register an additional library-knowledge rule (returns it, so it can
+    be used as a decorator)."""
+    _RULES.append(rule)
+    return rule
+
+
+def clear_augmentation_rules() -> None:
+    """Remove user-registered rules, keeping only the built-in ones."""
+    _RULES.clear()
+    _RULES.extend(default_rules())
+
+
+def _optimizer_rule(obj: object, namespace: Mapping[str, object]) -> set[str]:
+    """Fact (a): the model may be updated via the optimizer.
+
+    If ``obj`` exposes ``managed_parameters()`` (the torchlike Optimizer
+    protocol), find any namespace object whose parameters overlap the
+    optimizer's — that is the model the optimizer mutates.
+    """
+    managed = getattr(obj, "managed_parameters", None)
+    if not callable(managed):
+        return set()
+    try:
+        param_ids = {id(p) for p in managed()}
+    except Exception:
+        return set()
+    extra: set[str] = set()
+    for name, value in namespace.items():
+        parameters = getattr(value, "parameters", None)
+        if not callable(parameters) or value is obj:
+            continue
+        try:
+            if any(id(p) in param_ids for p in parameters()):
+                extra.add(name)
+        except Exception:
+            continue
+    return extra
+
+
+def _scheduler_rule(obj: object, namespace: Mapping[str, object]) -> set[str]:
+    """Fact (b): the optimizer may be updated via the learning-rate schedule."""
+    managed = getattr(obj, "managed_optimizer", None)
+    if not callable(managed):
+        return set()
+    try:
+        optimizer = managed()
+    except Exception:
+        return set()
+    return {name for name, value in namespace.items() if value is optimizer}
+
+
+def default_rules() -> list[AugmentationRule]:
+    """The built-in rules encoding the paper's two PyTorch facts."""
+    return [_optimizer_rule, _scheduler_rule]
+
+
+_RULES.extend(default_rules())
+
+
+def augment_changeset(changeset: set[str],
+                      namespace: Mapping[str, object]) -> set[str]:
+    """Return ``changeset`` augmented with indirectly-mutated objects.
+
+    The augmentation iterates to a fixed point so chains resolve fully:
+    a scheduler in the changeset pulls in its optimizer, which pulls in the
+    model it updates.
+    """
+    augmented = set(changeset)
+    changed = True
+    while changed:
+        changed = False
+        for name in list(augmented):
+            obj = namespace.get(name)
+            if obj is None:
+                continue
+            for rule in _RULES:
+                extra = rule(obj, namespace) - augmented
+                if extra:
+                    augmented |= extra
+                    changed = True
+    return augmented

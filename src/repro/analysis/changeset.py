@@ -1,0 +1,73 @@
+"""Changeset bookkeeping for static side-effect analysis.
+
+A *changeset* is the set of variable names a loop may modify (Section 5.2.1).
+Flor estimates it by interpreting each statement of the loop body through
+the rules of Table 1; this module holds the mutable accumulator those rules
+write into, together with enough provenance (which rule fired on which line)
+to explain the final result — the line-by-line commentary of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RuleApplication", "Changeset"]
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """Record of one Table 1 rule firing on one program statement."""
+
+    rule: int
+    lineno: int
+    delta: frozenset[str]
+    blocking: bool = False
+    reason: str = ""
+
+    def __str__(self) -> str:
+        if self.blocking:
+            return f"line {self.lineno}: rule {self.rule} (blocking: {self.reason})"
+        names = ", ".join(sorted(self.delta)) or "∅"
+        return f"line {self.lineno}: rule {self.rule} adds {{{names}}}"
+
+
+@dataclass
+class Changeset:
+    """Accumulated changeset for one loop, with provenance."""
+
+    names: set[str] = field(default_factory=set)
+    applications: list[RuleApplication] = field(default_factory=list)
+    blocked: bool = False
+    blocking_reason: str = ""
+
+    def apply(self, application: RuleApplication) -> None:
+        """Record a rule application and fold its delta into the changeset."""
+        self.applications.append(application)
+        if application.blocking:
+            self.blocked = True
+            if not self.blocking_reason:
+                self.blocking_reason = (
+                    f"rule {application.rule} at line {application.lineno}: "
+                    f"{application.reason}")
+            return
+        self.names.update(application.delta)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names
+
+    def copy(self) -> "Changeset":
+        duplicate = Changeset(names=set(self.names),
+                              applications=list(self.applications),
+                              blocked=self.blocked,
+                              blocking_reason=self.blocking_reason)
+        return duplicate
+
+    def explain(self) -> str:
+        """Human-readable trace of how the changeset was built."""
+        lines = [str(app) for app in self.applications]
+        if self.blocked:
+            lines.append(f"=> loop not instrumentable ({self.blocking_reason})")
+        else:
+            names = ", ".join(sorted(self.names)) or "∅"
+            lines.append(f"=> changeset {{{names}}}")
+        return "\n".join(lines)

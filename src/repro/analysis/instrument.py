@@ -1,0 +1,237 @@
+"""AST instrumentation: from a plain training script to a Flor-ready script.
+
+This is the automation behind "all a model developer has to do is
+``import flor``" (Section 3).  Given the source of a training script, the
+instrumenter:
+
+1. finds the *main loop* (the epoch loop) and wraps its iterator in the Flor
+   generator — ``for epoch in __flor__.loop(range(N))`` — which is what
+   enables hindsight parallelism on replay (Figure 8, line 2);
+2. runs static side-effect analysis on every loop nested inside the main
+   loop and, for each instrumentable one, encloses it in a SkipBlock
+   (Figure 4): the loop only runs when the SkipBlock decides it should, and
+   the SkipBlock's ``end()`` call memoizes or restores the loop's changeset;
+3. reports, per SkipBlock, the original line range of the enclosed loop so
+   the replay phase can map a source diff onto probed blocks.
+
+Block identifiers are assigned in source order (``skipblock_0``,
+``skipblock_1``, ...).  Hindsight log statements added for replay do not
+create new loops, so identifiers remain stable between record and replay;
+restructuring the loops themselves invalidates old checkpoints, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from dataclasses import dataclass, field
+
+from ..exceptions import InstrumentationError
+from .loop_finder import LoopAnalysis, ScriptAnalysis, analyze_script
+
+__all__ = ["BlockSpec", "InstrumentationResult", "instrument_source",
+           "FLOR_MODULE_ALIAS"]
+
+#: Name under which the instrumented script imports the Flor API.
+FLOR_MODULE_ALIAS = "__flor__"
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Metadata about one SkipBlock, in terms of the *original* source."""
+
+    block_id: str
+    start_line: int
+    end_line: int
+    changeset: tuple[str, ...]
+    loop_scoped: tuple[str, ...]
+
+    def contains_line(self, lineno: int) -> bool:
+        """Whether a (1-based) original-source line falls inside this block."""
+        return self.start_line <= lineno <= self.end_line
+
+    def to_dict(self) -> dict:
+        return {
+            "block_id": self.block_id,
+            "start_line": self.start_line,
+            "end_line": self.end_line,
+            "changeset": list(self.changeset),
+            "loop_scoped": list(self.loop_scoped),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BlockSpec":
+        return cls(block_id=data["block_id"], start_line=data["start_line"],
+                   end_line=data["end_line"],
+                   changeset=tuple(data["changeset"]),
+                   loop_scoped=tuple(data.get("loop_scoped", ())))
+
+
+@dataclass
+class InstrumentationResult:
+    """Everything the record/replay phases need about an instrumented script."""
+
+    original_source: str
+    instrumented_source: str
+    blocks: dict[str, BlockSpec] = field(default_factory=dict)
+    main_loop_line: int | None = None
+    analysis: ScriptAnalysis | None = None
+    skipped_loops: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def has_main_loop(self) -> bool:
+        return self.main_loop_line is not None
+
+
+def instrument_source(source: str, filename: str = "<training-script>"
+                      ) -> InstrumentationResult:
+    """Instrument ``source`` and return the transformed script plus metadata."""
+    try:
+        analysis = analyze_script(source)
+    except SyntaxError as exc:
+        raise InstrumentationError(
+            f"cannot parse {filename}: {exc}") from exc
+
+    result = InstrumentationResult(original_source=source,
+                                   instrumented_source=source,
+                                   analysis=analysis)
+
+    main = analysis.main_loop
+    if main is None:
+        # Nothing to do: no epoch/training nested-loop structure found.
+        return result
+    result.main_loop_line = main.lineno
+
+    # Work on a private copy of the tree so `analysis.tree` keeps original nodes.
+    tree = ast.parse(source)
+    loops_by_line = _index_loops(tree)
+
+    # 1. Wrap the main loop's iterator in the Flor generator.
+    main_node = loops_by_line.get(main.lineno)
+    if not isinstance(main_node, ast.For):
+        raise InstrumentationError(
+            f"main loop at line {main.lineno} is not a for-loop; only "
+            "for-loops over an explicit iterator can be partitioned for "
+            "parallel replay")
+    main_node.iter = ast.Call(
+        func=ast.Attribute(value=ast.Name(id=FLOR_MODULE_ALIAS, ctx=ast.Load()),
+                           attr="loop", ctx=ast.Load()),
+        args=[main_node.iter], keywords=[])
+
+    # 2. Enclose instrumentable nested loops in SkipBlocks.
+    nested = [loop for loop in analysis.nested_loops()]
+    block_index = 0
+    for loop_analysis in nested:
+        node = loops_by_line.get(loop_analysis.lineno)
+        if node is None:
+            continue
+        if not loop_analysis.instrumentable:
+            result.skipped_loops.append(
+                (loop_analysis.lineno, loop_analysis.blocking_reason))
+            continue
+        block_id = f"skipblock_{block_index}"
+        block_index += 1
+        _wrap_in_skipblock(tree, node, block_id, loop_analysis)
+        result.blocks[block_id] = BlockSpec(
+            block_id=block_id,
+            start_line=loop_analysis.lineno,
+            end_line=loop_analysis.end_lineno,
+            changeset=tuple(sorted(loop_analysis.changeset)),
+            loop_scoped=tuple(sorted(loop_analysis.loop_scoped)),
+        )
+
+    # 3. Make sure the Flor API is importable from the instrumented script.
+    _inject_import(tree)
+
+    ast.fix_missing_locations(tree)
+    result.instrumented_source = ast.unparse(tree)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Tree surgery helpers
+# ---------------------------------------------------------------------- #
+def _index_loops(tree: ast.Module) -> dict[int, ast.For | ast.While]:
+    """Map line numbers to loop nodes in a freshly parsed tree."""
+    loops: dict[int, ast.For | ast.While] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.While)):
+            loops.setdefault(node.lineno, node)
+    return loops
+
+
+def _find_parent_and_index(tree: ast.AST, target: ast.stmt
+                           ) -> tuple[list[ast.stmt], int]:
+    """Locate the statement list containing ``target`` and its position."""
+    for node in ast.walk(tree):
+        for field_name in ("body", "orelse", "finalbody"):
+            body = getattr(node, field_name, None)
+            if isinstance(body, list):
+                for index, stmt in enumerate(body):
+                    if stmt is target:
+                        return body, index
+        handlers = getattr(node, "handlers", None)
+        if handlers:
+            for handler in handlers:
+                for index, stmt in enumerate(handler.body):
+                    if stmt is target:
+                        return handler.body, index
+    raise InstrumentationError("loop node vanished during instrumentation")
+
+
+def _wrap_in_skipblock(tree: ast.Module, loop_node: ast.stmt, block_id: str,
+                       loop_analysis: LoopAnalysis) -> None:
+    """Replace ``loop_node`` with SkipBlock-instrumented statements in place."""
+    body, index = _find_parent_and_index(tree, loop_node)
+    names = sorted(loop_analysis.changeset)
+    handle = f"_flor_sb_{block_id}"
+    values = f"_flor_vals_{block_id}"
+
+    guard_src = (
+        f"{handle} = {FLOR_MODULE_ALIAS}.skipblock({block_id!r})\n"
+        f"if {handle}.should_execute():\n"
+        f"    pass\n"
+    )
+    if names:
+        name_list = ", ".join(repr(name) for name in names)
+        end_src = (f"{values} = {handle}.end_from_namespace([{name_list}], "
+                   f"{{**globals(), **locals()}})\n")
+        rebind_src = "".join(f"{name} = {values}[{name!r}]\n" for name in names)
+    else:
+        end_src = (f"{handle}.end_from_namespace([], "
+                   f"{{**globals(), **locals()}})\n")
+        rebind_src = ""
+
+    template = ast.parse(guard_src + end_src + rebind_src).body
+    assign_stmt, if_stmt = template[0], template[1]
+    trailing = template[2:]
+    if_stmt.body = [copy.deepcopy(loop_node)]
+
+    body[index:index + 1] = [assign_stmt, if_stmt, *trailing]
+
+
+def _inject_import(tree: ast.Module) -> None:
+    """Insert ``from repro import api as __flor__`` near the top of the module."""
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module == "repro":
+            if any(alias.asname == FLOR_MODULE_ALIAS for alias in node.names):
+                return
+
+    import_node = ast.ImportFrom(
+        module="repro",
+        names=[ast.alias(name="api", asname=FLOR_MODULE_ALIAS)],
+        level=0)
+
+    insert_at = 0
+    for index, node in enumerate(tree.body):
+        is_docstring = (index == 0 and isinstance(node, ast.Expr)
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, str))
+        is_future = (isinstance(node, ast.ImportFrom)
+                     and node.module == "__future__")
+        if is_docstring or is_future:
+            insert_at = index + 1
+        else:
+            break
+    tree.body.insert(insert_at, import_node)

@@ -1,0 +1,172 @@
+"""Loop discovery and per-loop side-effect analysis.
+
+This module ties together the Table 1 rules (:mod:`repro.analysis.rules`)
+and the loop-scoped filtering (:mod:`repro.analysis.scope`) into the
+analysis the instrumenter consumes:
+
+* find every loop in a script, and identify the *main loop* — the outermost
+  loop that contains at least one nested loop (the epoch loop of Figure 2);
+* for each loop, estimate its changeset, filter loop-scoped variables, and
+  decide whether the loop is instrumentable (Rules 0 and 5 block).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .changeset import Changeset
+from .rules import build_changeset
+from .scope import loop_scoped_names, names_bound_before, names_read_after
+
+__all__ = ["LoopAnalysis", "ScriptAnalysis", "analyze_loop", "analyze_script",
+           "find_loops"]
+
+
+@dataclass
+class LoopAnalysis:
+    """Result of analysing one loop."""
+
+    node: ast.For | ast.While
+    lineno: int
+    end_lineno: int
+    depth: int
+    is_main: bool
+    raw_changeset: Changeset
+    loop_scoped: set[str] = field(default_factory=set)
+    changeset: set[str] = field(default_factory=set)
+
+    @property
+    def instrumentable(self) -> bool:
+        """Whether Flor may enclose this loop in a SkipBlock."""
+        return not self.raw_changeset.blocked
+
+    @property
+    def blocking_reason(self) -> str:
+        return self.raw_changeset.blocking_reason
+
+    def explain(self) -> str:
+        """Readable report mirroring Figure 6's line-by-line commentary."""
+        lines = [f"loop at line {self.lineno} (depth {self.depth}"
+                 f"{', main' if self.is_main else ''}):",
+                 self.raw_changeset.explain()]
+        if self.instrumentable:
+            lines.append(f"loop-scoped (filtered): {sorted(self.loop_scoped)}")
+            lines.append(f"final changeset: {sorted(self.changeset)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ScriptAnalysis:
+    """Analysis of a whole training script."""
+
+    tree: ast.Module
+    loops: list[LoopAnalysis]
+
+    @property
+    def main_loop(self) -> LoopAnalysis | None:
+        for loop in self.loops:
+            if loop.is_main:
+                return loop
+        return None
+
+    def nested_loops(self) -> list[LoopAnalysis]:
+        """Loops nested (at any depth) inside the main loop."""
+        main = self.main_loop
+        if main is None:
+            return []
+        return [loop for loop in self.loops
+                if loop is not main
+                and loop.lineno > main.lineno
+                and loop.end_lineno <= main.end_lineno]
+
+    def instrumentable_loops(self) -> list[LoopAnalysis]:
+        return [loop for loop in self.nested_loops() if loop.instrumentable]
+
+
+def find_loops(tree: ast.AST) -> list[tuple[ast.For | ast.While, int, list[ast.stmt]]]:
+    """Find every for/while loop, with its nesting depth and enclosing scope body.
+
+    Nested function and class definitions open new scopes; loops inside them
+    are found too, with depth counted from their own scope.
+    """
+    found: list[tuple[ast.For | ast.While, int, list[ast.stmt]]] = []
+
+    def visit(body: list[ast.stmt], depth: int, scope_body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.For, ast.While)):
+                found.append((stmt, depth, scope_body))
+                visit(stmt.body, depth + 1, scope_body)
+                visit(stmt.orelse, depth + 1, scope_body)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(stmt.body, 0, stmt.body)
+            elif isinstance(stmt, ast.ClassDef):
+                visit(stmt.body, 0, stmt.body)
+            elif isinstance(stmt, (ast.If, ast.With, ast.Try)):
+                for field_name in ("body", "orelse", "finalbody"):
+                    nested = getattr(stmt, field_name, None)
+                    if nested:
+                        visit(nested, depth, scope_body)
+                handlers = getattr(stmt, "handlers", None)
+                if handlers:
+                    for handler in handlers:
+                        visit(handler.body, depth, scope_body)
+
+    root_body = tree.body if isinstance(tree, ast.Module) else [tree]
+    visit(root_body, 0, root_body)
+    return found
+
+
+def _contains_loop(loop: ast.For | ast.While) -> bool:
+    for node in ast.walk(loop):
+        if node is not loop and isinstance(node, (ast.For, ast.While)):
+            return True
+    return False
+
+
+def analyze_loop(loop: ast.For | ast.While, scope_body: list[ast.stmt],
+                 depth: int = 0, is_main: bool = False) -> LoopAnalysis:
+    """Analyse one loop: changeset estimation + loop-scoped filtering."""
+    raw = build_changeset(loop)
+    analysis = LoopAnalysis(
+        node=loop,
+        lineno=loop.lineno,
+        end_lineno=getattr(loop, "end_lineno", loop.lineno),
+        depth=depth,
+        is_main=is_main,
+        raw_changeset=raw,
+    )
+    if not analysis.instrumentable:
+        return analysis
+    bound_before = names_bound_before(scope_body, loop)
+    analysis.loop_scoped = loop_scoped_names(loop, bound_before)
+    # Loop-scoped variables are filtered from the changeset — unless they are
+    # read after the loop, in which case dropping them would break replay.
+    read_later = names_read_after(loop, scope_body)
+    analysis.changeset = (set(raw.names) - analysis.loop_scoped) | (
+        set(raw.names) & analysis.loop_scoped & read_later)
+    return analysis
+
+
+def analyze_script(source: str) -> ScriptAnalysis:
+    """Parse ``source`` and analyse every loop in it.
+
+    The main loop is the first top-level (depth 0) loop that contains a
+    nested loop — the epoch loop of the canonical training script.  If no
+    loop contains a nested loop, the script has no main loop and nothing is
+    eligible for SkipBlock instrumentation.
+    """
+    tree = ast.parse(source)
+    raw_loops = find_loops(tree)
+
+    main_node: ast.For | ast.While | None = None
+    for node, depth, _scope in raw_loops:
+        if depth == 0 and _contains_loop(node):
+            main_node = node
+            break
+
+    analyses = [
+        analyze_loop(node, scope_body, depth=depth, is_main=(node is main_node))
+        for node, depth, scope_body in raw_loops
+    ]
+    return ScriptAnalysis(tree=tree, loops=analyses)

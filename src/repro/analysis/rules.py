@@ -1,0 +1,199 @@
+"""Table 1: the six rules of Flor's static side-effect analysis.
+
+Each rule is a template matched against a single program statement; at most
+one rule fires per statement, in descending order of precedence:
+
+====  ==========================================  ==================
+Rule  Pattern                                      Changeset delta
+====  ==========================================  ==================
+0     ``v1,..,vn = u1,..,um`` and some ``vi`` is   No estimate
+      already in the changeset                     (blocks the loop)
+1     ``v1,..,vn = obj.method(a1,..,am)``          ``{obj, v1,..,vn}``
+2     ``v1,..,vn = func(a1,..,am)``                ``{v1,..,vn}``
+3     ``v1,..,vn = u1,..,um``                      ``{v1,..,vn}``
+4     ``obj.method(a1,..,am)``                     ``{obj}``
+5     ``func(a1,..,am)``                           No estimate
+                                                   (blocks the loop)
+====  ==========================================  ==================
+
+Notes on the reproduction:
+
+* Augmented assignments (``x += e``) read the old value of ``x`` before
+  rebinding it, so the "old value missing from the changeset" hazard Rule 0
+  guards against does not arise; they are treated as Rule 3 with delta
+  ``{x}`` and are exempt from Rule 0.
+* Assignments whose targets are attributes or subscripts
+  (``obj.attr = e``, ``d[k] = e``) mutate the base object; they contribute
+  the base name, like Rule 4.
+* Statements that match no rule (``pass``, ``break``, docstrings, ...) are
+  ignored, as in the paper.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..exceptions import SideEffectAnalysisError
+from .changeset import Changeset, RuleApplication
+
+__all__ = ["apply_rules_to_statement", "build_changeset", "target_names",
+           "call_base_name"]
+
+
+def target_names(target: ast.expr) -> tuple[set[str], set[str]]:
+    """Return ``(bound_names, mutated_base_names)`` for an assignment target.
+
+    ``bound_names`` are plain variables being (re)bound; ``mutated_base_names``
+    are base objects mutated through attribute or subscript targets.
+    """
+    bound: set[str] = set()
+    mutated: set[str] = set()
+    nodes = [target]
+    while nodes:
+        node = nodes.pop()
+        if isinstance(node, ast.Name):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            nodes.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            nodes.append(node.value)
+        elif isinstance(node, (ast.Attribute, ast.Subscript)):
+            base = _base_name(node)
+            if base is not None:
+                mutated.add(base)
+        else:
+            raise SideEffectAnalysisError(
+                f"unsupported assignment target {ast.dump(node)}")
+    return bound, mutated
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """The leftmost Name in an attribute/subscript chain, or None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_base_name(call: ast.Call) -> tuple[str | None, bool]:
+    """Return ``(base_name, is_method_call)`` for a call expression.
+
+    ``obj.method(...)`` and ``obj.a.b.method(...)`` are method calls with
+    base ``obj``; ``func(...)`` is a plain function call with base ``func``.
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return _base_name(func), True
+    if isinstance(func, ast.Name):
+        return func.id, False
+    # e.g. ``factory()(x)`` or ``items[0](x)`` — treat like a plain call with
+    # no nameable base.
+    return None, False
+
+
+def apply_rules_to_statement(stmt: ast.stmt,
+                             changeset: Changeset) -> RuleApplication | None:
+    """Match ``stmt`` against Table 1 and return the rule application, if any."""
+    lineno = getattr(stmt, "lineno", 0)
+
+    # --- assignment forms -------------------------------------------------
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                return None
+            targets = [stmt.target]
+        else:
+            targets = stmt.targets
+        bound: set[str] = set()
+        mutated: set[str] = set()
+        for target in targets:
+            b, m = target_names(target)
+            bound |= b
+            mutated |= m
+
+        # Rule 0: re-assignment of an already-modified variable.
+        already = bound & changeset.names
+        if already:
+            return RuleApplication(
+                rule=0, lineno=lineno, delta=frozenset(), blocking=True,
+                reason=f"re-assigns previously modified variable(s) "
+                       f"{sorted(already)}")
+
+        value = stmt.value
+        if isinstance(value, ast.Call):
+            base, is_method = call_base_name(value)
+            if is_method and base is not None:
+                return RuleApplication(rule=1, lineno=lineno,
+                                       delta=frozenset(bound | mutated | {base}))
+            return RuleApplication(rule=2, lineno=lineno,
+                                   delta=frozenset(bound | mutated))
+        return RuleApplication(rule=3, lineno=lineno,
+                               delta=frozenset(bound | mutated))
+
+    if isinstance(stmt, ast.AugAssign):
+        bound, mutated = target_names(stmt.target)
+        return RuleApplication(rule=3, lineno=lineno,
+                               delta=frozenset(bound | mutated))
+
+    # --- bare call statements ---------------------------------------------
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        base, is_method = call_base_name(stmt.value)
+        if is_method and base is not None:
+            return RuleApplication(rule=4, lineno=lineno,
+                                   delta=frozenset({base}))
+        func_name = base or "<anonymous>"
+        return RuleApplication(
+            rule=5, lineno=lineno, delta=frozenset(), blocking=True,
+            reason=f"call to function {func_name!r} may have arbitrary "
+                   f"side-effects")
+
+    return None
+
+
+#: Statement types whose nested bodies are analysed recursively.
+_COMPOUND = (ast.If, ast.For, ast.While, ast.With, ast.Try)
+
+
+def _iter_statements(body: list[ast.stmt]):
+    """Yield statements of a loop body in program order, entering nested
+    compound statements but not nested function/class definitions."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, _COMPOUND):
+            for field_name in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, field_name, None)
+                if nested:
+                    yield from _iter_statements(nested)
+            handlers = getattr(stmt, "handlers", None)
+            if handlers:
+                for handler in handlers:
+                    yield from _iter_statements(handler.body)
+
+
+def build_changeset(loop: ast.For | ast.While) -> Changeset:
+    """Run the Table 1 rules over every statement of ``loop``'s body.
+
+    For nested ``for`` loops encountered inside the body, the nested loop's
+    target variable is added to the changeset (it is assigned each nested
+    iteration); it is almost always filtered out later as loop-scoped.
+    """
+    changeset = Changeset()
+
+    if isinstance(loop, ast.For):
+        bound, mutated = target_names(loop.target)
+        changeset.apply(RuleApplication(rule=3, lineno=loop.lineno,
+                                        delta=frozenset(bound | mutated)))
+
+    for stmt in _iter_statements(loop.body):
+        if isinstance(stmt, ast.For):
+            bound, mutated = target_names(stmt.target)
+            changeset.apply(RuleApplication(rule=3, lineno=stmt.lineno,
+                                            delta=frozenset(bound | mutated)))
+            continue
+        application = apply_rules_to_statement(stmt, changeset)
+        if application is not None:
+            changeset.apply(application)
+        if changeset.blocked:
+            break
+    return changeset

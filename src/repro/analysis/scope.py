@@ -1,0 +1,162 @@
+"""Scope helpers: which names are bound where.
+
+Lean checkpointing filters *loop-scoped* variables out of a loop's changeset
+(Section 5.2.1): a variable first bound inside the loop body is assumed to be
+local to the loop and not read after it, so checkpointing it would only add
+overhead.  Deciding "first bound inside the loop" requires knowing which
+names were already bound before the loop in the enclosing scope — this
+module computes both sides of that comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["bound_names", "names_bound_before", "loop_scoped_names",
+           "names_read_after"]
+
+
+def bound_names(node: ast.AST) -> set[str]:
+    """All names bound by assignments/imports/defs within ``node`` (recursive,
+    but not descending into nested function or class definitions)."""
+    names: set[str] = set()
+    for stmt in _walk_statements(node):
+        names |= _names_bound_by(stmt)
+    return names
+
+
+def _walk_statements(node: ast.AST):
+    """Yield statements nested under ``node`` without entering new scopes."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                         ast.Module)):
+        body = node.body
+    elif isinstance(node, list):
+        body = node
+    else:
+        body = getattr(node, "body", [])
+
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # new scope: its internal bindings are not ours
+        for field_name in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, field_name, None)
+            if nested:
+                stack.extend(nested)
+        handlers = getattr(stmt, "handlers", None)
+        if handlers:
+            for handler in handlers:
+                stack.extend(handler.body)
+
+
+def _names_bound_by(stmt: ast.stmt) -> set[str]:
+    """Names directly bound by one statement."""
+    names: set[str] = set()
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names |= _target_plain_names(target)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        names |= _target_plain_names(stmt.target)
+    elif isinstance(stmt, ast.AugAssign):
+        names |= _target_plain_names(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names |= _target_plain_names(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names |= _target_plain_names(item.optional_vars)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            names.add((alias.asname or alias.name).split(".")[0])
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.add(stmt.name)
+    return names
+
+
+def _target_plain_names(target: ast.expr) -> set[str]:
+    names: set[str] = set()
+    nodes = [target]
+    while nodes:
+        node = nodes.pop()
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            nodes.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            nodes.append(node.value)
+        # attribute/subscript targets mutate existing objects; they bind nothing
+    return names
+
+
+def names_bound_before(scope_body: list[ast.stmt], stop: ast.stmt) -> set[str]:
+    """Names bound by statements of ``scope_body`` before ``stop`` appears.
+
+    ``stop`` must be reachable from ``scope_body`` (possibly nested); binding
+    statements are collected in program order until ``stop`` is encountered.
+    """
+    names: set[str] = set()
+    found = _collect_until(scope_body, stop, names)
+    if not found:
+        # ``stop`` was not in this scope at all; the caller gets every binding.
+        pass
+    return names
+
+
+def _collect_until(body: list[ast.stmt], stop: ast.stmt, names: set[str]) -> bool:
+    for stmt in body:
+        if stmt is stop:
+            return True
+        names |= _names_bound_by(stmt)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for field_name in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, field_name, None)
+            if nested and _collect_until(nested, stop, names):
+                return True
+        handlers = getattr(stmt, "handlers", None)
+        if handlers:
+            for handler in handlers:
+                if _collect_until(handler.body, stop, names):
+                    return True
+    return False
+
+
+def names_read_after(loop: ast.For | ast.While,
+                     scope_body: list[ast.stmt]) -> set[str]:
+    """Names *read* anywhere after ``loop`` in its enclosing scope.
+
+    The paper filters loop-scoped variables under the assumption that they
+    are "not read after the end of the loop".  When a script violates that
+    assumption (for example it logs the last batch's ``loss`` right after
+    the training loop), dropping the variable from the checkpoint would make
+    partial replay crash.  This reproduction therefore keeps loop-scoped
+    variables that are read later — detected here by collecting every
+    ``Name`` load that appears after the loop's last line in the same scope.
+    """
+    end_line = getattr(loop, "end_lineno", loop.lineno)
+    reads: set[str] = set()
+    for stmt in _walk_statements(scope_body):
+        if getattr(stmt, "lineno", 0) <= end_line:
+            continue
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                reads.add(node.id)
+    return reads
+
+
+def loop_scoped_names(loop: ast.For | ast.While,
+                      bound_before_loop: set[str]) -> set[str]:
+    """Names first bound inside ``loop`` (the variables lean checkpointing drops).
+
+    A name is loop-scoped when it is bound somewhere in the loop body (or is
+    the loop target itself) and was *not* already bound before the loop in
+    the enclosing scope.
+    """
+    inside: set[str] = set()
+    if isinstance(loop, ast.For):
+        inside |= _target_plain_names(loop.target)
+    for stmt in _walk_statements(loop.body):
+        inside |= _names_bound_by(stmt)
+    return {name for name in inside if name not in bound_before_loop}

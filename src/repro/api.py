@@ -1,0 +1,132 @@
+"""The user-facing Flor API.
+
+The paper's pitch is that a model developer only has to ``import flor`` —
+everything else (instrumentation, checkpointing, replay) is automatic.  The
+equivalent here is::
+
+    from repro import api as flor
+
+    with flor.record_session("cifar-run") as session:
+        for epoch in flor.loop(range(epochs)):
+            sb = flor.skipblock("train")
+            if sb.should_execute():
+                for batch in trainloader:
+                    ...                      # the expensive inner loop
+            net, optimizer = sb.end(net=net, optimizer=optimizer)
+            flor.log("val_loss", evaluate(net))
+
+or, for the fully automatic path, hand a plain training script to
+:func:`record_script` and later query it with :func:`replay_script`.
+
+Every primitive degrades gracefully when no session is active: ``loop``
+iterates normally, ``skipblock`` always executes and never checkpoints, and
+``log`` is a no-op that returns its value.  A Flor-instrumented script is
+therefore still a valid vanilla training script.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Iterator
+
+from .config import FlorConfig, get_config, set_config
+from .modes import InitStrategy, Mode
+from .record.skipblock import UNDEFINED
+from .record.recorder import RecordResult, record_script, record_source
+from .replay.replayer import ReplayResult, replay_script
+from .session import Session, get_active_session
+from .utils.naming import new_run_id
+
+__all__ = [
+    "log", "loop", "skipblock", "it", "UNDEFINED",
+    "record_session", "replay_session",
+    "record_script", "record_source", "replay_script",
+    "RecordResult", "ReplayResult",
+    "get_config", "set_config", "FlorConfig",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Primitives that delegate to the active session
+# ---------------------------------------------------------------------- #
+def log(name: str, value):
+    """Log ``value`` under ``name``; returns ``value`` so it can wrap expressions.
+
+    On record the value goes to the run's record log; on replay it goes to
+    the worker's replay log.  Outside any session this is a no-op, so
+    sprinkling ``flor.log`` calls does not tie a script to Flor.
+    """
+    session = get_active_session()
+    if session is not None:
+        session.log(name, value)
+    return value
+
+
+def loop(iterable: Iterable) -> Iterator:
+    """Wrap the main training loop's iterator (the Flor generator).
+
+    On record, iterations are tracked; on replay, they are partitioned
+    across parallel workers and preceded by worker initialization.  Outside
+    a session this is plain iteration.
+    """
+    session = get_active_session()
+    if session is None:
+        return iter(iterable)
+    return session.loop(iterable)
+
+
+#: Alias matching the open-source Flor library's ``flor.it``.
+it = loop
+
+
+class _PassthroughSkipBlock:
+    """SkipBlock stand-in used when no session is active: always execute."""
+
+    def __init__(self, block_id: str):
+        self.block_id = block_id
+
+    def should_execute(self) -> bool:
+        return True
+
+    def end(self, _namespace=None, **named_values) -> tuple:
+        return tuple(named_values.values())
+
+    def end_from_namespace(self, names, namespace) -> dict:
+        return {name: namespace.get(name, UNDEFINED) for name in names}
+
+
+def skipblock(block_id: str):
+    """Create a SkipBlock activation for the current loop iteration."""
+    session = get_active_session()
+    if session is None:
+        return _PassthroughSkipBlock(block_id)
+    return session.skipblock(block_id)
+
+
+# ---------------------------------------------------------------------- #
+# Session context managers (the explicit API)
+# ---------------------------------------------------------------------- #
+@contextlib.contextmanager
+def record_session(name: str | None = None,
+                   config: FlorConfig | None = None) -> Iterator[Session]:
+    """Open a record-mode session for explicitly instrumented training code."""
+    session = Session(run_id=new_run_id(name), mode=Mode.RECORD,
+                      config=config or get_config())
+    with session:
+        yield session
+
+
+@contextlib.contextmanager
+def replay_session(run_id: str, config: FlorConfig | None = None,
+                   pid: int = 0, num_workers: int = 1,
+                   init_strategy: InitStrategy | str = InitStrategy.STRONG,
+                   probed_blocks: Iterable[str] | None = None
+                   ) -> Iterator[Session]:
+    """Open a replay-mode session against an existing recorded run."""
+    session = Session(run_id=run_id, mode=Mode.REPLAY,
+                      config=config or get_config(), pid=pid,
+                      num_workers=num_workers,
+                      init_strategy=InitStrategy(init_strategy),
+                      probed_blocks=probed_blocks)
+    with session:
+        yield session

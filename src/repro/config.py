@@ -1,0 +1,129 @@
+"""Configuration for Flor record/replay sessions.
+
+The paper exposes a single meaningful knob to the user — the record overhead
+tolerance ``epsilon`` (Section 5.3, Eq. 1) — and fixes a handful of internal
+constants (the restore/materialize scaling factor ``c``, the checkpoint
+batching size for fork-based materialization, and so on).  This module keeps
+all of them in one dataclass so sessions, simulators and benchmarks share a
+single source of truth.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from .exceptions import ConfigError
+
+#: Overhead tolerance used throughout the paper's evaluation: 6.67% (1/15).
+DEFAULT_EPSILON = 1.0 / 15.0
+
+#: Initial restore/materialize scaling factor (Section 5.3.2); refined online.
+DEFAULT_SCALING_FACTOR = 1.0
+
+#: Average scaling factor measured across the paper's workloads (Table 3).
+PAPER_MEASURED_SCALING_FACTOR = 1.38
+
+#: The paper buffers checkpoints and forks in batches of 5000 objects.
+DEFAULT_FORK_BATCH_SIZE = 5000
+
+#: Default directory in which runs store checkpoints, logs and source copies.
+DEFAULT_HOME = Path(os.environ.get("FLOR_HOME", "~/.flor_repro")).expanduser()
+
+
+@dataclass(frozen=True)
+class FlorConfig:
+    """Immutable configuration shared by record and replay sessions.
+
+    Parameters
+    ----------
+    home:
+        Root directory for run artifacts.  Each run gets
+        ``<home>/<run_id>/`` containing the checkpoint store, the record
+        log, and the snapshot of the source code taken at record time.
+    epsilon:
+        Record overhead tolerance (Eq. 1).  Materialization time for a loop
+        must stay below ``epsilon`` times its computation time.
+    scaling_factor:
+        Initial estimate of ``c`` in ``R_i = c * M_i`` (Eq. 3).
+    adaptive_checkpointing:
+        When False, every SkipBlock execution is memoized regardless of the
+        Joint Invariant — the "adaptivity disabled" ablation in Figure 7.
+    background_materialization:
+        Strategy name for checkpoint materialization: one of ``"fork"``,
+        ``"thread"``, ``"ipc_queue"``, ``"sequential"``.
+    fork_batch_size:
+        Number of buffered checkpoint objects that triggers a fork.
+    compress_checkpoints:
+        Gzip-compress payloads before they hit disk (Table 4 reports
+        compressed sizes).
+    strict_consistency:
+        When True, deferred correctness checks raise instead of warning.
+    """
+
+    home: Path = field(default_factory=lambda: DEFAULT_HOME)
+    epsilon: float = DEFAULT_EPSILON
+    scaling_factor: float = DEFAULT_SCALING_FACTOR
+    adaptive_checkpointing: bool = True
+    background_materialization: str = "thread"
+    fork_batch_size: int = DEFAULT_FORK_BATCH_SIZE
+    compress_checkpoints: bool = True
+    strict_consistency: bool = False
+
+    _VALID_MATERIALIZERS = ("fork", "thread", "ipc_queue", "sequential")
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0 or self.epsilon >= 1:
+            raise ConfigError(
+                f"epsilon must be in (0, 1), got {self.epsilon!r}"
+            )
+        if self.scaling_factor <= 0:
+            raise ConfigError(
+                f"scaling_factor must be positive, got {self.scaling_factor!r}"
+            )
+        if self.fork_batch_size < 1:
+            raise ConfigError(
+                f"fork_batch_size must be >= 1, got {self.fork_batch_size!r}"
+            )
+        if self.background_materialization not in self._VALID_MATERIALIZERS:
+            raise ConfigError(
+                "background_materialization must be one of "
+                f"{self._VALID_MATERIALIZERS}, got "
+                f"{self.background_materialization!r}"
+            )
+        object.__setattr__(self, "home", Path(self.home).expanduser())
+
+    def with_overrides(self, **kwargs) -> "FlorConfig":
+        """Return a copy of this configuration with ``kwargs`` replaced."""
+        return replace(self, **kwargs)
+
+    def run_dir(self, run_id: str) -> Path:
+        """Directory holding every artifact of run ``run_id``."""
+        return self.home / run_id
+
+
+_active_config: FlorConfig | None = None
+
+
+def get_config() -> FlorConfig:
+    """Return the process-wide configuration, creating a default if unset."""
+    global _active_config
+    if _active_config is None:
+        _active_config = FlorConfig()
+    return _active_config
+
+
+def set_config(config: FlorConfig) -> FlorConfig:
+    """Install ``config`` as the process-wide configuration and return it."""
+    global _active_config
+    if not isinstance(config, FlorConfig):
+        raise ConfigError(f"expected FlorConfig, got {type(config).__name__}")
+    _active_config = config
+    return config
+
+
+def reset_config() -> None:
+    """Drop the process-wide configuration (used by tests)."""
+    global _active_config
+    _active_config = None

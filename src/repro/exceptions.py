@@ -1,0 +1,85 @@
+"""Exception hierarchy for the Flor reproduction.
+
+Every error raised by this package derives from :class:`FlorError` so that
+callers can catch package failures without also swallowing programming
+errors (``TypeError``, ``KeyError``, ...) from their own code.
+"""
+
+from __future__ import annotations
+
+
+class FlorError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class RecordError(FlorError):
+    """Raised when the record phase cannot capture required state."""
+
+
+class ReplayError(FlorError):
+    """Raised when the replay phase cannot restore or recompute state."""
+
+
+class CheckpointNotFoundError(ReplayError):
+    """Raised when a memoized Loop End Checkpoint is missing on replay."""
+
+    def __init__(self, run_id: str, block_id: str, execution_index: int):
+        self.run_id = run_id
+        self.block_id = block_id
+        self.execution_index = execution_index
+        super().__init__(
+            f"no checkpoint for run={run_id!r} block={block_id!r} "
+            f"execution={execution_index}"
+        )
+
+
+class ReplayAnomalyError(ReplayError):
+    """Raised when deferred correctness checks detect a record/replay mismatch.
+
+    The paper (Section 5.2.2) *warns* the user rather than aborting; Flor's
+    deferred checker in this reproduction warns by default and raises this
+    error only when ``strict`` checking is requested.
+    """
+
+
+class InstrumentationError(FlorError):
+    """Raised when the AST instrumentation pass cannot transform a script."""
+
+
+class SideEffectAnalysisError(FlorError):
+    """Raised when static side-effect analysis encounters malformed input."""
+
+
+class UninstrumentableLoopError(SideEffectAnalysisError):
+    """Raised (internally) when a loop activates Rule 5 or Rule 0 of Table 1.
+
+    Such loops are left intact — they are fully re-executed on replay — so
+    this exception is usually caught by the instrumenter rather than
+    propagated to users.
+    """
+
+    def __init__(self, reason: str, lineno: int | None = None):
+        self.reason = reason
+        self.lineno = lineno
+        where = f" at line {lineno}" if lineno is not None else ""
+        super().__init__(f"loop cannot be instrumented{where}: {reason}")
+
+
+class StorageError(FlorError):
+    """Raised when the checkpoint store cannot read or write a payload."""
+
+
+class SerializationError(StorageError):
+    """Raised when an object cannot be serialized into a checkpoint."""
+
+
+class ConfigError(FlorError):
+    """Raised for invalid configuration values (e.g. negative tolerance)."""
+
+
+class SimulationError(FlorError):
+    """Raised by the paper-scale evaluation simulator for invalid setups."""
+
+
+class WorkloadError(FlorError):
+    """Raised when a workload name is unknown or a workload is misconfigured."""

@@ -1,0 +1,44 @@
+"""Execution modes and phases shared by the record and replay machinery.
+
+The SkipBlock's "parameterized branching" (Section 4.2) keys off this state:
+whether the process is recording or replaying, and — within replay —
+whether the current main-loop iteration belongs to the worker's
+initialization segment or its work segment (Section 5.4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Mode", "Phase", "InitStrategy"]
+
+
+class Mode(str, enum.Enum):
+    """Top-level execution mode of a Flor session."""
+
+    RECORD = "record"
+    REPLAY = "replay"
+
+
+class Phase(str, enum.Enum):
+    """Fine-grained execution phase, as seen by SkipBlocks."""
+
+    #: Record execution: loops run normally and are memoized.
+    RECORD = "record"
+    #: Replay initialization: loops are skipped, side-effects restored from
+    #: checkpoints, so the worker reaches its work segment's starting state.
+    REPLAY_INIT = "replay_init"
+    #: Replay execution: loops are re-executed only if probed; otherwise
+    #: skipped and restored.
+    REPLAY_EXEC = "replay_exec"
+
+
+class InitStrategy(str, enum.Enum):
+    """Worker initialization strategy for parallel replay (Section 5.4.2)."""
+
+    #: Initialize every main-loop iteration preceding the work segment
+    #: (correct by construction; the default).
+    STRONG = "strong"
+    #: Initialize only the iteration immediately preceding the work segment
+    #: (depends entirely on that iteration's checkpoint).
+    WEAK = "weak"

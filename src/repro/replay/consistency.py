@@ -1,0 +1,118 @@
+"""Deferred correctness checks (Section 5.2.2).
+
+Flor's side-effect analysis is efficient but unsafe; rather than pay for a
+sound analysis, Flor checks *after* replay that the user-observable state
+matches between record and replay: the metrics logged during training (loss,
+accuracy, ...) form a fingerprint that is hard to preserve if checkpoints
+missed relevant state.  Replay logs may contain extra records — those are
+the hindsight logging statements — but every record that appears in both
+logs must agree.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+
+from ..exceptions import ReplayAnomalyError
+from ..record.logger import LogRecord
+
+__all__ = ["ConsistencyReport", "compare_logs", "check_consistency"]
+
+#: Relative tolerance for comparing floating-point logged values.
+DEFAULT_RTOL = 1e-5
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of a deferred correctness check."""
+
+    matched: int = 0
+    missing_from_replay: list[LogRecord] = field(default_factory=list)
+    mismatches: list[tuple[LogRecord, LogRecord]] = field(default_factory=list)
+    hindsight_records: list[LogRecord] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.mismatches and not self.missing_from_replay
+
+    def summary(self) -> str:
+        if self.consistent:
+            return (f"replay consistent with record: {self.matched} shared "
+                    f"records matched, {len(self.hindsight_records)} hindsight "
+                    f"records produced")
+        parts = [f"replay anomalies detected: {len(self.mismatches)} value "
+                 f"mismatches, {len(self.missing_from_replay)} record-phase "
+                 f"records missing from replay"]
+        for record_rec, replay_rec in self.mismatches[:5]:
+            parts.append(f"  {record_rec.name}[iter {record_rec.iteration}]: "
+                         f"record={record_rec.value!r} "
+                         f"replay={replay_rec.value!r}")
+        return "\n".join(parts)
+
+
+def _values_match(record_value, replay_value, rtol: float) -> bool:
+    if isinstance(record_value, float) or isinstance(replay_value, float):
+        try:
+            return math.isclose(float(record_value), float(replay_value),
+                                rel_tol=rtol, abs_tol=1e-8)
+        except (TypeError, ValueError):
+            return record_value == replay_value
+    return record_value == replay_value
+
+
+def compare_logs(record_records: list[LogRecord],
+                 replay_records: list[LogRecord],
+                 replay_iterations: set[int] | None = None,
+                 rtol: float = DEFAULT_RTOL) -> ConsistencyReport:
+    """Compare record-phase and replay-phase logs.
+
+    ``replay_iterations`` restricts the comparison to main-loop iterations
+    the replay actually covered (a partial or partitioned replay only
+    reproduces a subset of the record log).
+    """
+    report = ConsistencyReport()
+
+    def key(record: LogRecord) -> tuple:
+        return (record.name, record.iteration)
+
+    replay_by_key: dict[tuple, list[LogRecord]] = {}
+    for record in replay_records:
+        replay_by_key.setdefault(key(record), []).append(record)
+
+    record_keys = set()
+    for record in record_records:
+        if (replay_iterations is not None and record.iteration is not None
+                and record.iteration not in replay_iterations):
+            continue
+        record_keys.add(key(record))
+        candidates = replay_by_key.get(key(record))
+        if not candidates:
+            report.missing_from_replay.append(record)
+            continue
+        replayed = candidates.pop(0)
+        if _values_match(record.value, replayed.value, rtol):
+            report.matched += 1
+        else:
+            report.mismatches.append((record, replayed))
+
+    for record in replay_records:
+        if key(record) not in record_keys:
+            report.hindsight_records.append(record)
+    return report
+
+
+def check_consistency(record_records: list[LogRecord],
+                      replay_records: list[LogRecord],
+                      replay_iterations: set[int] | None = None,
+                      strict: bool = False,
+                      rtol: float = DEFAULT_RTOL) -> ConsistencyReport:
+    """Run the deferred check and warn (or raise, when ``strict``) on anomalies."""
+    report = compare_logs(record_records, replay_records,
+                          replay_iterations=replay_iterations, rtol=rtol)
+    if not report.consistent:
+        if strict:
+            raise ReplayAnomalyError(report.summary())
+        warnings.warn(report.summary(), stacklevel=2)
+    return report

@@ -1,0 +1,128 @@
+"""Parallel replay: many workers, no coordination (Section 5.4).
+
+Each worker executes the *same* instrumented replay script; the Flor
+generator gives worker ``pid`` its own contiguous segment of main-loop
+iterations, and checkpoints break the cross-iteration dependencies, so
+workers neither communicate nor coordinate.  On the paper's testbed each
+worker owned one GPU; here each worker is a separate OS process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from ..config import FlorConfig
+from ..exceptions import ReplayError
+from ..modes import InitStrategy, Mode
+from ..record.logger import LogRecord, read_log
+from ..session import Session
+
+__all__ = ["WorkerResult", "run_worker", "run_parallel_replay"]
+
+
+@dataclass
+class WorkerResult:
+    """Outcome of one replay worker."""
+
+    pid: int
+    wall_seconds: float
+    iterations: list[int] = field(default_factory=list)
+    log_records: list[LogRecord] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+
+def run_worker(run_id: str, instrumented_source: str, config: FlorConfig,
+               pid: int, num_workers: int, init_strategy: InitStrategy,
+               probed_blocks: set[str],
+               sample_iterations: list[int] | None = None) -> WorkerResult:
+    """Execute one worker's share of a parallel replay (in this process)."""
+    start = time.perf_counter()
+    session = Session(run_id=run_id, mode=Mode.REPLAY, config=config,
+                      pid=pid, num_workers=num_workers,
+                      init_strategy=init_strategy,
+                      probed_blocks=probed_blocks,
+                      sample_iterations=sample_iterations)
+    exec_globals = {"__name__": "__main__",
+                    "__file__": f"replay-p{pid}of{num_workers}.py"}
+    try:
+        code = compile(instrumented_source, exec_globals["__file__"], "exec")
+        with session:
+            exec(code, exec_globals)  # noqa: S102 - replaying the user's script
+    except Exception:
+        return WorkerResult(pid=pid, wall_seconds=time.perf_counter() - start,
+                            error=traceback.format_exc())
+    return WorkerResult(
+        pid=pid,
+        wall_seconds=time.perf_counter() - start,
+        iterations=list(session.iterations_run),
+        log_records=list(session.logs.records),
+    )
+
+
+def _worker_entry(args: tuple) -> dict:
+    """Multiprocessing entry point; returns a picklable summary."""
+    (run_id, instrumented_source, config, pid, num_workers, init_strategy,
+     probed_blocks) = args
+    result = run_worker(run_id, instrumented_source, config, pid, num_workers,
+                        InitStrategy(init_strategy), set(probed_blocks))
+    return {
+        "pid": result.pid,
+        "wall_seconds": result.wall_seconds,
+        "iterations": result.iterations,
+        "error": result.error,
+    }
+
+
+def run_parallel_replay(run_id: str, instrumented_source: str,
+                        config: FlorConfig, num_workers: int,
+                        init_strategy: InitStrategy = InitStrategy.STRONG,
+                        probed_blocks: set[str] | None = None,
+                        sample_iterations: list[int] | None = None,
+                        ) -> list[WorkerResult]:
+    """Run ``num_workers`` replay workers and collect their results.
+
+    Workers run as separate processes (``fork`` start method where
+    available) so they are as independent as the paper's per-GPU workers.
+    Per-worker log records are re-read from the per-worker replay logs so
+    nothing has to be pickled back through the pool.
+    """
+    if num_workers < 1:
+        raise ReplayError(f"num_workers must be >= 1, got {num_workers}")
+    probed = probed_blocks or set()
+
+    if sample_iterations is not None and num_workers != 1:
+        raise ReplayError("sampling replay runs on a single worker; pass "
+                          "num_workers=1 together with sample_iterations")
+
+    if num_workers == 1:
+        return [run_worker(run_id, instrumented_source, config, 0, 1,
+                           init_strategy, probed,
+                           sample_iterations=sample_iterations)]
+
+    ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+    jobs = [(run_id, instrumented_source, config, pid, num_workers,
+             init_strategy.value, sorted(probed)) for pid in range(num_workers)]
+    with ctx.Pool(processes=num_workers) as pool:
+        summaries = pool.map(_worker_entry, jobs)
+
+    run_dir = config.run_dir(run_id)
+    results = []
+    for summary in summaries:
+        pid = summary["pid"]
+        log_path = run_dir / f"replay-p{pid}of{num_workers}.log"
+        results.append(WorkerResult(
+            pid=pid,
+            wall_seconds=summary["wall_seconds"],
+            iterations=summary["iterations"],
+            log_records=read_log(log_path),
+            error=summary["error"],
+        ))
+    return results

@@ -1,0 +1,101 @@
+"""Probe detection: mapping a source diff onto SkipBlocks (Section 3.2).
+
+At replay time, the only differences between the current source and the
+source saved at record time are the hindsight logging statements the model
+developer added.  Flor diffs the two versions; a SkipBlock whose enclosed
+loop contains a changed or inserted line is *probed* and must be re-executed
+on replay, because its checkpoint only captured the loop's final state, not
+the intermediate state the new log statements observe.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+
+from ..analysis.instrument import BlockSpec
+
+__all__ = ["SourceDiff", "diff_sources", "detect_probed_blocks"]
+
+
+@dataclass
+class SourceDiff:
+    """Line-level differences between record-time and replay-time source."""
+
+    #: Record-source line numbers (1-based) whose content changed or was deleted.
+    changed_record_lines: set[int] = field(default_factory=set)
+    #: Insertions: (record line number before which new lines land, the new lines).
+    insertions: list[tuple[int, list[str]]] = field(default_factory=list)
+    #: Replay-source line numbers (1-based) that are new or modified.
+    new_replay_lines: set[int] = field(default_factory=set)
+
+    @property
+    def insertion_points(self) -> set[int]:
+        return {point for point, _lines in self.insertions}
+
+    @property
+    def is_identical(self) -> bool:
+        return not (self.changed_record_lines or self.insertions
+                    or self.new_replay_lines)
+
+
+def diff_sources(record_source: str, replay_source: str) -> SourceDiff:
+    """Compute the line-level diff between the two source versions."""
+    record_lines = record_source.splitlines()
+    replay_lines = replay_source.splitlines()
+    matcher = difflib.SequenceMatcher(a=record_lines, b=replay_lines,
+                                      autojunk=False)
+    diff = SourceDiff()
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "equal":
+            continue
+        if tag in ("replace", "delete"):
+            diff.changed_record_lines.update(range(i1 + 1, i2 + 1))
+        if tag in ("replace", "insert"):
+            diff.new_replay_lines.update(range(j1 + 1, j2 + 1))
+        if tag == "insert":
+            # New lines were inserted before record line i1+1 (1-based).
+            diff.insertions.append((i1 + 1, replay_lines[j1:j2]))
+    return diff
+
+
+def _indentation(line: str) -> int:
+    return len(line) - len(line.lstrip(" \t"))
+
+
+def detect_probed_blocks(record_source: str, replay_source: str,
+                         blocks: dict[str, BlockSpec]) -> set[str]:
+    """Return the ids of SkipBlocks whose enclosed loop was probed.
+
+    A block is probed when a changed record line falls within the loop's
+    original line range, or when new lines were inserted inside it.  An
+    insertion landing exactly at the loop's end is ambiguous at the line
+    level ("last statement of the body" vs "first statement after the
+    loop"); indentation of the inserted lines disambiguates, exactly as the
+    Python parser would.
+    """
+    diff = diff_sources(record_source, replay_source)
+    if diff.is_identical:
+        return set()
+
+    record_lines = record_source.splitlines()
+    probed: set[str] = set()
+    for block_id, spec in blocks.items():
+        if any(spec.contains_line(line) for line in diff.changed_record_lines):
+            probed.add(block_id)
+            continue
+        header_indent = _indentation(record_lines[spec.start_line - 1]) \
+            if spec.start_line <= len(record_lines) else 0
+        for point, inserted in diff.insertions:
+            # Strictly inside the body: unambiguous.
+            if spec.start_line < point <= spec.end_line:
+                probed.add(block_id)
+                break
+            # At the boundary just past the loop: inside only if the inserted
+            # code is indented deeper than the loop header.
+            if point == spec.end_line + 1 and any(
+                    line.strip() and _indentation(line) > header_indent
+                    for line in inserted):
+                probed.add(block_id)
+                break
+    return probed

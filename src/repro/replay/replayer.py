@@ -1,0 +1,149 @@
+"""The replay phase driver (Section 3.2).
+
+``replay_script`` takes the run id of a recorded execution and (optionally)
+a new version of the training script containing hindsight logging
+statements.  It detects which SkipBlocks are probed by diffing the new
+source against the source saved at record time, re-instruments the new
+source, executes it — partially, in parallel, or both — and finally runs the
+deferred correctness check against the record log.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.instrument import BlockSpec, instrument_source
+from ..config import FlorConfig, get_config
+from ..exceptions import ReplayError
+from ..modes import InitStrategy
+from ..record.logger import LogRecord, merge_logs, read_log
+from ..record.recorder import ORIGINAL_SOURCE_NAME
+from ..storage.checkpoint_store import CheckpointStore
+from .consistency import ConsistencyReport, check_consistency
+from .parallel import WorkerResult, run_parallel_replay
+from .probe import detect_probed_blocks
+
+__all__ = ["ReplayResult", "replay_script"]
+
+
+@dataclass
+class ReplayResult:
+    """Summary of one replay-phase execution."""
+
+    run_id: str
+    probed_blocks: set[str]
+    num_workers: int
+    init_strategy: InitStrategy
+    wall_seconds: float
+    worker_results: list[WorkerResult] = field(default_factory=list)
+    log_records: list[LogRecord] = field(default_factory=list)
+    consistency: ConsistencyReport | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return all(worker.succeeded for worker in self.worker_results)
+
+    def values(self, name: str) -> list:
+        """All replayed values logged under ``name``, in iteration order."""
+        return [record.value for record in self.log_records
+                if record.name == name]
+
+
+def replay_script(run_id: str, new_source: str | Path | None = None,
+                  num_workers: int = 1,
+                  init_strategy: InitStrategy | str = InitStrategy.STRONG,
+                  config: FlorConfig | None = None,
+                  probed_blocks: set[str] | None = None,
+                  sample_iterations: list[int] | None = None,
+                  check: bool = True) -> ReplayResult:
+    """Replay a recorded run, producing the output of hindsight log statements.
+
+    Parameters
+    ----------
+    run_id:
+        Identifier returned by :func:`repro.record.recorder.record_script`.
+    new_source:
+        The updated training script (text, or a path to it) containing the
+        hindsight logging statements.  When omitted, the source recorded at
+        record time is replayed unchanged (no blocks are probed, so the
+        replay is maximally partial).
+    num_workers:
+        Degree of hindsight parallelism.
+    init_strategy:
+        Strong (default) or weak worker initialization.
+    probed_blocks:
+        Explicit override of probe detection (useful for experiments).
+    sample_iterations:
+        Sampling replay (the paper's Section 8 proof of concept): replay
+        only these main-loop iterations, using checkpoint random access to
+        initialise each one.  Requires ``num_workers == 1``.
+    check:
+        Run the deferred correctness check against the record log.
+    """
+    config = config or get_config()
+    init_strategy = InitStrategy(init_strategy)
+    run_dir = config.run_dir(run_id)
+    if not run_dir.exists():
+        raise ReplayError(f"no recorded run at {run_dir}")
+    store = CheckpointStore(run_dir, compress=config.compress_checkpoints)
+
+    record_source_text = store.load_source(ORIGINAL_SOURCE_NAME)
+    if new_source is None:
+        replay_source_text = record_source_text
+    elif isinstance(new_source, Path) or (
+            isinstance(new_source, str) and "\n" not in new_source
+            and Path(new_source).exists()):
+        replay_source_text = Path(new_source).read_text(encoding="utf-8")
+    else:
+        replay_source_text = str(new_source)
+
+    stored_blocks = {bid: BlockSpec.from_dict(spec)
+                     for bid, spec in store.get_metadata("blocks", {}).items()}
+    if probed_blocks is None:
+        probed = detect_probed_blocks(record_source_text, replay_source_text,
+                                      stored_blocks)
+    else:
+        probed = set(probed_blocks)
+
+    instrumentation = instrument_source(replay_source_text)
+
+    start = time.perf_counter()
+    worker_results = run_parallel_replay(
+        run_id=run_id,
+        instrumented_source=instrumentation.instrumented_source,
+        config=config,
+        num_workers=num_workers,
+        init_strategy=init_strategy,
+        probed_blocks=probed,
+        sample_iterations=sample_iterations,
+    )
+    wall_seconds = time.perf_counter() - start
+
+    failures = [worker for worker in worker_results if not worker.succeeded]
+    if failures:
+        details = "\n".join(worker.error or "" for worker in failures)
+        raise ReplayError(
+            f"{len(failures)} replay worker(s) failed for run {run_id}:\n"
+            f"{details}")
+
+    merged = merge_logs([worker.log_records for worker in worker_results])
+    result = ReplayResult(
+        run_id=run_id,
+        probed_blocks=probed,
+        num_workers=num_workers,
+        init_strategy=init_strategy,
+        wall_seconds=wall_seconds,
+        worker_results=worker_results,
+        log_records=merged,
+    )
+
+    if check:
+        record_records = read_log(run_dir / "record.log")
+        covered = {index for worker in worker_results
+                   for index in worker.iterations}
+        result.consistency = check_consistency(
+            record_records, merged, replay_iterations=covered,
+            strict=config.strict_consistency)
+    return result

@@ -1,0 +1,333 @@
+"""The Flor session: shared state of one record or replay execution.
+
+A :class:`Session` owns the run directory, the checkpoint store, the log
+manager, the adaptive-checkpointing controller and the background
+materializer, and exposes the three primitives user code (or instrumented
+code) interacts with:
+
+* ``session.loop(iterable)`` — the Flor generator wrapping the main loop,
+* ``session.skipblock(block_id)`` — a SkipBlock activation,
+* ``session.log(name, value)`` — a logging statement routed to the record
+  or replay log.
+
+Exactly one session is *active* per process at a time; the module-level API
+in :mod:`repro.api` delegates to it.
+"""
+
+from __future__ import annotations
+
+import getpass
+import platform
+import time
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .analysis.instrument import BlockSpec
+from .config import FlorConfig, get_config
+from .exceptions import FlorError, RecordError, ReplayError
+from .modes import InitStrategy, Mode, Phase
+from .record.adaptive import AdaptiveController
+from .record.logger import LogManager, read_log
+from .record.materializer import Materializer, create_materializer
+from .record.skipblock import SkipBlock
+from .storage.checkpoint_store import CheckpointStore
+
+__all__ = ["Session", "get_active_session", "require_active_session"]
+
+_ACTIVE_SESSION: "Session | None" = None
+
+
+def get_active_session() -> "Session | None":
+    """The currently active session, or None."""
+    return _ACTIVE_SESSION
+
+
+def require_active_session() -> "Session":
+    """The currently active session, raising if none is active."""
+    if _ACTIVE_SESSION is None:
+        raise FlorError(
+            "no active Flor session; wrap your training code in "
+            "`with flor.record_session(...)` or run it through "
+            "`flor.record_script` / `flor.replay_script`")
+    return _ACTIVE_SESSION
+
+
+class Session:
+    """State and lifecycle of one record or replay execution."""
+
+    def __init__(self, run_id: str, mode: Mode,
+                 config: FlorConfig | None = None,
+                 pid: int = 0, num_workers: int = 1,
+                 init_strategy: InitStrategy = InitStrategy.STRONG,
+                 probed_blocks: Iterable[str] | None = None,
+                 sample_iterations: Iterable[int] | None = None):
+        self.config = config or get_config()
+        self.run_id = run_id
+        self.mode = Mode(mode)
+        self.pid = pid
+        self.num_workers = num_workers
+        self.init_strategy = InitStrategy(init_strategy)
+        self.probed_blocks: set[str] = set(probed_blocks or ())
+        self.sample_iterations: list[int] | None = (
+            sorted(set(sample_iterations)) if sample_iterations is not None
+            else None)
+
+        if self.num_workers < 1:
+            raise ReplayError(f"num_workers must be >= 1, got {num_workers}")
+        if not 0 <= self.pid < self.num_workers:
+            raise ReplayError(f"pid {pid} out of range for {num_workers} workers")
+
+        self.run_dir: Path = self.config.run_dir(run_id)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.store = CheckpointStore(self.run_dir,
+                                     compress=self.config.compress_checkpoints)
+
+        if self.mode is Mode.RECORD:
+            log_path = self.run_dir / "record.log"
+            self.phase = Phase.RECORD
+        else:
+            log_path = self.run_dir / f"replay-p{pid}of{num_workers}.log"
+            self.phase = Phase.REPLAY_EXEC
+        self.logs = LogManager(log_path)
+
+        self.adaptive = AdaptiveController(
+            epsilon=self.config.epsilon,
+            scaling_factor=self.config.scaling_factor,
+            enabled=self.config.adaptive_checkpointing)
+        self.materializer: Materializer = create_materializer(
+            self.config.background_materialization, self.store)
+
+        self.block_specs: dict[str, BlockSpec] = {}
+        if self.mode is Mode.REPLAY:
+            stored = self.store.get_metadata("blocks", {})
+            self.block_specs = {bid: BlockSpec.from_dict(spec)
+                                for bid, spec in stored.items()}
+
+        # Main-loop bookkeeping.
+        self.current_iteration: int | None = None
+        self.main_loop_total: int | None = None
+        self.iterations_run: list[int] = []
+        self.work_segment = None  # set by _replay_loop to a WorkSegment
+        self._iteration_occurrences: dict[str, int] = {}
+        self._global_counters: dict[str, int] = {}
+        self._started_at = time.time()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # User-facing primitives
+    # ------------------------------------------------------------------ #
+    def log(self, name: str, value) -> None:
+        """Log a value to the record or replay log.
+
+        During replay initialization the surrounding code re-runs only to
+        rebuild state, so its log statements are suppressed — each parallel
+        worker emits only its own partition of the logs (Section 5.4.3).
+        """
+        if self.phase is Phase.REPLAY_INIT:
+            return
+        self.logs.log(name, value, iteration=self.current_iteration)
+
+    def skipblock(self, block_id: str) -> SkipBlock:
+        """Create a SkipBlock activation for the current loop iteration."""
+        return SkipBlock(self, block_id)
+
+    def loop(self, iterable: Iterable) -> Iterator:
+        """The Flor generator (Figure 9) wrapping the main training loop.
+
+        On record it simply tracks the iteration index.  On replay it
+        partitions the iterations across workers, runs the worker's
+        initialization segment with SkipBlocks in restore mode, then its
+        work segment in replay-execution mode.
+        """
+        items = list(iterable)
+        self.main_loop_total = len(items)
+        if self.mode is Mode.RECORD:
+            yield from self._record_loop(items)
+        else:
+            yield from self._replay_loop(items)
+
+    def _record_loop(self, items: list) -> Iterator:
+        for index, item in enumerate(items):
+            self._begin_iteration(index)
+            try:
+                yield item
+            finally:
+                self._end_iteration(index)
+
+    def _replay_loop(self, items: list) -> Iterator:
+        # Imported here (not at module scope) to avoid a cycle: the replay
+        # package's drivers import Session themselves.
+        from .replay.partition import partition_indices
+
+        if self.sample_iterations is not None:
+            yield from self._sampling_replay_loop(items)
+            return
+
+        segment = partition_indices(len(items), self.num_workers, self.pid)
+        self.work_segment = segment
+
+        if segment.start > 0:
+            if self.init_strategy is InitStrategy.STRONG:
+                init_indices: Iterable[int] = range(0, segment.start)
+            else:
+                init_indices = [segment.start - 1]
+        else:
+            init_indices = []
+
+        self.phase = Phase.REPLAY_INIT
+        try:
+            for index in init_indices:
+                self._begin_iteration(index)
+                try:
+                    yield items[index]
+                finally:
+                    self._end_iteration(index)
+        finally:
+            self.phase = Phase.REPLAY_EXEC
+
+        for index in segment.indices():
+            self._begin_iteration(index)
+            try:
+                yield items[index]
+            finally:
+                self._end_iteration(index)
+
+    def _sampling_replay_loop(self, items: list) -> Iterator:
+        """Sampling replay (the Section 8 proof of concept).
+
+        Checkpoints give random access to any main-loop iteration, so replay
+        can visit only a sampled subset: each sampled iteration ``k`` is
+        preceded, when needed, by one iteration in replay-initialization mode
+        (weak initialization from the nearest checkpoint at ``k - 1``) to
+        rebuild its starting state.
+        """
+        wanted = [index for index in self.sample_iterations or []
+                  if 0 <= index < len(items)]
+        # Random access relies on restoring the nearest available checkpoint,
+        # i.e. weak initialization semantics for the init iterations.
+        self.init_strategy = InitStrategy.WEAK
+        previous: int | None = None
+        for index in wanted:
+            if index > 0 and previous != index - 1:
+                self.phase = Phase.REPLAY_INIT
+                try:
+                    self._begin_iteration(index - 1)
+                    try:
+                        yield items[index - 1]
+                    finally:
+                        self._end_iteration(index - 1)
+                finally:
+                    self.phase = Phase.REPLAY_EXEC
+            self._begin_iteration(index)
+            try:
+                yield items[index]
+            finally:
+                self._end_iteration(index)
+            previous = index
+
+    # ------------------------------------------------------------------ #
+    # Iteration bookkeeping
+    # ------------------------------------------------------------------ #
+    def _begin_iteration(self, index: int) -> None:
+        self.current_iteration = index
+        self._iteration_occurrences.clear()
+
+    def _end_iteration(self, index: int) -> None:
+        if self.phase is not Phase.REPLAY_INIT:
+            self.iterations_run.append(index)
+        self.current_iteration = None
+        self._iteration_occurrences.clear()
+
+    def next_execution_index(self, block_id: str) -> int:
+        """Execution index of a SkipBlock activation.
+
+        Inside the main loop the index is the loop iteration (epoch), so the
+        record and replay phases agree on it even when replay jumps straight
+        to a later epoch.  A block entered more than once in the same
+        iteration gets a composite index; blocks outside the main loop use a
+        simple per-block counter.
+        """
+        if self.current_iteration is not None:
+            occurrence = self._iteration_occurrences.get(block_id, 0)
+            self._iteration_occurrences[block_id] = occurrence + 1
+            if occurrence == 0:
+                return self.current_iteration
+            return self.current_iteration * 1_000_000 + occurrence
+        counter = self._global_counters.get(block_id, 0)
+        self._global_counters[block_id] = counter + 1
+        return counter
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def register_blocks(self, blocks: dict[str, BlockSpec]) -> None:
+        """Attach instrumentation metadata (record mode)."""
+        self.block_specs.update(blocks)
+
+    def record_log_records(self):
+        """The record-phase log of this run (read from disk)."""
+        return read_log(self.run_dir / "record.log")
+
+    def close(self) -> None:
+        """Flush background work and persist run metadata."""
+        if self._closed:
+            return
+        self._closed = True
+        self.materializer.close()
+        if self.mode is Mode.RECORD:
+            self.store.set_metadata("run_id", self.run_id)
+            self.store.set_metadata("mode", self.mode.value)
+            self.store.set_metadata(
+                "blocks", {bid: spec.to_dict()
+                           for bid, spec in self.block_specs.items()})
+            self.store.set_metadata("main_loop_total", self.main_loop_total)
+            self.store.set_metadata("iterations_run", self.iterations_run)
+            self.store.set_metadata("adaptive_summary", self.adaptive.summary())
+            self.store.set_metadata("materializer", {
+                "strategy": self.materializer.name,
+                "submitted": self.materializer.stats.submitted,
+                "main_thread_seconds":
+                    self.materializer.stats.total_main_thread_seconds,
+            })
+            self.store.set_metadata("environment", {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "user": _safe_user(),
+                "wall_seconds": time.time() - self._started_at,
+            })
+
+    # ------------------------------------------------------------------ #
+    # Activation / context manager protocol
+    # ------------------------------------------------------------------ #
+    def activate(self) -> "Session":
+        global _ACTIVE_SESSION
+        if _ACTIVE_SESSION is not None and _ACTIVE_SESSION is not self:
+            raise RecordError(
+                "another Flor session is already active in this process")
+        _ACTIVE_SESSION = self
+        return self
+
+    def deactivate(self) -> None:
+        global _ACTIVE_SESSION
+        if _ACTIVE_SESSION is self:
+            _ACTIVE_SESSION = None
+
+    def __enter__(self) -> "Session":
+        return self.activate()
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.close()
+        finally:
+            self.deactivate()
+
+    def __repr__(self) -> str:
+        return (f"Session(run_id={self.run_id!r}, mode={self.mode.value}, "
+                f"pid={self.pid}/{self.num_workers})")
+
+
+def _safe_user() -> str:
+    try:
+        return getpass.getuser()
+    except (KeyError, OSError):  # pragma: no cover - containerized edge case
+        return "unknown"

@@ -1,0 +1,28 @@
+"""Paper-scale evaluation simulator.
+
+Live miniature workloads validate Flor's mechanisms end-to-end; this package
+reproduces the *paper-scale* evaluation — hours-long GPU training runs on a
+4-machine EC2 pool — with a calibrated cost model so every table and figure
+of Section 6 can be regenerated in milliseconds.
+"""
+
+from .cluster import Cluster, Machine, achievable_speedup, ideal_speedup
+from .cost_model import (ReplayCostComparison, checkpoint_storage_cost,
+                         compare_replay_costs)
+from .record_sim import (BACKGROUND_OVERHEAD_FACTOR, RecordSimulation,
+                         simulate_record)
+from .replay_sim import (ReplaySimulation, restore_seconds_per_epoch,
+                         simulate_inner_probe_replay,
+                         simulate_outer_probe_replay,
+                         simulate_parallel_replay_fraction, simulate_scaleout)
+from . import experiments
+
+__all__ = [
+    "Machine", "Cluster", "ideal_speedup", "achievable_speedup",
+    "RecordSimulation", "simulate_record", "BACKGROUND_OVERHEAD_FACTOR",
+    "ReplaySimulation", "restore_seconds_per_epoch",
+    "simulate_outer_probe_replay", "simulate_inner_probe_replay",
+    "simulate_parallel_replay_fraction", "simulate_scaleout",
+    "ReplayCostComparison", "compare_replay_costs", "checkpoint_storage_cost",
+    "experiments",
+]

@@ -1,0 +1,90 @@
+"""Cluster model for the paper's evaluation testbed (Section 6).
+
+The paper replays on a pool of up to four EC2 P3.8xLarge machines, four
+V100 GPUs each; every replay worker owns one GPU.  This module models that
+pool: how many workers a configuration provides, and how a fixed number of
+main-loop partitions balances across them (the limit behind Figure 13's
+"200 epochs over 16 workers -> at most 13 epochs per worker").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import SimulationError
+from ..storage.costs import INSTANCE_PRICES, InstanceType
+
+__all__ = ["Machine", "Cluster", "ideal_speedup", "achievable_speedup"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One EC2 instance in the replay pool."""
+
+    instance: InstanceType
+
+    @property
+    def gpus(self) -> int:
+        return self.instance.gpus
+
+    @property
+    def hourly_usd(self) -> float:
+        return self.instance.hourly_usd
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous pool of machines used for parallel replay."""
+
+    machines: int = 1
+    instance_name: str = "p3.8xlarge"
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise SimulationError(
+                f"cluster needs at least one machine, got {self.machines}")
+        if self.instance_name not in INSTANCE_PRICES:
+            raise SimulationError(
+                f"unknown instance type {self.instance_name!r}")
+
+    @property
+    def instance(self) -> InstanceType:
+        return INSTANCE_PRICES[self.instance_name]
+
+    @property
+    def total_gpus(self) -> int:
+        return self.machines * self.instance.gpus
+
+    @property
+    def hourly_usd(self) -> float:
+        return self.machines * self.instance.hourly_usd
+
+    def workers(self, max_useful: int | None = None) -> int:
+        """Number of replay workers, optionally capped by available partitions."""
+        if max_useful is None:
+            return self.total_gpus
+        return max(min(self.total_gpus, max_useful), 1)
+
+
+def ideal_speedup(partitions: int, workers: int) -> float:
+    """Speedup if the partitions divided perfectly evenly across workers."""
+    if partitions <= 0:
+        raise SimulationError(f"partitions must be positive, got {partitions}")
+    return float(min(workers, partitions))
+
+
+def achievable_speedup(partitions: int, workers: int) -> float:
+    """Speedup limited by load balancing of whole partitions.
+
+    With ``partitions`` indivisible units over ``workers`` workers, the
+    slowest worker executes ``ceil(partitions / workers)`` of them, so the
+    speedup is ``partitions / ceil(partitions / workers)`` — e.g. 200 epochs
+    on 16 GPUs gives 200/13 = 15.38x (Figure 13).
+    """
+    if partitions <= 0:
+        raise SimulationError(f"partitions must be positive, got {partitions}")
+    if workers <= 0:
+        raise SimulationError(f"workers must be positive, got {workers}")
+    per_worker = math.ceil(partitions / workers)
+    return partitions / per_worker

@@ -1,0 +1,101 @@
+"""Dollar-cost model for replay and checkpoint storage (Figure 14, Table 4).
+
+Figure 14 compares running the same amount of replay work serially on a
+single-GPU P3.2xLarge against running it in parallel on one or more 4-GPU
+P3.8xLarge machines: the parallel configuration finishes in a fraction of
+the time but runs on proportionally more expensive hardware, so the dollar
+costs end up nearly equal while the wall-clock savings are large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import SimulationError
+from ..storage.costs import INSTANCE_PRICES, storage_cost_per_month
+from ..workloads.registry import WorkloadSpec
+from .cluster import achievable_speedup
+from .record_sim import RecordSimulation, simulate_record
+
+__all__ = ["ReplayCostComparison", "compare_replay_costs",
+           "checkpoint_storage_cost"]
+
+
+@dataclass
+class ReplayCostComparison:
+    """Serial vs parallel cost of one workload's full replay (Figure 14)."""
+
+    workload: str
+    serial_hours: float
+    serial_cost_usd: float
+    parallel_machines: int
+    parallel_hours: float
+    parallel_cost_usd: float
+
+    @property
+    def time_saved_hours(self) -> float:
+        return self.serial_hours - self.parallel_hours
+
+    @property
+    def marginal_cost_usd(self) -> float:
+        """Extra dollars paid for the parallel configuration."""
+        return self.parallel_cost_usd - self.serial_cost_usd
+
+
+def _useful_machines(epochs: int, gpus_per_machine: int, max_machines: int) -> int:
+    """Number of machines that still yields parallelism gains for ``epochs``."""
+    best = 1
+    best_speedup = achievable_speedup(epochs, gpus_per_machine)
+    for machines in range(2, max_machines + 1):
+        speedup = achievable_speedup(epochs, machines * gpus_per_machine)
+        if speedup > best_speedup:
+            best, best_speedup = machines, speedup
+    return best
+
+
+def compare_replay_costs(spec: WorkloadSpec,
+                         record: RecordSimulation | None = None,
+                         serial_instance: str = "p3.2xlarge",
+                         parallel_instance: str = "p3.8xlarge",
+                         max_machines: int = 4) -> ReplayCostComparison:
+    """Compare the dollar cost of serial and parallel full replay.
+
+    Serial replay runs the whole job on one single-GPU instance; parallel
+    replay uses as many 4-GPU machines (up to ``max_machines``) as still
+    provide parallelism gains, as in the paper's Figure 14 setup.
+    """
+    if serial_instance not in INSTANCE_PRICES:
+        raise SimulationError(f"unknown instance {serial_instance!r}")
+    if parallel_instance not in INSTANCE_PRICES:
+        raise SimulationError(f"unknown instance {parallel_instance!r}")
+    record = record if record is not None else simulate_record(spec)
+
+    serial_hours = spec.vanilla_hours
+    serial_cost = serial_hours * INSTANCE_PRICES[serial_instance].hourly_usd
+
+    gpus_per_machine = INSTANCE_PRICES[parallel_instance].gpus
+    # Sparse checkpointing limits the number of restartable partitions.
+    partitions = min(spec.epochs,
+                     max(record.checkpoints_materialized, 1)
+                     if record.checkpoints_materialized < spec.epochs
+                     else spec.epochs)
+    machines = _useful_machines(partitions, gpus_per_machine, max_machines)
+    workers = min(machines * gpus_per_machine, partitions)
+    speedup = achievable_speedup(spec.epochs, workers)
+    parallel_hours = spec.vanilla_hours / speedup
+    parallel_cost = (parallel_hours * machines
+                     * INSTANCE_PRICES[parallel_instance].hourly_usd)
+
+    return ReplayCostComparison(
+        workload=spec.name,
+        serial_hours=serial_hours,
+        serial_cost_usd=serial_cost,
+        parallel_machines=machines,
+        parallel_hours=parallel_hours,
+        parallel_cost_usd=parallel_cost)
+
+
+def checkpoint_storage_cost(spec: WorkloadSpec) -> tuple[int, float]:
+    """Table 4: (compressed checkpoint bytes, monthly S3 cost in USD)."""
+    nbytes = spec.checkpoint_nbytes
+    return nbytes, storage_cost_per_month(nbytes)

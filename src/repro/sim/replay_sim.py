@@ -1,0 +1,213 @@
+"""Paper-scale simulation of the replay phase (Figures 10, 12 and 13).
+
+Replay latency is governed by three quantities:
+
+* how many main-loop iterations must be *re-executed* (probed blocks, plus
+  epochs whose checkpoint was never materialized),
+* how many can instead be *restored* from a Loop End Checkpoint (restoring
+  costs roughly ``c`` times the materialization time plus the time to read
+  the checkpoint bytes back from storage),
+* and how much hindsight parallelism is available (one worker per GPU,
+  bounded by the number of independently restartable partitions).
+
+The functions below combine those ingredients into the three replay
+experiments of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import PAPER_MEASURED_SCALING_FACTOR
+from ..exceptions import SimulationError
+from ..modes import InitStrategy
+from ..workloads.registry import WorkloadSpec
+from .cluster import achievable_speedup
+from .record_sim import RecordSimulation, simulate_record
+
+__all__ = ["RESTORE_THROUGHPUT_BYTES_PER_SECOND", "PER_EPOCH_REPLAY_OVERHEAD_SECONDS",
+           "ReplaySimulation", "restore_seconds_per_epoch",
+           "simulate_outer_probe_replay", "simulate_inner_probe_replay",
+           "simulate_parallel_replay_fraction", "simulate_scaleout"]
+
+#: Sequential read throughput of the checkpoint volume (the paper's EBS
+#: volumes sustain ~7 Gbps, i.e. ~875 MB/s).
+RESTORE_THROUGHPUT_BYTES_PER_SECOND = 875e6
+
+#: Fixed per-epoch replay cost outside the nested training loop: advancing
+#: the main loop, deserializing small objects, logging (seconds).
+PER_EPOCH_REPLAY_OVERHEAD_SECONDS = 0.1
+
+#: Fixed per-replay startup cost: imports, loading and preprocessing the
+#: training data, constructing the model — everything before the main loop
+#: (the first half of worker initialization in Section 5.4.2).
+REPLAY_STARTUP_SECONDS = 60.0
+
+
+@dataclass
+class ReplaySimulation:
+    """Outcome of simulating one replay configuration."""
+
+    workload: str
+    probe: str                   # "outer" or "inner"
+    num_workers: int
+    init_strategy: InitStrategy
+    vanilla_seconds: float
+    replay_seconds: float
+    epochs_restored: int
+    epochs_recomputed: int
+
+    @property
+    def speedup(self) -> float:
+        if self.replay_seconds <= 0:
+            return float("inf")
+        return self.vanilla_seconds / self.replay_seconds
+
+    @property
+    def fraction_of_vanilla(self) -> float:
+        if self.vanilla_seconds <= 0:
+            return 0.0
+        return self.replay_seconds / self.vanilla_seconds
+
+
+def restore_seconds_per_epoch(spec: WorkloadSpec,
+                              scaling_factor: float = PAPER_MEASURED_SCALING_FACTOR
+                              ) -> float:
+    """Time to restore one epoch's Loop End Checkpoint from storage."""
+    read_seconds = (spec.checkpoint_nbytes_per_epoch
+                    / RESTORE_THROUGHPUT_BYTES_PER_SECOND)
+    return scaling_factor * read_seconds + PER_EPOCH_REPLAY_OVERHEAD_SECONDS
+
+
+def _record_or_default(spec: WorkloadSpec,
+                       record: RecordSimulation | None) -> RecordSimulation:
+    return record if record is not None else simulate_record(spec)
+
+
+def simulate_outer_probe_replay(spec: WorkloadSpec,
+                                record: RecordSimulation | None = None,
+                                num_gpus: int = 4) -> ReplaySimulation:
+    """Figure 12 (top): the developer probes only the outer main loop.
+
+    Memoized epochs are skipped (their side-effects restored from disk);
+    epochs without a materialized checkpoint — the sparse fine-tuning
+    workloads — must be re-executed, and that re-execution parallelizes
+    across the available GPUs.
+    """
+    if num_gpus < 1:
+        raise SimulationError(f"num_gpus must be >= 1, got {num_gpus}")
+    record = _record_or_default(spec, record)
+
+    restored = record.checkpoints_materialized
+    recomputed = spec.epochs - restored
+    restore_total = restored * restore_seconds_per_epoch(spec)
+    recompute_total = recomputed * spec.epoch_seconds
+    # Re-execution of non-memoized epochs is what parallelism can help with;
+    # restores are I/O-bound and modelled as sequential on one reader.
+    parallel_recompute = recompute_total / min(num_gpus, max(recomputed, 1))
+    replay_seconds = (REPLAY_STARTUP_SECONDS + restore_total
+                      + parallel_recompute
+                      + spec.epochs * PER_EPOCH_REPLAY_OVERHEAD_SECONDS)
+
+    return ReplaySimulation(
+        workload=spec.name, probe="outer", num_workers=num_gpus,
+        init_strategy=InitStrategy.STRONG,
+        vanilla_seconds=spec.vanilla_seconds,
+        replay_seconds=replay_seconds,
+        epochs_restored=restored, epochs_recomputed=recomputed)
+
+
+def partitions_available(spec: WorkloadSpec,
+                         record: RecordSimulation | None = None) -> int:
+    """Number of independently restartable main-loop partitions.
+
+    Densely checkpointed workloads can restart replay at any epoch, so every
+    epoch is a partition.  Sparsely checkpointed workloads can only restart
+    at materialized checkpoints (Figure 10's note that RTE & CoLA have just
+    six epoch-partitions each).
+    """
+    record = _record_or_default(spec, record)
+    if record.checkpoints_materialized >= spec.epochs:
+        return spec.epochs
+    return max(record.checkpoints_materialized, 1)
+
+
+def simulate_inner_probe_replay(spec: WorkloadSpec,
+                                record: RecordSimulation | None = None,
+                                num_gpus: int = 4,
+                                init_strategy: InitStrategy = InitStrategy.STRONG
+                                ) -> ReplaySimulation:
+    """Figure 12 (bottom): the developer probes the inner training loop.
+
+    Every epoch must be re-executed; the only lever is hindsight
+    parallelism.  Worker initialization is restore-based and adds a small
+    per-worker cost (strong initialization restores every preceding epoch,
+    weak initialization restores one checkpoint).
+    """
+    if num_gpus < 1:
+        raise SimulationError(f"num_gpus must be >= 1, got {num_gpus}")
+    record = _record_or_default(spec, record)
+
+    partitions = partitions_available(spec, record)
+    workers = min(num_gpus, partitions)
+    speedup = achievable_speedup(spec.epochs, workers)
+    parallel_compute = spec.vanilla_seconds / speedup
+
+    restore_each = restore_seconds_per_epoch(spec)
+    if init_strategy is InitStrategy.STRONG:
+        # The last worker initializes every epoch before its segment.
+        init_epochs = spec.epochs - math.ceil(spec.epochs / workers)
+        init_seconds = init_epochs * restore_each
+    else:
+        init_seconds = restore_each
+
+    replay_seconds = REPLAY_STARTUP_SECONDS + parallel_compute + init_seconds
+    return ReplaySimulation(
+        workload=spec.name, probe="inner", num_workers=workers,
+        init_strategy=init_strategy,
+        vanilla_seconds=spec.vanilla_seconds,
+        replay_seconds=replay_seconds,
+        epochs_restored=0, epochs_recomputed=spec.epochs)
+
+
+def simulate_parallel_replay_fraction(spec: WorkloadSpec,
+                                      record: RecordSimulation | None = None,
+                                      num_gpus: int = 4,
+                                      init_strategy: InitStrategy = InitStrategy.STRONG
+                                      ) -> float:
+    """Figure 10: parallel replay time as a fraction of a vanilla re-execution.
+
+    A vanilla re-execution performs the same work without Flor, so the
+    fraction is bounded below by ``1 / num_gpus`` (the gray ideal line), and
+    by the partition-count limit for sparsely checkpointed workloads.
+    """
+    record = _record_or_default(spec, record)
+    partitions = partitions_available(spec, record)
+    workers = min(num_gpus, partitions)
+    slowest_share = math.ceil(partitions / workers) / partitions
+    simulation = simulate_inner_probe_replay(spec, record, num_gpus=num_gpus,
+                                             init_strategy=init_strategy)
+    # The compute fraction is set by load balance over partitions; worker
+    # initialization adds a small amount on top (negligible for strong vs
+    # weak at paper scale, as Figure 10 observes).
+    init_fraction = (simulation.replay_seconds
+                     - spec.vanilla_seconds * slowest_share) / spec.vanilla_seconds
+    return slowest_share + max(init_fraction, 0.0)
+
+
+def simulate_scaleout(spec: WorkloadSpec, machines: list[int] | None = None,
+                      gpus_per_machine: int = 4,
+                      record: RecordSimulation | None = None) -> dict[int, float]:
+    """Figure 13: replay speedup as 4-GPU machines are added (RsNt has 200
+    epochs to parallelize; the load-balance ceiling on 16 GPUs is 15.38x)."""
+    machines = machines or [1, 2, 3, 4]
+    record = _record_or_default(spec, record)
+    partitions = partitions_available(spec, record)
+    speedups: dict[int, float] = {}
+    for machine_count in machines:
+        workers = min(machine_count * gpus_per_machine, partitions)
+        simulation = simulate_inner_probe_replay(
+            spec, record, num_gpus=workers, init_strategy=InitStrategy.WEAK)
+        speedups[machine_count] = simulation.speedup
+    return speedups

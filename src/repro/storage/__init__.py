@@ -1,0 +1,21 @@
+"""Checkpoint storage: serialization, compression, the SQLite-indexed store,
+cloud pricing, and background spooling to (simulated) object storage."""
+
+from .checkpoint_store import CheckpointRecord, CheckpointStore
+from .compression import CompressionResult, compress, compression_ratio, decompress
+from .costs import (GiB, INSTANCE_PRICES, InstanceType, S3_PRICE_PER_GB_MONTH,
+                    compute_cost, gb, storage_cost_per_month)
+from .serializer import (SerializedCheckpoint, ValueSnapshot,
+                         deserialize_checkpoint, restore_value,
+                         serialize_checkpoint, snapshot_value)
+from .spool import BackgroundSpooler, SpoolStats
+
+__all__ = [
+    "CheckpointStore", "CheckpointRecord",
+    "ValueSnapshot", "SerializedCheckpoint", "snapshot_value", "restore_value",
+    "serialize_checkpoint", "deserialize_checkpoint",
+    "compress", "decompress", "compression_ratio", "CompressionResult",
+    "S3_PRICE_PER_GB_MONTH", "INSTANCE_PRICES", "InstanceType",
+    "storage_cost_per_month", "compute_cost", "gb", "GiB",
+    "BackgroundSpooler", "SpoolStats",
+]

@@ -1,0 +1,48 @@
+"""Gzip compression for checkpoint payloads.
+
+Table 4 reports gzip-compressed checkpoint sizes; the store compresses
+payloads with the same codec before they hit disk (and before the simulated
+S3 spool), so measured sizes here play the same role as in the paper.
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass
+
+__all__ = ["CompressionResult", "compress", "decompress", "compression_ratio"]
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of compressing one payload."""
+
+    data: bytes
+    raw_nbytes: int
+    compressed_nbytes: int
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (raw / compressed); 1.0 for empty payloads."""
+        if self.compressed_nbytes == 0:
+            return 1.0
+        return self.raw_nbytes / self.compressed_nbytes
+
+
+def compress(data: bytes, level: int = 6) -> CompressionResult:
+    """Gzip-compress ``data`` and report both sizes."""
+    compressed = gzip.compress(data, compresslevel=level)
+    return CompressionResult(data=compressed, raw_nbytes=len(data),
+                             compressed_nbytes=len(compressed))
+
+
+def decompress(data: bytes) -> bytes:
+    """Inverse of :func:`compress`.  Pass-through for uncompressed payloads."""
+    if data[:2] == b"\x1f\x8b":
+        return gzip.decompress(data)
+    return data
+
+
+def compression_ratio(data: bytes, level: int = 6) -> float:
+    """Convenience: compression ratio achieved on ``data``."""
+    return compress(data, level=level).ratio

@@ -1,0 +1,86 @@
+"""Cloud storage and compute pricing model.
+
+The paper prices checkpoint storage at S3 rates (Table 4: "we can store
+130 GB for a month at the same cost as running a single-GPU instance for an
+hour") and prices replay on EC2 P3 instances (Figure 14).  This module
+encodes the 2020 us-west-2 prices the paper's numbers imply and exposes the
+arithmetic used by both the live store and the paper-scale simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import SimulationError
+
+__all__ = ["S3_PRICE_PER_GB_MONTH", "INSTANCE_PRICES", "InstanceType",
+           "storage_cost_per_month", "compute_cost", "gb", "GiB"]
+
+#: S3 standard storage price (USD per GB-month), us-west-2, 2020.
+S3_PRICE_PER_GB_MONTH = 0.023
+
+#: Bytes per binary gigabyte.
+GiB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """An EC2 instance type relevant to the paper's evaluation."""
+
+    name: str
+    gpus: int
+    gpu_memory_gb: int
+    vcpus: int
+    ram_gb: int
+    hourly_usd: float
+
+
+#: On-demand prices (USD/hour), us-west-2, 2020 — the instances of Section 6.
+INSTANCE_PRICES: dict[str, InstanceType] = {
+    "p3.2xlarge": InstanceType("p3.2xlarge", gpus=1, gpu_memory_gb=16,
+                               vcpus=8, ram_gb=61, hourly_usd=3.06),
+    "p3.8xlarge": InstanceType("p3.8xlarge", gpus=4, gpu_memory_gb=64,
+                               vcpus=32, ram_gb=244, hourly_usd=12.24),
+    "p3.16xlarge": InstanceType("p3.16xlarge", gpus=8, gpu_memory_gb=128,
+                                vcpus=64, ram_gb=488, hourly_usd=24.48),
+}
+
+
+def gb(nbytes: int | float) -> float:
+    """Convert bytes to (binary) gigabytes."""
+    return float(nbytes) / GiB
+
+
+def storage_cost_per_month(nbytes: int | float,
+                           price_per_gb_month: float = S3_PRICE_PER_GB_MONTH
+                           ) -> float:
+    """Monthly S3 cost (USD) of storing ``nbytes`` of checkpoints.
+
+    Matches Table 4's arithmetic: compressed checkpoint bytes times the
+    standard-storage price.  Data transfer is free because the paper keeps
+    the EC2 instance and the S3 bucket in the same region.
+    """
+    if nbytes < 0:
+        raise SimulationError(f"negative storage size {nbytes}")
+    return gb(nbytes) * price_per_gb_month
+
+
+def compute_cost(hours: float, instance: str = "p3.8xlarge",
+                 count: int = 1) -> float:
+    """Dollar cost of running ``count`` instances of ``instance`` for ``hours``.
+
+    EC2 bills per-second with a one-minute minimum; at the hour scales of the
+    paper's experiments the per-second model is indistinguishable from the
+    linear model used here.
+    """
+    if hours < 0:
+        raise SimulationError(f"negative duration {hours}")
+    if count < 1:
+        raise SimulationError(f"instance count must be >= 1, got {count}")
+    try:
+        spec = INSTANCE_PRICES[instance]
+    except KeyError as exc:
+        raise SimulationError(
+            f"unknown instance type {instance!r}; known: "
+            f"{sorted(INSTANCE_PRICES)}") from exc
+    return hours * spec.hourly_usd * count

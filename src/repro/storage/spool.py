@@ -1,0 +1,87 @@
+"""Background spooling of checkpoints to (simulated) object storage.
+
+The paper spools checkpoints from local EBS to an S3 bucket with a
+background process (Section 6, setup).  We reproduce the same pipeline with
+a background thread that gzip-compresses finished checkpoint files and
+copies them into a "bucket" directory, tracking transferred bytes and the
+monthly storage bill they would incur.
+"""
+
+from __future__ import annotations
+
+import queue
+import shutil
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .costs import storage_cost_per_month
+
+__all__ = ["SpoolStats", "BackgroundSpooler"]
+
+
+@dataclass
+class SpoolStats:
+    """Aggregate statistics of one spooler's lifetime."""
+
+    objects: int = 0
+    bytes_transferred: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def monthly_cost_usd(self) -> float:
+        return storage_cost_per_month(self.bytes_transferred)
+
+
+class BackgroundSpooler:
+    """Copies checkpoint files to a bucket directory on a background thread."""
+
+    _STOP = object()
+
+    def __init__(self, bucket_dir: str | Path):
+        self.bucket_dir = Path(bucket_dir)
+        self.bucket_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = SpoolStats()
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "BackgroundSpooler":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._drain, daemon=True,
+                                        name="flor-spooler")
+        self._thread.start()
+        return self
+
+    def submit(self, path: str | Path) -> None:
+        """Enqueue a finished checkpoint file for transfer to the bucket."""
+        self._queue.put(Path(path))
+
+    def close(self) -> SpoolStats:
+        """Flush the queue, stop the thread, and return transfer statistics."""
+        if self._thread is None:
+            return self.stats
+        self._queue.put(self._STOP)
+        self._thread.join()
+        self._thread = None
+        return self.stats
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._STOP:
+                return
+            try:
+                source = Path(item)
+                target = self.bucket_dir / source.name
+                shutil.copyfile(source, target)
+                self.stats.objects += 1
+                self.stats.bytes_transferred += target.stat().st_size
+            except OSError as exc:
+                self.stats.errors.append(f"{item}: {exc}")
+
+    def __enter__(self) -> "BackgroundSpooler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,52 @@
+"""``repro.torchlike`` — a from-scratch, NumPy-backed PyTorch-like substrate.
+
+The Flor paper assumes training loops written against PyTorch; this package
+provides the pieces of that interface the paper's mechanisms touch:
+
+* autograd tensors (:mod:`repro.torchlike.tensor`),
+* modules with ``state_dict``/``load_state_dict`` (:mod:`repro.torchlike.module`),
+* layers covering convolutional, transformer and recurrent models
+  (:mod:`repro.torchlike.layers`),
+* losses (:mod:`repro.torchlike.loss`),
+* optimizers and LR schedulers that mutate state in place
+  (:mod:`repro.torchlike.optim`),
+* data loading (:mod:`repro.torchlike.data`),
+* state serialization (:mod:`repro.torchlike.serialization`).
+"""
+
+from . import functional
+from . import init
+from .data import DataLoader, Dataset, TensorDataset, random_split
+from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
+                     Embedding, FireModule, Flatten, GELU, GlobalAvgPool2d,
+                     Identity, LayerNorm, Linear, LSTMCell, MaxPool2d,
+                     MultiHeadSelfAttention, ReLU, ResidualBlock, Sequential,
+                     Sigmoid, Tanh, TransformerEncoderLayer)
+from .loss import (CrossEntropyLoss, L1Loss, MSELoss, NLLLoss, cross_entropy,
+                   l1_loss, mse_loss, nll_loss)
+from .module import Module, Parameter
+from .optim import (Adam, AdamW, CosineAnnealingLR, LambdaLR, LRScheduler,
+                    MultiStepLR, Optimizer, SGD, StepLR, clip_grad_norm)
+from .serialization import (load, restore_training_state, save,
+                            snapshot_training_state, state_nbytes)
+from .tensor import (Tensor, arange, cat, empty, full, no_grad, ones, rand,
+                     randn, stack, tensor, zeros)
+
+__all__ = [
+    "functional", "init",
+    "Tensor", "tensor", "zeros", "ones", "full", "empty", "randn", "rand",
+    "arange", "stack", "cat", "no_grad",
+    "Module", "Parameter",
+    "Linear", "Conv2d", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d",
+    "BatchNorm1d", "BatchNorm2d", "LayerNorm", "Dropout", "Embedding",
+    "ReLU", "GELU", "Tanh", "Sigmoid", "Flatten", "Sequential", "Identity",
+    "LSTMCell", "MultiHeadSelfAttention", "TransformerEncoderLayer",
+    "ResidualBlock", "FireModule",
+    "CrossEntropyLoss", "MSELoss", "L1Loss", "NLLLoss",
+    "cross_entropy", "mse_loss", "l1_loss", "nll_loss",
+    "Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm",
+    "LRScheduler", "StepLR", "MultiStepLR", "CosineAnnealingLR", "LambdaLR",
+    "Dataset", "TensorDataset", "DataLoader", "random_split",
+    "save", "load", "state_nbytes", "snapshot_training_state",
+    "restore_training_state",
+]

@@ -1,0 +1,121 @@
+"""Datasets and data loading for the torchlike substrate.
+
+The DataLoader mirrors the PyTorch shape that the paper's training loops
+assume (``for batch in trainloader:``) — the nested training loop in
+Figure 2 / Figure 6 iterates over one of these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Dataset", "TensorDataset", "DataLoader", "random_split"]
+
+
+class Dataset:
+    """Abstract dataset: indexable and sized."""
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Dataset wrapping equal-length arrays; yields per-example tuples."""
+
+    def __init__(self, *arrays):
+        if not arrays:
+            raise ValueError("TensorDataset needs at least one array")
+        self.arrays = [a.data if isinstance(a, Tensor) else np.asarray(a)
+                       for a in arrays]
+        length = len(self.arrays[0])
+        for array in self.arrays:
+            if len(array) != length:
+                raise ValueError("all arrays must have the same length, got "
+                                 f"{[len(a) for a in self.arrays]}")
+
+    def __getitem__(self, index: int):
+        return tuple(array[index] for array in self.arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+
+class DataLoader:
+    """Mini-batch iterator over a :class:`Dataset`.
+
+    Batches are tuples of stacked arrays, one per dataset field.  Shuffling
+    is seeded so a record run and a replay run see identical batch order —
+    the paper relies on training nondeterminism being captured (Section 7,
+    Output Deterministic Replay discussion).
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32,
+                 shuffle: bool = False, seed: int | None = 0,
+                 drop_last: bool = False):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self.drop_last = drop_last
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def set_epoch(self, epoch: int) -> None:
+        """Advance the shuffle seed deterministically (mirrors DistributedSampler)."""
+        self._epoch = epoch
+
+    def __iter__(self) -> Iterator[tuple]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            rng = np.random.default_rng(
+                None if self.seed is None else self.seed + self._epoch)
+            rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            samples = [self.dataset[int(i)] for i in batch_indices]
+            fields = list(zip(*samples))
+            yield tuple(np.stack(field) for field in fields)
+
+
+def random_split(dataset: Dataset, lengths: Sequence[int],
+                 seed: int = 0) -> list["_Subset"]:
+    """Split a dataset into non-overlapping subsets of the given lengths."""
+    if sum(lengths) != len(dataset):
+        raise ValueError(
+            f"sum of lengths {sum(lengths)} != dataset size {len(dataset)}")
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(len(dataset))
+    subsets = []
+    offset = 0
+    for length in lengths:
+        subsets.append(_Subset(dataset, permutation[offset:offset + length]))
+        offset += length
+    return subsets
+
+
+class _Subset(Dataset):
+    def __init__(self, dataset: Dataset, indices: np.ndarray):
+        self.dataset = dataset
+        self.indices = np.asarray(indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[int(self.indices[index])]
+
+    def __len__(self) -> int:
+        return len(self.indices)

@@ -1,0 +1,273 @@
+"""Functional neural-network operations built on :class:`~repro.torchlike.tensor.Tensor`.
+
+These are the stateless counterparts of the layers in
+:mod:`repro.torchlike.layers`.  Convolution uses an im2col lowering so the
+heavy lifting is a single matrix multiply, which keeps the miniature
+workloads fast enough for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "linear", "relu", "gelu", "sigmoid", "tanh", "softmax", "log_softmax",
+    "dropout", "embedding", "one_hot", "conv2d", "max_pool2d", "avg_pool2d",
+    "batch_norm", "layer_norm", "scaled_dot_product_attention",
+]
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``y = x @ weight.T + bias`` — the affine map used by ``Linear``."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation, as used by RoBERTa)."""
+    inner = (x + x * x * x * 0.044715) * 0.7978845608028654
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.log_softmax(axis=axis)
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True,
+            rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: activations are scaled by ``1/(1-p)`` at train time."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        return x * 0.0
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> Tensor:
+    """Return a float one-hot encoding of integer ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros((*indices.shape, num_classes), dtype=np.float32)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return Tensor(out)
+
+
+def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
+    """Look up rows of ``weight`` for integer ``indices`` (differentiable)."""
+    if isinstance(indices, Tensor):
+        indices = indices.data
+    indices = np.asarray(indices, dtype=np.int64)
+    return weight[indices]
+
+
+# ---------------------------------------------------------------------- #
+# Convolution and pooling via im2col
+# ---------------------------------------------------------------------- #
+def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int):
+    batch, channels, height, width = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - kernel) // stride + 1
+    out_w = (x.shape[3] - kernel) // stride + 1
+    strides = x.strides
+    shape = (batch, channels, out_h, out_w, kernel, kernel)
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(strides[0], strides[1], strides[2] * stride,
+                 strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kernel * kernel)
+    return cols, out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape, kernel: int, stride: int, padding: int):
+    batch, channels, height, width = x_shape
+    padded_h, padded_w = height + 2 * padding, width + 2 * padding
+    out_h = (padded_h - kernel) // stride + 1
+    out_w = (padded_w - kernel) // stride + 1
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    x_padded = np.zeros((batch, channels, padded_h, padded_w), dtype=np.float32)
+    for i in range(kernel):
+        for j in range(kernel):
+            x_padded[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += \
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+    if padding:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution over NCHW input with a square kernel."""
+    batch, in_channels, _, _ = x.shape
+    out_channels, _, kernel, _ = weight.shape
+    cols, out_h, out_w = _im2col(x.data, kernel, stride, padding)
+    w_flat = weight.data.reshape(out_channels, -1)
+    out_data = cols @ w_flat.T
+    out_data = out_data.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    requires = x.requires_grad or weight.requires_grad or (
+        bias is not None and bias.requires_grad)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor(out_data, requires_grad=requires, _parents=parents, _op="conv2d")
+    if out.requires_grad:
+        def _backward(grad):
+            grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+            if weight.requires_grad:
+                grad_w = (grad_flat.T @ cols).reshape(weight.shape)
+                weight._accumulate(grad_w.astype(np.float32))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)).astype(np.float32))
+            if x.requires_grad:
+                grad_cols = grad_flat @ w_flat
+                grad_x = _col2im(grad_cols, x.shape, kernel, stride, padding)
+                x._accumulate(grad_x.astype(np.float32))
+        out._backward = _backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling over NCHW input."""
+    stride = stride if stride is not None else kernel
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    strides = x.data.strides
+    view = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(strides[0], strides[1], strides[2] * stride,
+                 strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    out_data = view.max(axis=(4, 5))
+    out = Tensor(out_data, requires_grad=x.requires_grad, _parents=(x,), _op="max_pool2d")
+    if out.requires_grad:
+        def _backward(grad):
+            grad_x = np.zeros_like(x.data, dtype=np.float32)
+            for i in range(kernel):
+                for j in range(kernel):
+                    window = x.data[:, :, i:i + stride * out_h:stride,
+                                    j:j + stride * out_w:stride]
+                    mask = (window == out_data)
+                    grad_x[:, :, i:i + stride * out_h:stride,
+                           j:j + stride * out_w:stride] += mask * grad
+            x._accumulate(grad_x)
+        out._backward = _backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Average pooling over NCHW input."""
+    stride = stride if stride is not None else kernel
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    strides = x.data.strides
+    view = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(strides[0], strides[1], strides[2] * stride,
+                 strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    out_data = view.mean(axis=(4, 5))
+    out = Tensor(out_data, requires_grad=x.requires_grad, _parents=(x,), _op="avg_pool2d")
+    if out.requires_grad:
+        scale = 1.0 / (kernel * kernel)
+
+        def _backward(grad):
+            grad_x = np.zeros_like(x.data, dtype=np.float32)
+            for i in range(kernel):
+                for j in range(kernel):
+                    grad_x[:, :, i:i + stride * out_h:stride,
+                           j:j + stride * out_w:stride] += grad * scale
+            x._accumulate(grad_x)
+        out._backward = _backward
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Normalization
+# ---------------------------------------------------------------------- #
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               training: bool = True, momentum: float = 0.1,
+               eps: float = 1e-5) -> Tensor:
+    """Batch normalization for 2-D ``(N, C)`` or 4-D ``(N, C, H, W)`` input.
+
+    ``running_mean`` / ``running_var`` are plain ndarrays updated in place
+    at training time (they are buffers, not parameters).
+    """
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        param_shape = (1, -1, 1, 1)
+    else:
+        axes = (0,)
+        param_shape = (1, -1)
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mean
+        running_var *= (1.0 - momentum)
+        running_var += momentum * var
+    else:
+        mean = running_mean
+        var = running_var
+
+    mean_t = Tensor(mean.reshape(param_shape))
+    std_t = Tensor(np.sqrt(var + eps).reshape(param_shape))
+    normalized = (x - mean_t) / std_t
+    return normalized * gamma.reshape(*param_shape) + beta.reshape(*param_shape)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalized = (x - mean) / (var + eps).sqrt()
+    return normalized * gamma + beta
+
+
+def scaled_dot_product_attention(query: Tensor, key: Tensor, value: Tensor,
+                                 mask: np.ndarray | None = None) -> Tensor:
+    """Attention(Q, K, V) = softmax(QK^T / sqrt(d)) V.
+
+    ``query``/``key``/``value`` have shape ``(..., seq, d)``; ``mask`` is an
+    optional additive mask broadcastable to ``(..., seq, seq)`` with ``-inf``
+    (or a large negative number) at disallowed positions.
+    """
+    d_model = query.shape[-1]
+    scores = query @ key.swapaxes(-1, -2) * (1.0 / float(np.sqrt(d_model)))
+    if mask is not None:
+        scores = scores + Tensor(mask.astype(np.float32))
+    weights = scores.softmax(axis=-1)
+    return weights @ value

@@ -1,0 +1,41 @@
+"""Weight initialisation schemes for the torchlike substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "normal_", "zeros_", "ones_",
+           "seeded_rng"]
+
+
+def seeded_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a NumPy Generator; reproducible when ``seed`` is given."""
+    return np.random.default_rng(seed)
+
+
+def kaiming_uniform(shape: tuple[int, ...], fan_in: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation (suits ReLU networks)."""
+    bound = float(np.sqrt(6.0 / max(fan_in, 1)))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation (suits tanh/linear networks)."""
+    bound = float(np.sqrt(6.0 / max(fan_in + fan_out, 1)))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal_(shape: tuple[int, ...], std: float,
+            rng: np.random.Generator) -> np.ndarray:
+    """Zero-mean Gaussian initialisation with standard deviation ``std``."""
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros_(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones_(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,345 @@
+"""Neural-network layers for the torchlike substrate.
+
+The layer set is chosen to cover the architectures in the paper's Table 3:
+convolutional classifiers (SqueezeNet / ResNet style), transformer encoders
+(RoBERTa style), recurrent models with attention (RNN-T style) and simple
+convolutional acoustic models (Jasper style) — all in miniature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, cat
+
+__all__ = [
+    "Linear", "Conv2d", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d",
+    "BatchNorm1d", "BatchNorm2d", "LayerNorm", "Dropout", "Embedding",
+    "ReLU", "GELU", "Tanh", "Sigmoid", "Flatten", "Sequential", "Identity",
+    "LSTMCell", "MultiHeadSelfAttention", "TransformerEncoderLayer",
+    "ResidualBlock", "FireModule",
+]
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else init.seeded_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), in_features, rng))
+        self.bias = Parameter(init.zeros_((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution with a square kernel over NCHW input."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else init.seeded_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(init.kaiming_uniform(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng))
+        self.bias = Parameter(init.zeros_((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride})")
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions, producing ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+
+class BatchNorm2d(Module):
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(init.ones_((num_features,)))
+        self.bias = Parameter(init.zeros_((num_features,)))
+        self.register_buffer("running_mean", init.zeros_((num_features,)))
+        self.register_buffer("running_var", init.ones_((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(x, self.weight, self.bias, self.running_mean,
+                            self.running_var, training=self.training,
+                            momentum=self.momentum, eps=self.eps)
+
+
+class BatchNorm1d(BatchNorm2d):
+    """Batch normalization over ``(N, C)`` input (shares the 2-D machinery)."""
+
+
+class LayerNorm(Module):
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(init.ones_((normalized_shape,)))
+        self.bias = Parameter(init.zeros_((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.p = p
+        self._rng = rng if rng is not None else init.seeded_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, p=self.p, training=self.training, rng=self._rng)
+
+
+class Embedding(Module):
+    """Token embedding table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else init.seeded_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal_((num_embeddings, embedding_dim),
+                                             std=0.02, rng=rng))
+
+    def forward(self, indices) -> Tensor:
+        return F.embedding(indices, self.weight)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """A container that applies child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+
+class LSTMCell(Module):
+    """A single LSTM cell (used by the RNN-T-style translation workload)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else init.seeded_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform(
+            (4 * hidden_size, input_size), input_size, 4 * hidden_size, rng))
+        self.weight_hh = Parameter(init.xavier_uniform(
+            (4 * hidden_size, hidden_size), hidden_size, 4 * hidden_size, rng))
+        self.bias = Parameter(init.zeros_((4 * hidden_size,)))
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+                ) -> tuple[Tensor, Tensor]:
+        batch = x.shape[0]
+        if state is None:
+            hidden = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+            cell = Tensor(np.zeros((batch, self.hidden_size), dtype=np.float32))
+        else:
+            hidden, cell = state
+        gates = F.linear(x, self.weight_ih) + F.linear(hidden, self.weight_hh) + self.bias
+        hs = self.hidden_size
+        input_gate = gates[:, 0 * hs:1 * hs].sigmoid()
+        forget_gate = gates[:, 1 * hs:2 * hs].sigmoid()
+        cell_gate = gates[:, 2 * hs:3 * hs].tanh()
+        output_gate = gates[:, 3 * hs:4 * hs].sigmoid()
+        new_cell = forget_gate * cell + input_gate * cell_gate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention over ``(batch, seq, d_model)`` input."""
+
+    def __init__(self, d_model: int, num_heads: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by "
+                             f"num_heads={num_heads}")
+        rng = rng if rng is not None else init.seeded_rng()
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, seq, dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * dim)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        query = self._split_heads(self.q_proj(x))
+        key = self._split_heads(self.k_proj(x))
+        value = self._split_heads(self.v_proj(x))
+        attended = F.scaled_dot_product_attention(query, key, value, mask=mask)
+        return self.out_proj(self._merge_heads(attended))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block (attention + feed-forward)."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else init.seeded_rng()
+        self.attention = MultiHeadSelfAttention(d_model, num_heads, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.ff = Sequential(
+            Linear(d_model, d_ff, rng=rng),
+            GELU(),
+            Linear(d_ff, d_model, rng=rng),
+        )
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.dropout(self.attention(self.norm1(x), mask=mask))
+        x = x + self.dropout(self.ff(self.norm2(x)))
+        return x
+
+
+class ResidualBlock(Module):
+    """Basic residual block: two 3x3 convolutions with an identity shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else init.seeded_rng()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride,
+                            padding=1, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1,
+                            padding=1, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class FireModule(Module):
+    """SqueezeNet fire module: squeeze 1x1 then expand with 1x1 and 3x3."""
+
+    def __init__(self, in_channels: int, squeeze_channels: int,
+                 expand_channels: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else init.seeded_rng()
+        self.squeeze = Conv2d(in_channels, squeeze_channels, 1, rng=rng)
+        self.expand1x1 = Conv2d(squeeze_channels, expand_channels, 1, rng=rng)
+        self.expand3x3 = Conv2d(squeeze_channels, expand_channels, 3, padding=1,
+                                rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        squeezed = self.squeeze(x).relu()
+        return cat([self.expand1x1(squeezed).relu(),
+                    self.expand3x3(squeezed).relu()], axis=1)

@@ -1,0 +1,76 @@
+"""Loss functions for the torchlike substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "L1Loss", "NLLLoss",
+           "cross_entropy", "mse_loss", "l1_loss", "nll_loss"]
+
+
+def _as_index_array(target) -> np.ndarray:
+    if isinstance(target, Tensor):
+        target = target.data
+    return np.asarray(target, dtype=np.int64)
+
+
+def cross_entropy(logits: Tensor, target) -> Tensor:
+    """Mean cross-entropy between raw ``logits`` and integer class ``target``.
+
+    ``logits`` has shape ``(batch, classes)`` (or ``(batch, seq, classes)``,
+    in which case the loss averages over both batch and sequence positions).
+    """
+    target = _as_index_array(target)
+    log_probs = logits.log_softmax(axis=-1)
+    if log_probs.ndim == 3:
+        batch, seq, classes = log_probs.shape
+        log_probs = log_probs.reshape(batch * seq, classes)
+        target = target.reshape(-1)
+    rows = np.arange(target.shape[0])
+    picked = log_probs[rows, target]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, target) -> Tensor:
+    """Negative log-likelihood given precomputed log-probabilities."""
+    target = _as_index_array(target)
+    rows = np.arange(target.shape[0])
+    return -log_probs[rows, target].mean()
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    return (prediction - target_t).abs().mean()
+
+
+class CrossEntropyLoss(Module):
+    """Module wrapper around :func:`cross_entropy`."""
+
+    def forward(self, logits: Tensor, target) -> Tensor:
+        return cross_entropy(logits, target)
+
+
+class NLLLoss(Module):
+    def forward(self, log_probs: Tensor, target) -> Tensor:
+        return nll_loss(log_probs, target)
+
+
+class MSELoss(Module):
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return mse_loss(prediction, target)
+
+
+class L1Loss(Module):
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return l1_loss(prediction, target)

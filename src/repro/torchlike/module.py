@@ -1,0 +1,158 @@
+"""Module and Parameter abstractions (the ``torch.nn.Module`` analogue).
+
+Modules are containers of :class:`Parameter` tensors and nested sub-modules.
+They provide the ``state_dict`` / ``load_state_dict`` protocol that Flor's
+lean checkpointing relies on: a Loop End Checkpoint of a model is its state
+dict, and restoring a checkpoint loads that dict back into the live object.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a Module."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(data, requires_grad=requires_grad)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape})"
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` objects and other :class:`Module`
+    instances as attributes; ``parameters()``, ``state_dict()`` and friends
+    discover them automatically, in attribute-assignment order.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable array that belongs in the state dict."""
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}{name}", buffer)
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{mod_name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for mod_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{mod_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in this module tree."""
+        return sum(int(p.size) for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Training state
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Serialization (the interface lean checkpointing uses)
+    # ------------------------------------------------------------------ #
+    def state_dict(self, prefix: str = "") -> "OrderedDict[str, np.ndarray]":
+        """Return a flat mapping of parameter/buffer names to array copies."""
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, param in self._parameters.items():
+            state[f"{prefix}{name}"] = param.data.copy()
+        for name, buffer in self._buffers.items():
+            state[f"{prefix}{name}"] = np.array(buffer, copy=True)
+        for mod_name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{mod_name}."))
+        return state
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Load arrays from ``state`` into this module tree, in place."""
+        own_keys = set()
+        for name, param in self.named_parameters():
+            own_keys.add(name)
+            if name in state:
+                value = np.asarray(state[name], dtype=np.float32)
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: checkpoint has "
+                        f"{value.shape}, module expects {param.data.shape}")
+                param.data[...] = value
+        for name, buffer in self.named_buffers():
+            own_keys.add(name)
+            if name in state:
+                buffer[...] = np.asarray(state[name], dtype=np.float32)
+        if strict:
+            missing = own_keys - set(state)
+            unexpected = set(state) - own_keys
+            if missing or unexpected:
+                raise KeyError(
+                    f"state dict mismatch: missing={sorted(missing)} "
+                    f"unexpected={sorted(unexpected)}")
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"

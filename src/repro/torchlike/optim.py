@@ -1,0 +1,274 @@
+"""Optimizers and learning-rate schedulers.
+
+Two pieces of this module matter specifically to Flor (Section 5.2.1):
+
+* An :class:`Optimizer` mutates the model's parameters in place via
+  ``step()`` — the side-effect that static analysis of ``optimizer.step()``
+  cannot see.  Flor's changeset augmentation therefore encodes the fact
+  "the model may be updated via the optimizer": when an optimizer appears
+  in a loop's changeset, the parameters it manages are added as well.
+* An :class:`LRScheduler` mutates the optimizer's learning rate, the second
+  encoded fact ("the optimizer may be updated via the learning rate
+  schedule").
+
+Both classes expose ``state_dict`` / ``load_state_dict`` so that Loop End
+Checkpoints can capture and restore them exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable
+
+import numpy as np
+
+from .module import Parameter
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW",
+           "LRScheduler", "StepLR", "MultiStepLR", "CosineAnnealingLR",
+           "LambdaLR", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class; holds parameters and per-parameter state."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float,
+                 weight_decay: float = 0.0):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr < 0:
+            raise ValueError(f"invalid learning rate {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"invalid weight decay {weight_decay}")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.state: dict[int, dict[str, np.ndarray | int]] = {}
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint protocol
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Return a picklable snapshot of hyperparameters and per-param state."""
+        packed_state = {}
+        for index, param in enumerate(self.params):
+            entry = self.state.get(id(param))
+            if entry is not None:
+                packed_state[index] = {
+                    key: (value.copy() if isinstance(value, np.ndarray) else value)
+                    for key, value in entry.items()
+                }
+        return {
+            "lr": self.lr,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+            "state": packed_state,
+            "param_values": [p.data.copy() for p in self.params],
+        }
+
+    def load_state_dict(self, snapshot: dict, restore_params: bool = True) -> None:
+        """Restore hyperparameters, per-param state and (optionally) params."""
+        self.lr = float(snapshot["lr"])
+        self.weight_decay = float(snapshot["weight_decay"])
+        self._step_count = int(snapshot["step_count"])
+        self.state.clear()
+        for index, entry in snapshot["state"].items():
+            param = self.params[int(index)]
+            self.state[id(param)] = {
+                key: (value.copy() if isinstance(value, np.ndarray) else value)
+                for key, value in entry.items()
+            }
+        if restore_params:
+            for param, value in zip(self.params, snapshot["param_values"]):
+                param.data[...] = value
+
+    def managed_parameters(self) -> list[Parameter]:
+        """Parameters this optimizer mutates — used by changeset augmentation."""
+        return list(self.params)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        if momentum < 0:
+            raise ValueError(f"invalid momentum {momentum}")
+        self.momentum = float(momentum)
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                entry = self.state.setdefault(id(param), {})
+                velocity = entry.get("velocity")
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                entry["velocity"] = velocity
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba).  ``weight_decay`` here is L2-coupled."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.betas = betas
+        self.eps = eps
+
+    def _update(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        beta1, beta2 = self.betas
+        entry = self.state.setdefault(id(param), {})
+        exp_avg = entry.get("exp_avg")
+        exp_avg_sq = entry.get("exp_avg_sq")
+        step = int(entry.get("step", 0)) + 1
+        if exp_avg is None:
+            exp_avg = np.zeros_like(param.data)
+            exp_avg_sq = np.zeros_like(param.data)
+        exp_avg = beta1 * exp_avg + (1 - beta1) * grad
+        exp_avg_sq = beta2 * exp_avg_sq + (1 - beta2) * grad * grad
+        entry.update(exp_avg=exp_avg, exp_avg_sq=exp_avg_sq, step=step)
+        bias_correction1 = 1 - beta1 ** step
+        bias_correction2 = 1 - beta2 ** step
+        denom = np.sqrt(exp_avg_sq / bias_correction2) + self.eps
+        return (exp_avg / bias_correction1) / denom
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            param.data -= self.lr * self._update(param, grad)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the fine-tuning default)."""
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param in self.params:
+            if param.grad is None:
+                continue
+            if self.weight_decay:
+                param.data -= self.lr * self.weight_decay * param.data
+            param.data -= self.lr * self._update(param, param.grad)
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in place to a maximum global L2 norm; return the norm."""
+    params = [p for p in params if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad = param.grad * scale
+    return total
+
+
+# ---------------------------------------------------------------------- #
+# Learning-rate schedulers
+# ---------------------------------------------------------------------- #
+class LRScheduler:
+    """Base learning-rate scheduler; mutates ``optimizer.lr`` on ``step()``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    def state_dict(self) -> dict:
+        return {"base_lr": self.base_lr, "last_epoch": self.last_epoch,
+                "current_lr": self.optimizer.lr}
+
+    def load_state_dict(self, snapshot: dict) -> None:
+        self.base_lr = float(snapshot["base_lr"])
+        self.last_epoch = int(snapshot["last_epoch"])
+        self.optimizer.lr = float(snapshot["current_lr"])
+
+    def managed_optimizer(self) -> Optimizer:
+        """The optimizer this scheduler mutates — used by changeset augmentation."""
+        return self.optimizer
+
+
+class StepLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` at each epoch in ``milestones``."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Iterable[int],
+                 gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if self.last_epoch >= m)
+        return self.base_lr * self.gamma ** passed
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * progress))
+
+
+class LambdaLR(LRScheduler):
+    """Scale the base LR by a user-supplied function of the epoch index."""
+
+    def __init__(self, optimizer: Optimizer, lr_lambda: Callable[[int], float]):
+        super().__init__(optimizer)
+        self.lr_lambda = lr_lambda
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.lr_lambda(self.last_epoch)

@@ -1,0 +1,106 @@
+"""Saving and loading model / optimizer state (the ``torch.save`` analogue).
+
+Flor's checkpoint store ultimately persists *state dicts* produced here, so
+this module also reports payload sizes, which feed the storage-cost model
+(Table 4) and the adaptive-checkpointing controller.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import SerializationError
+from .module import Module
+from .optim import LRScheduler, Optimizer
+
+__all__ = ["save", "load", "state_nbytes", "snapshot_training_state",
+           "restore_training_state"]
+
+
+def save(obj, path: str | Path) -> int:
+    """Pickle ``obj`` to ``path``; return the number of bytes written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pragma: no cover - defensive
+        raise SerializationError(f"cannot serialize object to {path}: {exc}") from exc
+    path.write_bytes(payload)
+    return len(payload)
+
+
+def load(path: str | Path):
+    """Load an object previously written by :func:`save`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no saved object at {path}")
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def state_nbytes(state: dict) -> int:
+    """Approximate in-memory size of a state dict, in bytes."""
+    total = 0
+    for value in state.values():
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+        elif isinstance(value, dict):
+            total += state_nbytes(value)
+        elif isinstance(value, (list, tuple)):
+            total += sum(v.nbytes if isinstance(v, np.ndarray) else 64 for v in value)
+        else:
+            total += 64
+    return total
+
+
+def snapshot_training_state(model: Module | None = None,
+                            optimizer: Optimizer | None = None,
+                            scheduler: LRScheduler | None = None,
+                            extra: dict | None = None) -> dict:
+    """Build a picklable snapshot of the canonical training-state triple.
+
+    This is the payload of a Loop End Checkpoint when lean checkpointing
+    determines the training loop's changeset is {optimizer, model} (the
+    worked example in Section 5.2.1).
+    """
+    snapshot: dict = {}
+    if model is not None:
+        snapshot["model"] = model.state_dict()
+    if optimizer is not None:
+        snapshot["optimizer"] = optimizer.state_dict()
+    if scheduler is not None:
+        snapshot["scheduler"] = scheduler.state_dict()
+    if extra:
+        snapshot["extra"] = dict(extra)
+    return snapshot
+
+
+def restore_training_state(snapshot: dict, model: Module | None = None,
+                           optimizer: Optimizer | None = None,
+                           scheduler: LRScheduler | None = None) -> dict:
+    """Apply a snapshot produced by :func:`snapshot_training_state` in place.
+
+    Returns the ``extra`` mapping (empty dict when absent) so callers can
+    restore loose Python values themselves.
+    """
+    if model is not None and "model" in snapshot:
+        model.load_state_dict(snapshot["model"])
+    if optimizer is not None and "optimizer" in snapshot:
+        optimizer.load_state_dict(snapshot["optimizer"])
+    if scheduler is not None and "scheduler" in snapshot:
+        scheduler.load_state_dict(snapshot["scheduler"])
+    return dict(snapshot.get("extra", {}))
+
+
+def serialize_to_bytes(obj) -> bytes:
+    """Pickle ``obj`` to an in-memory byte string."""
+    buffer = io.BytesIO()
+    try:
+        pickle.dump(obj, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise SerializationError(f"cannot serialize object: {exc}") from exc
+    return buffer.getvalue()

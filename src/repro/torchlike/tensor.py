@@ -1,0 +1,584 @@
+"""A small reverse-mode autograd engine over NumPy arrays.
+
+This module is the foundation of ``repro.torchlike``, the PyTorch-like
+substrate the Flor reproduction trains against.  The paper's mechanisms only
+depend on the *shape* of PyTorch training code — tensors flowing through
+modules, an optimizer mutating parameters in-place, ``state_dict``-style
+serialization — so the substrate reproduces exactly those interfaces.
+
+Design notes
+------------
+* A :class:`Tensor` wraps a ``numpy.ndarray`` and, when ``requires_grad`` is
+  set, remembers the operation that produced it so gradients can flow
+  backwards through the graph.
+* Gradients accumulate into ``Tensor.grad`` (a plain ndarray), matching the
+  PyTorch convention that ``backward()`` adds rather than overwrites.
+* Broadcasting is supported for elementwise binary ops; gradients are
+  "unbroadcast" by summing over the broadcast axes.
+* ``no_grad()`` suspends graph construction; it is used by evaluation loops
+  and by the optimizers (parameter updates are not part of the graph).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones",
+           "randn", "rand", "arange", "empty", "full", "stack", "cat"]
+
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient graph construction."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether autograd graph construction is currently enabled."""
+    return _grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(self, data, requires_grad: bool = False, _parents: tuple = (),
+                 _op: str = "", dtype=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=dtype if dtype is not None else None)
+        if self.data.dtype == np.float64:
+            self.data = self.data.astype(np.float32)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = _parents if self.requires_grad else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def __float__(self) -> float:
+        return float(self.data.item())
+
+    def __int__(self) -> int:
+        return int(self.data.item())
+
+    def __bool__(self) -> bool:
+        return bool(self.data.item())
+
+    # Pickling / deep-copying a tensor drops its autograd graph (the graph
+    # holds closures and is meaningless outside the process that built it).
+    # This mirrors how checkpoints store values, not computation history.
+    def __getstate__(self) -> dict:
+        return {"data": self.data, "requires_grad": self.requires_grad,
+                "grad": self.grad}
+
+    def __setstate__(self, state: dict) -> None:
+        self.data = state["data"]
+        self.requires_grad = state["requires_grad"]
+        self.grad = state["grad"]
+        self._backward = None
+        self._parents = ()
+        self._op = ""
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (shared, not copied)."""
+        return self.data
+
+    def tolist(self):
+        return self.data.tolist()
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        out = Tensor(self.data.copy(), requires_grad=self.requires_grad,
+                     _parents=(self,), _op="clone")
+        if out.requires_grad:
+            def _backward(grad):
+                self._accumulate(grad)
+            out._backward = _backward
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data, dtype=np.float32)
+        self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Autograd driver
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate gradients from this tensor through the graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not "
+                               "require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar "
+                                   "tensors")
+            grad = np.ones_like(self.data, dtype=np.float32)
+        else:
+            grad = np.asarray(grad, dtype=np.float32)
+
+        # Topological order over the graph reachable from self.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def _binary_op(self, other, forward, backward_self, backward_other, op):
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = forward(self.data, other_t.data)
+        requires = self.requires_grad or other_t.requires_grad
+        out = Tensor(out_data, requires_grad=requires,
+                     _parents=(self, other_t), _op=op)
+        if out.requires_grad:
+            def _backward(grad):
+                if self.requires_grad:
+                    self._accumulate(
+                        _unbroadcast(backward_self(grad, self.data, other_t.data),
+                                     self.data.shape))
+                if other_t.requires_grad:
+                    other_t._accumulate(
+                        _unbroadcast(backward_other(grad, self.data, other_t.data),
+                                     other_t.data.shape))
+            out._backward = _backward
+        return out
+
+    def __add__(self, other):
+        return self._binary_op(
+            other, lambda a, b: a + b,
+            lambda g, a, b: g, lambda g, a, b: g, "add")
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        return self._binary_op(
+            other, lambda a, b: a - b,
+            lambda g, a, b: g, lambda g, a, b: -g, "sub")
+
+    def __rsub__(self, other):
+        return Tensor(other).__sub__(self)
+
+    def __mul__(self, other):
+        return self._binary_op(
+            other, lambda a, b: a * b,
+            lambda g, a, b: g * b, lambda g, a, b: g * a, "mul")
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other):
+        return self._binary_op(
+            other, lambda a, b: a / b,
+            lambda g, a, b: g / b, lambda g, a, b: -g * a / (b * b), "div")
+
+    def __rtruediv__(self, other):
+        return Tensor(other).__truediv__(self)
+
+    def __neg__(self):
+        return self * -1.0
+
+    def __pow__(self, exponent: float):
+        exponent = float(exponent)
+        out = Tensor(self.data ** exponent, requires_grad=self.requires_grad,
+                     _parents=(self,), _op="pow")
+        if out.requires_grad:
+            def _backward(grad):
+                self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
+            out._backward = _backward
+        return out
+
+    # Comparison operators return plain (non-differentiable) tensors.
+    def __gt__(self, other):
+        return Tensor(self.data > _as_array(other))
+
+    def __lt__(self, other):
+        return Tensor(self.data < _as_array(other))
+
+    def __ge__(self, other):
+        return Tensor(self.data >= _as_array(other))
+
+    def __le__(self, other):
+        return Tensor(self.data <= _as_array(other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Tensor(self.data == _as_array(other))
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    # ------------------------------------------------------------------ #
+    # Matrix multiplication
+    # ------------------------------------------------------------------ #
+    def __matmul__(self, other):
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data @ other_t.data
+        requires = self.requires_grad or other_t.requires_grad
+        out = Tensor(out_data, requires_grad=requires,
+                     _parents=(self, other_t), _op="matmul")
+        if out.requires_grad:
+            def _backward(grad):
+                a, b = self.data, other_t.data
+                if self.requires_grad:
+                    if b.ndim == 1:
+                        grad_a = np.outer(grad, b) if a.ndim == 2 else grad[..., None] * b
+                    else:
+                        grad_a = grad @ np.swapaxes(b, -1, -2)
+                    self._accumulate(_unbroadcast(grad_a, a.shape))
+                if other_t.requires_grad:
+                    if a.ndim == 1:
+                        grad_b = np.outer(a, grad)
+                    else:
+                        grad_b = np.swapaxes(a, -1, -2) @ grad
+                    other_t._accumulate(_unbroadcast(grad_b, b.shape))
+            out._backward = _backward
+        return out
+
+    def matmul(self, other):
+        return self.__matmul__(other)
+
+    # ------------------------------------------------------------------ #
+    # Unary math
+    # ------------------------------------------------------------------ #
+    def _unary_op(self, forward, backward, op):
+        out = Tensor(forward(self.data), requires_grad=self.requires_grad,
+                     _parents=(self,), _op=op)
+        if out.requires_grad:
+            def _backward(grad):
+                self._accumulate(backward(grad, self.data, out.data))
+            out._backward = _backward
+        return out
+
+    def exp(self):
+        return self._unary_op(np.exp, lambda g, x, y: g * y, "exp")
+
+    def log(self):
+        return self._unary_op(np.log, lambda g, x, y: g / x, "log")
+
+    def sqrt(self):
+        return self._unary_op(np.sqrt, lambda g, x, y: g / (2.0 * y), "sqrt")
+
+    def tanh(self):
+        return self._unary_op(np.tanh, lambda g, x, y: g * (1.0 - y * y), "tanh")
+
+    def sigmoid(self):
+        return self._unary_op(lambda x: 1.0 / (1.0 + np.exp(-x)),
+                              lambda g, x, y: g * y * (1.0 - y), "sigmoid")
+
+    def relu(self):
+        return self._unary_op(lambda x: np.maximum(x, 0.0),
+                              lambda g, x, y: g * (x > 0), "relu")
+
+    def abs(self):
+        return self._unary_op(np.abs, lambda g, x, y: g * np.sign(x), "abs")
+
+    def clip(self, low: float, high: float):
+        out = Tensor(np.clip(self.data, low, high),
+                     requires_grad=self.requires_grad, _parents=(self,), _op="clip")
+        if out.requires_grad:
+            def _backward(grad):
+                mask = (self.data >= low) & (self.data <= high)
+                self._accumulate(grad * mask)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad,
+                     _parents=(self,), _op="sum")
+        if out.requires_grad:
+            def _backward(grad):
+                grad = np.asarray(grad)
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                self._accumulate(np.broadcast_to(grad, self.data.shape).astype(np.float32))
+            out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False):
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False):
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad,
+                     _parents=(self,), _op="max")
+        if out.requires_grad:
+            def _backward(grad):
+                grad = np.asarray(grad)
+                expanded = self.data.max(axis=axis, keepdims=True)
+                mask = (self.data == expanded).astype(np.float32)
+                mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                self._accumulate(mask * grad)
+            out._backward = _backward
+        return out
+
+    def min(self, axis=None, keepdims: bool = False):
+        return (-(-self).max(axis=axis, keepdims=keepdims))
+
+    def argmax(self, axis=None):
+        return Tensor(np.argmax(self.data, axis=axis))
+
+    def argmin(self, axis=None):
+        return Tensor(np.argmin(self.data, axis=axis))
+
+    def norm(self):
+        """Frobenius (L2) norm as a scalar tensor."""
+        return (self * self).sum().sqrt()
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad,
+                     _parents=(self,), _op="reshape")
+        if out.requires_grad:
+            original = self.data.shape
+
+            def _backward(grad):
+                self._accumulate(grad.reshape(original))
+            out._backward = _backward
+        return out
+
+    def view(self, *shape):
+        return self.reshape(*shape)
+
+    def flatten(self, start_dim: int = 0):
+        shape = self.data.shape
+        new_shape = shape[:start_dim] + (-1,)
+        return self.reshape(*new_shape)
+
+    def transpose(self, *axes):
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = Tensor(self.data.transpose(axes), requires_grad=self.requires_grad,
+                     _parents=(self,), _op="transpose")
+        if out.requires_grad:
+            inverse = tuple(np.argsort(axes))
+
+            def _backward(grad):
+                self._accumulate(grad.transpose(inverse))
+            out._backward = _backward
+        return out
+
+    def swapaxes(self, axis1: int, axis2: int):
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index):
+        if isinstance(index, Tensor):
+            index = index.data
+        out = Tensor(self.data[index], requires_grad=self.requires_grad,
+                     _parents=(self,), _op="getitem")
+        if out.requires_grad:
+            def _backward(grad):
+                full = np.zeros_like(self.data, dtype=np.float32)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+            out._backward = _backward
+        return out
+
+    def unsqueeze(self, axis: int):
+        return self.reshape(*self.data.shape[:axis], 1, *self.data.shape[axis:])
+
+    def squeeze(self, axis: int | None = None):
+        out_data = np.squeeze(self.data, axis=axis)
+        return self.reshape(*out_data.shape)
+
+    # ------------------------------------------------------------------ #
+    # Softmax family (numerically stable, defined here for convenience)
+    # ------------------------------------------------------------------ #
+    def softmax(self, axis: int = -1):
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        exp = shifted.exp()
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    def log_softmax(self, axis: int = -1):
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+# ---------------------------------------------------------------------- #
+# Factory helpers (mirroring the torch namespace)
+# ---------------------------------------------------------------------- #
+def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def full(shape: Sequence[int], value: float, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.full(shape, value, dtype=np.float32),
+                  requires_grad=requires_grad)
+
+
+def empty(*shape, requires_grad: bool = False) -> Tensor:
+    return zeros(*shape, requires_grad=requires_grad)
+
+
+def randn(*shape, requires_grad: bool = False, rng: np.random.Generator | None = None) -> Tensor:
+    generator = rng if rng is not None else np.random.default_rng()
+    return Tensor(generator.standard_normal(shape).astype(np.float32),
+                  requires_grad=requires_grad)
+
+
+def rand(*shape, requires_grad: bool = False, rng: np.random.Generator | None = None) -> Tensor:
+    generator = rng if rng is not None else np.random.default_rng()
+    return Tensor(generator.random(shape).astype(np.float32),
+                  requires_grad=requires_grad)
+
+
+def arange(*args, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.arange(*args, dtype=np.float32), requires_grad=requires_grad)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(out_data, requires_grad=requires, _parents=tuple(tensors), _op="stack")
+    if out.requires_grad:
+        def _backward(grad):
+            pieces = np.split(grad, len(tensors), axis=axis)
+            for piece, parent in zip(pieces, tensors):
+                if parent.requires_grad:
+                    parent._accumulate(np.squeeze(piece, axis=axis))
+        out._backward = _backward
+    return out
+
+
+def cat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(out_data, requires_grad=requires, _parents=tuple(tensors), _op="cat")
+    if out.requires_grad:
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def _backward(grad):
+            for i, parent in enumerate(tensors):
+                if parent.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(offsets[i], offsets[i + 1])
+                    parent._accumulate(grad[tuple(slicer)])
+        out._backward = _backward
+    return out

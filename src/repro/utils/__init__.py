@@ -1,0 +1,16 @@
+"""Small shared utilities: timers, deterministic naming, hashing."""
+
+from .timing import Stopwatch, VirtualClock, format_duration
+from .naming import new_run_id, slugify
+from .hashing import stable_hash, digest_bytes, digest_file
+
+__all__ = [
+    "Stopwatch",
+    "VirtualClock",
+    "format_duration",
+    "new_run_id",
+    "slugify",
+    "stable_hash",
+    "digest_bytes",
+    "digest_file",
+]

@@ -1,0 +1,33 @@
+"""Stable hashing utilities.
+
+The replayer fingerprints source files and checkpoint payloads so it can
+tell whether the code changed between record and replay (probe detection)
+and whether a payload on disk is the one the manifest promised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+
+def digest_bytes(data: bytes) -> str:
+    """Hex SHA-256 digest of a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_file(path: str | Path, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 digest of a file's contents, streamed in chunks."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def stable_hash(text: str) -> str:
+    """Hex SHA-256 digest of a unicode string (UTF-8 encoded)."""
+    return digest_bytes(text.encode("utf-8"))

@@ -1,0 +1,35 @@
+"""Run naming helpers.
+
+Run identifiers need to be filesystem-safe (they become directory names in
+the checkpoint store) and unique across repeated executions on one machine.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+import uuid
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def slugify(text: str, max_length: int = 48) -> str:
+    """Turn arbitrary text into a lowercase, hyphen-separated slug.
+
+    >>> slugify("ResNet-152 on Cifar100!")
+    'resnet-152-on-cifar100'
+    """
+    slug = _SLUG_RE.sub("-", text.lower()).strip("-")
+    return slug[:max_length].strip("-") or "run"
+
+
+def new_run_id(name: str | None = None) -> str:
+    """Build a unique, sortable run identifier.
+
+    The identifier embeds a UTC timestamp (so runs sort chronologically on
+    disk) and a short random suffix (so concurrent runs never collide).
+    """
+    stamp = _dt.datetime.now(_dt.timezone.utc).strftime("%Y%m%dT%H%M%S")
+    suffix = uuid.uuid4().hex[:8]
+    prefix = slugify(name) if name else "flor"
+    return f"{prefix}-{stamp}-{suffix}"

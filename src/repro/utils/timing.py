@@ -1,0 +1,105 @@
+"""Timing helpers used by the recorder, the adaptive controller and the simulator.
+
+Two clocks appear in this codebase:
+
+* :class:`Stopwatch` measures real wall-clock intervals (used on the live
+  record/replay path to feed the adaptive checkpointing controller).
+* :class:`VirtualClock` is a deterministic, manually-advanced clock used by
+  the paper-scale simulator (``repro.sim``) so experiments are reproducible
+  and fast regardless of the machine running them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch with lap support.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> sw.start()
+    >>> _ = sum(range(1000))
+    >>> elapsed = sw.stop()
+    >>> elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed seconds since start."""
+        if self._start is None:
+            raise RuntimeError("stopwatch was never started")
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    def lap(self) -> float:
+        """Return seconds elapsed since ``start`` without stopping."""
+        if self._start is None:
+            raise RuntimeError("stopwatch was never started")
+        return time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds of the most recently completed interval."""
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@dataclass
+class VirtualClock:
+    """A deterministic clock advanced explicitly by the simulator.
+
+    The simulator models record/replay of hours-long training runs; using a
+    virtual clock keeps those experiments instantaneous and exactly
+    reproducible.
+    """
+
+    now: float = 0.0
+    history: list[tuple[float, str]] = field(default_factory=list)
+
+    def advance(self, seconds: float, label: str = "") -> float:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self.now += seconds
+        if label:
+            self.history.append((self.now, label))
+        return self.now
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self.history.clear()
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``format_duration(3725) == '1h 2m 5s'``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    whole = int(round(seconds))
+    hours, rem = divmod(whole, 3600)
+    minutes, secs = divmod(rem, 60)
+    parts: list[str] = []
+    if hours:
+        parts.append(f"{hours}h")
+    if minutes:
+        parts.append(f"{minutes}m")
+    if secs or not parts:
+        parts.append(f"{secs}s")
+    return " ".join(parts)

@@ -1,0 +1,23 @@
+"""Miniature versions of the paper's eight evaluation workloads (Table 3)."""
+
+from .models import (MiniJasper, MiniResNet, MiniRNNTranslator, MiniRoBERTa,
+                     MiniRoBERTaClassifier, MiniSqueezeNet, build_model_for)
+from .registry import WORKLOADS, WorkloadSpec, get_workload, workload_names
+from .synthetic_data import (synthetic_image_classification,
+                             synthetic_language_modeling,
+                             synthetic_speech_frames,
+                             synthetic_text_classification,
+                             synthetic_translation_pairs)
+from .training import (TrainingSetup, build_training_script, dataset_for,
+                       make_training_setup, run_vanilla_training)
+
+__all__ = [
+    "WorkloadSpec", "WORKLOADS", "get_workload", "workload_names",
+    "MiniSqueezeNet", "MiniResNet", "MiniRoBERTa", "MiniRoBERTaClassifier",
+    "MiniJasper", "MiniRNNTranslator", "build_model_for",
+    "synthetic_image_classification", "synthetic_text_classification",
+    "synthetic_language_modeling", "synthetic_speech_frames",
+    "synthetic_translation_pairs",
+    "TrainingSetup", "dataset_for", "make_training_setup",
+    "build_training_script", "run_vanilla_training",
+]

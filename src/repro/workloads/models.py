@@ -1,0 +1,210 @@
+"""Miniature versions of the paper's model architectures (Table 3).
+
+These models keep the *architectural family* of the originals — SqueezeNet's
+fire modules, ResNet's residual blocks, RoBERTa's transformer encoder,
+Jasper's stacked convolutions, an attention-equipped recurrent translator —
+at a few thousand parameters each, so the live experiments train in seconds
+while exercising the same kinds of state (conv kernels, batch-norm buffers,
+embeddings, attention projections, recurrent cells) that Flor checkpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import torchlike as tl
+from ..torchlike import functional as F
+
+__all__ = ["MiniSqueezeNet", "MiniResNet", "MiniRoBERTa",
+           "MiniRoBERTaClassifier", "MiniJasper", "MiniRNNTranslator",
+           "build_model_for"]
+
+
+class MiniSqueezeNet(tl.Module):
+    """SqueezeNet-style classifier: a stem convolution plus fire modules."""
+
+    def __init__(self, num_classes: int = 4, in_channels: int = 3,
+                 width: int = 16, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.stem = tl.Conv2d(in_channels, width, 3, stride=2, padding=1, rng=rng)
+        self.fire1 = tl.FireModule(width, width // 2, width, rng=rng)
+        self.fire2 = tl.FireModule(2 * width, width // 2, width, rng=rng)
+        self.pool = tl.MaxPool2d(2)
+        self.head = tl.Conv2d(2 * width, num_classes, 1, rng=rng)
+        self.global_pool = tl.GlobalAvgPool2d()
+
+    def forward(self, x: tl.Tensor) -> tl.Tensor:
+        out = self.stem(x).relu()
+        out = self.fire1(out)
+        out = self.pool(out)
+        out = self.fire2(out)
+        out = self.head(out)
+        return self.global_pool(out)
+
+
+class MiniResNet(tl.Module):
+    """ResNet-style classifier: stem, two residual stages, linear head."""
+
+    def __init__(self, num_classes: int = 4, in_channels: int = 3,
+                 width: int = 16, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.stem = tl.Conv2d(in_channels, width, 3, padding=1, rng=rng)
+        self.bn = tl.BatchNorm2d(width)
+        self.stage1 = tl.ResidualBlock(width, width, rng=rng)
+        self.stage2 = tl.ResidualBlock(width, 2 * width, stride=2, rng=rng)
+        self.global_pool = tl.GlobalAvgPool2d()
+        self.head = tl.Linear(2 * width, num_classes, rng=rng)
+
+    def forward(self, x: tl.Tensor) -> tl.Tensor:
+        out = self.bn(self.stem(x)).relu()
+        out = self.stage1(out)
+        out = self.stage2(out)
+        return self.head(self.global_pool(out))
+
+
+class MiniRoBERTa(tl.Module):
+    """RoBERTa-style transformer encoder producing per-token representations."""
+
+    def __init__(self, vocab_size: int = 50, d_model: int = 32,
+                 num_heads: int = 4, num_layers: int = 2, max_len: int = 64,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.d_model = d_model
+        self.token_embedding = tl.Embedding(vocab_size, d_model, rng=rng)
+        self.position_embedding = tl.Embedding(max_len, d_model, rng=rng)
+        self.layers = tl.Sequential(*[
+            tl.TransformerEncoderLayer(d_model, num_heads, 2 * d_model, rng=rng)
+            for _ in range(num_layers)])
+        self.norm = tl.LayerNorm(d_model)
+
+    def forward(self, token_ids) -> tl.Tensor:
+        if isinstance(token_ids, tl.Tensor):
+            token_ids = token_ids.data
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        seq_len = token_ids.shape[1]
+        positions = np.arange(seq_len, dtype=np.int64)[None, :].repeat(
+            token_ids.shape[0], axis=0)
+        hidden = self.token_embedding(token_ids) + self.position_embedding(positions)
+        hidden = self.layers(hidden)
+        return self.norm(hidden)
+
+
+class MiniRoBERTaClassifier(tl.Module):
+    """Sequence classifier: MiniRoBERTa encoder + mean-pool + linear head.
+
+    The fine-tuning workloads (RTE, CoLA) freeze the encoder and only train
+    the head, which is what makes their checkpoints large relative to their
+    per-epoch compute — the property adaptive checkpointing reacts to.
+    """
+
+    def __init__(self, num_classes: int = 2, vocab_size: int = 50,
+                 d_model: int = 32, freeze_encoder: bool = False,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.encoder = MiniRoBERTa(vocab_size=vocab_size, d_model=d_model, rng=rng)
+        self.head = tl.Linear(d_model, num_classes, rng=rng)
+        self.frozen_encoder = freeze_encoder
+        if freeze_encoder:
+            for parameter in self.encoder.parameters():
+                parameter.requires_grad = False
+
+    def trainable_parameters(self):
+        """Parameters the optimizer should update (respects freezing)."""
+        return [p for p in self.parameters() if p.requires_grad]
+
+    def forward(self, token_ids) -> tl.Tensor:
+        hidden = self.encoder(token_ids)
+        pooled = hidden.mean(axis=1)
+        return self.head(pooled)
+
+
+class MiniJasper(tl.Module):
+    """Jasper-style acoustic model: stacked convolutions over spectrograms."""
+
+    def __init__(self, num_classes: int = 4, width: int = 16,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.block1 = tl.Sequential(
+            tl.Conv2d(1, width, 3, padding=1, rng=rng),
+            tl.BatchNorm2d(width), tl.ReLU())
+        self.block2 = tl.Sequential(
+            tl.Conv2d(width, width, 3, padding=1, rng=rng),
+            tl.BatchNorm2d(width), tl.ReLU(), tl.MaxPool2d(2))
+        self.global_pool = tl.GlobalAvgPool2d()
+        self.head = tl.Linear(width, num_classes, rng=rng)
+
+    def forward(self, x: tl.Tensor) -> tl.Tensor:
+        out = self.block1(x)
+        out = self.block2(out)
+        return self.head(self.global_pool(out))
+
+
+class MiniRNNTranslator(tl.Module):
+    """Recurrent encoder-decoder with attention (the RNN-T-style workload)."""
+
+    def __init__(self, vocab_size: int = 40, d_model: int = 16,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.vocab_size = vocab_size
+        self.d_model = d_model
+        self.embedding = tl.Embedding(vocab_size, d_model, rng=rng)
+        self.encoder_cell = tl.LSTMCell(d_model, d_model, rng=rng)
+        self.decoder_cell = tl.LSTMCell(d_model, d_model, rng=rng)
+        self.attention_proj = tl.Linear(d_model, d_model, rng=rng)
+        self.output = tl.Linear(2 * d_model, vocab_size, rng=rng)
+
+    def forward(self, source_ids, target_len: int | None = None) -> tl.Tensor:
+        if isinstance(source_ids, tl.Tensor):
+            source_ids = source_ids.data
+        source_ids = np.asarray(source_ids, dtype=np.int64)
+        batch, seq_len = source_ids.shape
+        target_len = target_len or seq_len
+
+        embedded = self.embedding(source_ids)          # (batch, seq, d)
+        encoder_states = []
+        state = None
+        for position in range(seq_len):
+            hidden, cell = self.encoder_cell(embedded[:, position, :], state)
+            state = (hidden, cell)
+            encoder_states.append(hidden)
+        memory = tl.stack(encoder_states, axis=1)       # (batch, seq, d)
+
+        logits = []
+        decoder_state = state
+        decoder_input = hidden
+        for _position in range(target_len):
+            hidden, cell = self.decoder_cell(decoder_input, decoder_state)
+            decoder_state = (hidden, cell)
+            query = self.attention_proj(hidden).unsqueeze(1)   # (batch, 1, d)
+            context = F.scaled_dot_product_attention(query, memory, memory)
+            context = context.reshape(batch, self.d_model)
+            combined = tl.cat([hidden, context], axis=1)
+            logits.append(self.output(combined))
+            decoder_input = hidden
+        return tl.stack(logits, axis=1)                  # (batch, tgt, vocab)
+
+
+def build_model_for(workload_name: str, rng: np.random.Generator | None = None
+                    ) -> tl.Module:
+    """Construct the miniature model matching a Table 3 workload name."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    name = workload_name.lower()
+    if name in ("cifr", "imgn"):
+        return MiniSqueezeNet(rng=rng)
+    if name == "rsnt":
+        return MiniResNet(rng=rng)
+    if name in ("rte", "cola"):
+        return MiniRoBERTaClassifier(freeze_encoder=True, rng=rng)
+    if name == "wiki":
+        return MiniRoBERTaClassifier(freeze_encoder=False, rng=rng)
+    if name == "jasp":
+        return MiniJasper(rng=rng)
+    if name == "rnnt":
+        return MiniRNNTranslator(rng=rng)
+    raise ValueError(f"no miniature model for workload {workload_name!r}")

@@ -1,0 +1,145 @@
+"""The evaluation workload catalogue (Table 3).
+
+Each entry carries two parameterisations:
+
+* the **paper-scale** parameters (epochs, wall-clock training time on the
+  paper's 4×V100 testbed, gzip-compressed checkpoint size from Table 4, and
+  whether the workload trains from scratch or fine-tunes) — these drive the
+  paper-scale simulator in :mod:`repro.sim`;
+* a **miniature** parameterisation (dataset size, model width, epochs) that
+  trains in seconds on CPU against :mod:`repro.torchlike` — these drive the
+  live end-to-end experiments and tests.
+
+Training times are taken from Figure 11 (hours, vanilla execution) and
+checkpoint sizes from Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import WorkloadError
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "get_workload", "workload_names"]
+
+_MB = 1024 ** 2
+_GB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of Table 3, with the measurements the evaluation relies on."""
+
+    name: str
+    benchmark: str
+    task: str
+    model: str
+    dataset: str
+    mode: str                     # "train" or "fine-tune"
+    epochs: int
+    # Paper-scale measurements (the simulator's inputs).
+    vanilla_hours: float          # Figure 11: training time without Flor
+    checkpoint_nbytes: int        # Table 4: gzip-compressed checkpoints / run
+    record_overhead_adaptive: float      # Figure 7 / 11: with adaptive ckpt
+    record_overhead_nonadaptive: float   # Figure 7: adaptivity disabled
+    outer_probe_speedup: float    # Figure 12 (top): partial replay speedup
+    # Miniature parameterisation (live experiments).
+    mini_epochs: int = 6
+    mini_dataset_size: int = 96
+    mini_batch_size: int = 16
+    mini_hidden: int = 32
+
+    @property
+    def is_fine_tune(self) -> bool:
+        return self.mode == "fine-tune"
+
+    @property
+    def vanilla_seconds(self) -> float:
+        return self.vanilla_hours * 3600.0
+
+    @property
+    def epoch_seconds(self) -> float:
+        """Vanilla time of one main-loop iteration at paper scale."""
+        return self.vanilla_seconds / self.epochs
+
+    @property
+    def checkpoint_nbytes_per_epoch(self) -> float:
+        """Approximate bytes of checkpoint state written per memoized epoch."""
+        return self.checkpoint_nbytes / self.epochs
+
+
+# Paper-scale numbers: epochs/benchmarks/models from Table 3, checkpoint
+# sizes from Table 4, training hours read off Figure 11, overheads from
+# Figures 7 and 11, and outer-probe replay speedups from Figure 12 (top).
+WORKLOADS: dict[str, WorkloadSpec] = {
+    "RTE": WorkloadSpec(
+        name="RTE", benchmark="GLUE", task="Recognizing Textual Entailment",
+        model="RoBERTa", dataset="RTE", mode="fine-tune", epochs=200,
+        vanilla_hours=2.5, checkpoint_nbytes=14 * _GB,
+        record_overhead_adaptive=0.055, record_overhead_nonadaptive=0.91,
+        outer_probe_speedup=7.0,
+        mini_epochs=6, mini_dataset_size=64, mini_batch_size=16, mini_hidden=32),
+    "CoLA": WorkloadSpec(
+        name="CoLA", benchmark="GLUE", task="Language Acceptability",
+        model="RoBERTa", dataset="CoLA", mode="fine-tune", epochs=80,
+        vanilla_hours=1.8, checkpoint_nbytes=15 * _GB,
+        record_overhead_adaptive=0.05, record_overhead_nonadaptive=0.28,
+        outer_probe_speedup=9.0,
+        mini_epochs=6, mini_dataset_size=64, mini_batch_size=16, mini_hidden=32),
+    "Cifr": WorkloadSpec(
+        name="Cifr", benchmark="Classic CV", task="Image Classification",
+        model="Squeezenet", dataset="Cifar100", mode="train", epochs=200,
+        vanilla_hours=1.0, checkpoint_nbytes=705 * _MB,
+        record_overhead_adaptive=0.013, record_overhead_nonadaptive=0.018,
+        outer_probe_speedup=64.0,
+        mini_epochs=6, mini_dataset_size=96, mini_batch_size=16, mini_hidden=16),
+    "RsNt": WorkloadSpec(
+        name="RsNt", benchmark="Classic CV", task="Image Classification",
+        model="ResNet-152", dataset="Cifar100", mode="train", epochs=200,
+        vanilla_hours=16.0, checkpoint_nbytes=39 * _GB,
+        record_overhead_adaptive=0.014, record_overhead_nonadaptive=0.02,
+        outer_probe_speedup=870.0,
+        mini_epochs=6, mini_dataset_size=96, mini_batch_size=16, mini_hidden=16),
+    "Wiki": WorkloadSpec(
+        name="Wiki", benchmark="GLUE", task="Language Modeling",
+        model="RoBERTa", dataset="Wiki", mode="train", epochs=12,
+        vanilla_hours=20.0, checkpoint_nbytes=14 * _GB,
+        record_overhead_adaptive=0.01, record_overhead_nonadaptive=0.012,
+        outer_probe_speedup=1123.0,
+        mini_epochs=4, mini_dataset_size=64, mini_batch_size=8, mini_hidden=32),
+    "Jasp": WorkloadSpec(
+        name="Jasp", benchmark="MLPerf", task="Speech Recognition",
+        model="Jasper", dataset="LibriSpeech", mode="train", epochs=4,
+        vanilla_hours=14.0, checkpoint_nbytes=2 * _GB,
+        record_overhead_adaptive=0.012, record_overhead_nonadaptive=0.015,
+        outer_probe_speedup=340.0,
+        mini_epochs=4, mini_dataset_size=48, mini_batch_size=8, mini_hidden=16),
+    "ImgN": WorkloadSpec(
+        name="ImgN", benchmark="Classic CV", task="Image Classification",
+        model="Squeezenet", dataset="ImageNet", mode="train", epochs=8,
+        vanilla_hours=10.0, checkpoint_nbytes=51 * _MB,
+        record_overhead_adaptive=0.01, record_overhead_nonadaptive=0.013,
+        outer_probe_speedup=410.0,
+        mini_epochs=4, mini_dataset_size=64, mini_batch_size=16, mini_hidden=16),
+    "RnnT": WorkloadSpec(
+        name="RnnT", benchmark="MLPerf", task="Language Translation",
+        model="RNN w/ Attention", dataset="WMT16", mode="train", epochs=8,
+        vanilla_hours=12.0, checkpoint_nbytes=29 * _GB,
+        record_overhead_adaptive=0.015, record_overhead_nonadaptive=0.02,
+        outer_probe_speedup=290.0,
+        mini_epochs=4, mini_dataset_size=48, mini_batch_size=8, mini_hidden=16),
+}
+
+
+def workload_names() -> list[str]:
+    """Names of all eight workloads, in Table 3 order."""
+    return list(WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by its Table 3 name (case-insensitive)."""
+    for key, spec in WORKLOADS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise WorkloadError(
+        f"unknown workload {name!r}; known workloads: {workload_names()}")

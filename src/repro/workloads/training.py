@@ -1,0 +1,164 @@
+"""Runnable miniature training workloads.
+
+Two entry points per workload:
+
+* :func:`build_training_script` returns the *source text* of a plain
+  training script (the same nested-loop shape as Figure 2).  This is what
+  the auto-instrumentation path records: ``flor.record_script`` /
+  ``flor.record_source`` instrument it, and hindsight probes are added to it
+  later as ordinary source edits.
+* :func:`make_training_setup` returns live objects (model, loader,
+  optimizer, scheduler, criterion) for code that drives training through the
+  explicit ``flor.loop`` / ``flor.skipblock`` API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import torchlike as tl
+from ..exceptions import WorkloadError
+from . import models, synthetic_data
+from .registry import WorkloadSpec, get_workload
+
+__all__ = ["TrainingSetup", "dataset_for", "make_training_setup",
+           "build_training_script", "run_vanilla_training"]
+
+
+@dataclass
+class TrainingSetup:
+    """Live objects for one miniature workload's training loop."""
+
+    spec: WorkloadSpec
+    net: tl.Module
+    trainloader: tl.DataLoader
+    optimizer: tl.Optimizer
+    scheduler: tl.LRScheduler
+    criterion: tl.Module
+    wrap_inputs: bool  # whether batches must be wrapped in a Tensor (images)
+
+
+def dataset_for(spec: WorkloadSpec, seed: int = 0) -> tl.Dataset:
+    """Build the synthetic dataset matching a workload's modality."""
+    name = spec.name.lower()
+    if name in ("cifr", "rsnt", "imgn"):
+        return synthetic_data.synthetic_image_classification(
+            num_samples=spec.mini_dataset_size, seed=seed)
+    if name in ("rte", "cola"):
+        return synthetic_data.synthetic_text_classification(
+            num_samples=spec.mini_dataset_size, seed=seed)
+    if name == "wiki":
+        return synthetic_data.synthetic_text_classification(
+            num_samples=spec.mini_dataset_size, seed=seed)
+    if name == "jasp":
+        return synthetic_data.synthetic_speech_frames(
+            num_samples=spec.mini_dataset_size, seed=seed)
+    if name == "rnnt":
+        return synthetic_data.synthetic_translation_pairs(
+            num_samples=spec.mini_dataset_size, seed=seed)
+    raise WorkloadError(f"no dataset builder for workload {spec.name!r}")
+
+
+def make_training_setup(workload_name: str, seed: int = 0) -> TrainingSetup:
+    """Build model, data, optimizer and scheduler for a miniature workload."""
+    spec = get_workload(workload_name)
+    rng = np.random.default_rng(seed)
+    dataset = dataset_for(spec, seed=seed)
+    trainloader = tl.DataLoader(dataset, batch_size=spec.mini_batch_size,
+                                shuffle=True, seed=seed)
+    net = models.build_model_for(spec.name, rng=rng)
+
+    trainable = [p for p in net.parameters() if p.requires_grad]
+    if spec.is_fine_tune:
+        optimizer: tl.Optimizer = tl.AdamW(trainable, lr=5e-3, weight_decay=0.01)
+    else:
+        optimizer = tl.SGD(trainable, lr=0.02, momentum=0.9)
+    scheduler = tl.StepLR(optimizer, step_size=max(spec.mini_epochs // 2, 1),
+                          gamma=0.5)
+    criterion = tl.CrossEntropyLoss()
+    wrap_inputs = spec.name.lower() in ("cifr", "rsnt", "imgn", "jasp")
+    return TrainingSetup(spec=spec, net=net, trainloader=trainloader,
+                         optimizer=optimizer, scheduler=scheduler,
+                         criterion=criterion, wrap_inputs=wrap_inputs)
+
+
+_SCRIPT_TEMPLATE = '''\
+"""Miniature {name} training script ({task}; {mode})."""
+import numpy as np
+from repro import api as flor
+from repro import torchlike as tl
+from repro.workloads.training import make_training_setup
+
+setup = make_training_setup({name!r}, seed={seed})
+net = setup.net
+trainloader = setup.trainloader
+optimizer = setup.optimizer
+scheduler = setup.scheduler
+criterion = setup.criterion
+
+
+def evaluate(model):
+    """Mean training-set accuracy (the user-observable metric that gets logged)."""
+    correct = 0
+    total = 0
+    with tl.no_grad():
+        for inputs, targets in trainloader:
+            logits = model({forward})
+            predictions = logits.argmax(axis=-1).numpy()
+            correct += int((predictions == targets).sum())
+            total += int(np.prod(targets.shape))
+    return correct / max(total, 1)
+
+
+for epoch in range({epochs}):
+    trainloader.set_epoch(epoch)
+    for inputs, targets in trainloader:
+        logits = net({forward})
+        loss = criterion(logits, targets)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    scheduler.step()
+    flor.log("train_loss", loss.item())
+    flor.log("accuracy", evaluate(net))
+'''
+
+
+def build_training_script(workload_name: str, epochs: int | None = None,
+                          seed: int = 0) -> str:
+    """Return the source text of a plain (uninstrumented) training script."""
+    spec = get_workload(workload_name)
+    wrap_inputs = spec.name.lower() in ("cifr", "rsnt", "imgn", "jasp")
+    forward = "tl.Tensor(inputs)" if wrap_inputs else "inputs"
+    return _SCRIPT_TEMPLATE.format(
+        name=spec.name, task=spec.task, mode=spec.mode, seed=seed,
+        epochs=epochs if epochs is not None else spec.mini_epochs,
+        forward=forward)
+
+
+def run_vanilla_training(workload_name: str, epochs: int | None = None,
+                         seed: int = 0) -> list[float]:
+    """Train a miniature workload without Flor; return the per-epoch losses.
+
+    This is the "vanilla execution" the evaluation compares against: same
+    work, same logging volume, no checkpointing.
+    """
+    setup = make_training_setup(workload_name, seed=seed)
+    spec = setup.spec
+    epochs = epochs if epochs is not None else spec.mini_epochs
+    losses: list[float] = []
+    for epoch in range(epochs):
+        setup.trainloader.set_epoch(epoch)
+        loss = None
+        for inputs, targets in setup.trainloader:
+            batch = tl.Tensor(inputs) if setup.wrap_inputs else inputs
+            logits = setup.net(batch)
+            loss = setup.criterion(logits, targets)
+            setup.optimizer.zero_grad()
+            loss.backward()
+            setup.optimizer.step()
+        setup.scheduler.step()
+        losses.append(float(loss.item()))
+    return losses

@@ -1,0 +1,95 @@
+"""Tests for runtime changeset augmentation with library knowledge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import torchlike as tl
+from repro.analysis.augmentation import (augment_changeset,
+                                         clear_augmentation_rules,
+                                         default_rules,
+                                         register_augmentation_rule)
+
+
+@pytest.fixture(autouse=True)
+def _reset_rules():
+    """Keep the global augmentation registry clean across tests."""
+    clear_augmentation_rules()
+    yield
+    clear_augmentation_rules()
+
+
+def make_training_namespace():
+    rng = np.random.default_rng(0)
+    net = tl.Sequential(tl.Linear(4, 8, rng=rng), tl.ReLU(),
+                        tl.Linear(8, 2, rng=rng))
+    optimizer = tl.SGD(net.parameters(), lr=0.1)
+    scheduler = tl.StepLR(optimizer, step_size=2)
+    return {"net": net, "optimizer": optimizer, "scheduler": scheduler,
+            "criterion": tl.CrossEntropyLoss(), "epochs": 10}
+
+
+class TestBuiltInRules:
+    def test_optimizer_pulls_in_model(self):
+        """The paper's fact (a): the model may be updated via the optimizer."""
+        namespace = make_training_namespace()
+        augmented = augment_changeset({"optimizer"}, namespace)
+        assert augmented == {"optimizer", "net"}
+
+    def test_scheduler_pulls_in_optimizer_and_model(self):
+        """Fact (b) chains with fact (a) to a fixed point."""
+        namespace = make_training_namespace()
+        augmented = augment_changeset({"scheduler"}, namespace)
+        assert augmented == {"scheduler", "optimizer", "net"}
+
+    def test_plain_names_unchanged(self):
+        namespace = make_training_namespace()
+        assert augment_changeset({"epochs"}, namespace) == {"epochs"}
+
+    def test_missing_names_are_ignored(self):
+        namespace = make_training_namespace()
+        assert augment_changeset({"not_there"}, namespace) == {"not_there"}
+
+    def test_criterion_module_without_optimizer_not_expanded(self):
+        namespace = make_training_namespace()
+        assert augment_changeset({"criterion"}, namespace) == {"criterion"}
+
+    def test_does_not_pull_in_unrelated_model(self):
+        namespace = make_training_namespace()
+        other = tl.Linear(3, 3, rng=np.random.default_rng(1))
+        namespace["other_net"] = other
+        augmented = augment_changeset({"optimizer"}, namespace)
+        assert "other_net" not in augmented
+
+    def test_empty_changeset(self):
+        assert augment_changeset(set(), make_training_namespace()) == set()
+
+
+class TestRegistry:
+    def test_register_custom_rule(self):
+        calls = []
+
+        @register_augmentation_rule
+        def track_datasets(obj, namespace):
+            calls.append(obj)
+            if isinstance(obj, dict) and obj.get("kind") == "dataset":
+                return {name for name, value in namespace.items()
+                        if value is obj.get("paired")}
+            return set()
+
+        paired = object()
+        namespace = {"dataset": {"kind": "dataset", "paired": paired},
+                     "stats": paired}
+        augmented = augment_changeset({"dataset"}, namespace)
+        assert augmented == {"dataset", "stats"}
+        assert calls  # the custom rule ran
+
+    def test_clear_restores_defaults_only(self):
+        register_augmentation_rule(lambda obj, ns: {"spurious"})
+        clear_augmentation_rules()
+        namespace = make_training_namespace()
+        assert augment_changeset({"epochs"}, namespace) == {"epochs"}
+
+    def test_default_rules_are_two_pytorch_facts(self):
+        assert len(default_rules()) == 2

@@ -1,0 +1,135 @@
+"""Tests for AST instrumentation (SkipBlocks + Flor generator injection)."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.instrument import (BlockSpec, FLOR_MODULE_ALIAS,
+                                       instrument_source)
+from repro.exceptions import InstrumentationError
+
+TRAINING_SCRIPT = textwrap.dedent("""
+    loader = list(range(4))
+    state = {"count": 0}
+    history = []
+
+    for epoch in range(3):
+        for item in loader:
+            state["count"] = state["count"] + item
+        history.append(state["count"])
+""")
+
+
+class TestInstrumentation:
+    def test_main_loop_iterator_wrapped_in_flor_generator(self):
+        result = instrument_source(TRAINING_SCRIPT)
+        assert f"{FLOR_MODULE_ALIAS}.loop(range(3))" in result.instrumented_source
+        assert result.has_main_loop
+
+    def test_nested_loop_wrapped_in_skipblock(self):
+        result = instrument_source(TRAINING_SCRIPT)
+        assert "skipblock_0" in result.instrumented_source
+        assert "should_execute()" in result.instrumented_source
+        assert "end_from_namespace" in result.instrumented_source
+
+    def test_block_spec_line_range_refers_to_original_source(self):
+        result = instrument_source(TRAINING_SCRIPT)
+        spec = result.blocks["skipblock_0"]
+        lines = TRAINING_SCRIPT.splitlines()
+        assert "for item in loader:" in lines[spec.start_line - 1]
+        assert spec.end_line >= spec.start_line
+
+    def test_changeset_recorded_in_block_spec(self):
+        result = instrument_source(TRAINING_SCRIPT)
+        spec = result.blocks["skipblock_0"]
+        assert "state" in spec.changeset
+
+    def test_import_injected_once(self):
+        result = instrument_source(TRAINING_SCRIPT)
+        instrumented = result.instrumented_source
+        assert instrumented.count(f"import api as {FLOR_MODULE_ALIAS}") == 1
+        # Instrumenting the instrumented source must not add a second import.
+        again = instrument_source(instrumented)
+        assert again.instrumented_source.count(
+            f"import api as {FLOR_MODULE_ALIAS}") == 1
+
+    def test_instrumented_source_compiles(self):
+        result = instrument_source(TRAINING_SCRIPT)
+        compile(result.instrumented_source, "<instrumented>", "exec")
+
+    def test_instrumented_script_runs_standalone(self):
+        """Without an active session the instrumentation is a no-op wrapper."""
+        result = instrument_source(TRAINING_SCRIPT)
+        namespace: dict = {"__name__": "__main__"}
+        exec(compile(result.instrumented_source, "<test>", "exec"), namespace)
+        assert namespace["history"] == [6, 12, 18]
+
+    def test_script_without_nested_loop_left_untouched(self):
+        source = "total = 0\nfor x in range(5):\n    total += x\n"
+        result = instrument_source(source)
+        assert not result.has_main_loop
+        assert result.instrumented_source == source
+        assert result.blocks == {}
+
+    def test_uninstrumentable_nested_loop_reported_and_left_intact(self):
+        source = textwrap.dedent("""
+            for epoch in range(2):
+                for batch in range(3):
+                    helper(batch)
+                summarize()
+        """)
+        result = instrument_source(source)
+        assert result.blocks == {}
+        assert len(result.skipped_loops) == 1
+        lineno, reason = result.skipped_loops[0]
+        assert "rule 5" in reason
+
+    def test_multiple_nested_loops_get_distinct_ids(self):
+        source = textwrap.dedent("""
+            counters = {"a": 0, "b": 0}
+            for epoch in range(2):
+                for x in range(3):
+                    counters["a"] = counters["a"] + x
+                for y in range(3):
+                    counters["b"] = counters["b"] + y
+        """)
+        result = instrument_source(source)
+        assert set(result.blocks) == {"skipblock_0", "skipblock_1"}
+
+    def test_while_main_loop_is_rejected_for_generator_wrapping(self):
+        source = textwrap.dedent("""
+            epoch = 0
+            while epoch < 3:
+                for item in range(2):
+                    consume.add(item)
+                epoch = epoch + 1
+        """)
+        with pytest.raises(InstrumentationError, match="for-loop"):
+            instrument_source(source)
+
+    def test_syntax_error_raises_instrumentation_error(self):
+        with pytest.raises(InstrumentationError):
+            instrument_source("for epoch in range(3)\n    pass")
+
+    def test_empty_changeset_block_generates_plain_end_call(self):
+        source = textwrap.dedent("""
+            for epoch in range(2):
+                for _ in range(3):
+                    pass
+        """)
+        result = instrument_source(source)
+        assert "end_from_namespace([]" in result.instrumented_source
+
+
+class TestBlockSpec:
+    def test_contains_line(self):
+        spec = BlockSpec("b", start_line=5, end_line=9, changeset=("x",),
+                         loop_scoped=())
+        assert spec.contains_line(5) and spec.contains_line(9)
+        assert not spec.contains_line(4) and not spec.contains_line(10)
+
+    def test_dict_roundtrip(self):
+        spec = BlockSpec("b", 1, 3, ("net", "optimizer"), ("batch",))
+        assert BlockSpec.from_dict(spec.to_dict()) == spec

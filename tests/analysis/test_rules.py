@@ -1,0 +1,209 @@
+"""Tests for the Table 1 side-effect analysis rules."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.changeset import Changeset, RuleApplication
+from repro.analysis.rules import (apply_rules_to_statement, build_changeset,
+                                  call_base_name, target_names)
+
+
+def first_statement(source: str) -> ast.stmt:
+    return ast.parse(source).body[0]
+
+
+def apply(source: str, existing: set[str] | None = None) -> RuleApplication | None:
+    changeset = Changeset(names=set(existing or ()))
+    return apply_rules_to_statement(first_statement(source), changeset)
+
+
+class TestIndividualRules:
+    def test_rule1_method_call_assignment(self):
+        application = apply("preds = net.forward(batch)")
+        assert application.rule == 1
+        assert application.delta == frozenset({"net", "preds"})
+
+    def test_rule1_chained_attribute_method(self):
+        application = apply("value = model.layers.head(x)")
+        assert application.rule == 1
+        assert "model" in application.delta and "value" in application.delta
+
+    def test_rule2_function_call_assignment(self):
+        application = apply("loss = criterion(preds, labels)")
+        assert application.rule == 2
+        assert application.delta == frozenset({"loss"})
+
+    def test_rule2_multiple_targets(self):
+        application = apply("a, b = divmod(x, y)")
+        assert application.rule == 2
+        assert application.delta == frozenset({"a", "b"})
+
+    def test_rule3_plain_assignment(self):
+        application = apply("total = a + b")
+        assert application.rule == 3
+        assert application.delta == frozenset({"total"})
+
+    def test_rule3_tuple_unpacking(self):
+        application = apply("x, y = y, x")
+        assert application.rule == 3
+        assert application.delta == frozenset({"x", "y"})
+
+    def test_rule3_starred_target(self):
+        application = apply("head, *rest = items")
+        assert application.delta == frozenset({"head", "rest"})
+
+    def test_rule4_bare_method_call(self):
+        application = apply("optimizer.step()")
+        assert application.rule == 4
+        assert application.delta == frozenset({"optimizer"})
+
+    def test_rule4_nested_attribute_call(self):
+        application = apply("model.encoder.layers.clear()")
+        assert application.rule == 4
+        assert application.delta == frozenset({"model"})
+
+    def test_rule5_bare_function_call_blocks(self):
+        application = apply("train_epoch(net, data)")
+        assert application.rule == 5
+        assert application.blocking
+        assert "train_epoch" in application.reason
+
+    def test_rule0_reassignment_of_modified_variable_blocks(self):
+        application = apply("loss = recompute()", existing={"loss"})
+        assert application.rule == 0
+        assert application.blocking
+        assert "loss" in application.reason
+
+    def test_rule0_has_precedence_over_rule1(self):
+        application = apply("preds = net.forward(x)", existing={"preds"})
+        assert application.rule == 0
+        assert application.blocking
+
+
+class TestSpecialForms:
+    def test_aug_assign_is_rule3_and_exempt_from_rule0(self):
+        application = apply("total += loss.item()", existing={"total"})
+        assert application.rule == 3
+        assert not application.blocking
+        assert application.delta == frozenset({"total"})
+
+    def test_attribute_target_mutates_base(self):
+        application = apply("config.lr = 0.1")
+        assert application.delta == frozenset({"config"})
+
+    def test_subscript_target_mutates_base(self):
+        application = apply("history[epoch] = loss")
+        assert application.delta == frozenset({"history"})
+
+    def test_annotated_assignment_with_value(self):
+        application = apply("count: int = 0")
+        assert application.rule == 3
+        assert application.delta == frozenset({"count"})
+
+    def test_annotated_assignment_without_value_ignored(self):
+        assert apply("count: int") is None
+
+    def test_non_call_non_assignment_ignored(self):
+        assert apply("x") is None
+        assert apply("pass") is None
+        assert apply("del x") is None
+
+    def test_anonymous_callable_is_rule5(self):
+        application = apply("callbacks[0](x)")
+        assert application.rule == 5
+        assert application.blocking
+
+
+class TestHelpers:
+    def test_target_names_tuple_and_attribute(self):
+        bound, mutated = target_names(first_statement("a, b.c = 1, 2").targets[0])
+        assert bound == {"a"}
+        assert mutated == {"b"}
+
+    def test_call_base_name_function_vs_method(self):
+        call = first_statement("f(x)").value
+        assert call_base_name(call) == ("f", False)
+        call = first_statement("obj.m(x)").value
+        assert call_base_name(call) == ("obj", True)
+
+
+class TestBuildChangeset:
+    def test_pytorch_style_training_loop(self):
+        """The Figure 6 nested training loop: changeset before filtering."""
+        source = (
+            "for batch in trainloader:\n"
+            "    optimizer.zero_grad()\n"
+            "    preds = net(batch)\n"
+            "    loss = criterion(preds, batch)\n"
+            "    loss.backward()\n"
+            "    optimizer.step()\n"
+        )
+        loop = first_statement(source)
+        changeset = build_changeset(loop)
+        assert not changeset.blocked
+        assert {"batch", "preds", "loss", "optimizer"} <= changeset.names
+
+    def test_loop_with_arbitrary_function_call_is_blocked(self):
+        source = (
+            "for epoch in range(10):\n"
+            "    train(net)\n"
+            "    validate(net)\n"
+        )
+        changeset = build_changeset(first_statement(source))
+        assert changeset.blocked
+        assert "rule 5" in changeset.blocking_reason
+
+    def test_nested_compound_statements_are_analyzed(self):
+        source = (
+            "for batch in loader:\n"
+            "    if use_amp:\n"
+            "        scaler.update()\n"
+            "    else:\n"
+            "        optimizer.step()\n"
+        )
+        changeset = build_changeset(first_statement(source))
+        assert {"scaler", "optimizer"} <= changeset.names
+
+    def test_while_loop_supported(self):
+        source = (
+            "while not converged:\n"
+            "    state = update(state)\n"
+        )
+        changeset = build_changeset(first_statement(source))
+        # Each statement is interpreted once: rule 2 adds {state}, nothing blocks.
+        assert not changeset.blocked
+        assert changeset.names == {"state"}
+
+    def test_while_loop_rule2_not_blocked(self):
+        source = (
+            "while not converged:\n"
+            "    value = compute(value)\n"
+            "    flag.set()\n"
+        )
+        changeset = build_changeset(first_statement(source))
+        assert not changeset.blocked
+        assert changeset.names == {"value", "flag"}
+
+    def test_explain_mentions_rules(self):
+        source = (
+            "for batch in loader:\n"
+            "    optimizer.step()\n"
+        )
+        changeset = build_changeset(first_statement(source))
+        explanation = changeset.explain()
+        assert "rule 4" in explanation
+        assert "optimizer" in explanation
+
+    def test_analysis_stops_at_blocking_statement(self):
+        source = (
+            "for epoch in range(2):\n"
+            "    mystery()\n"
+            "    optimizer.step()\n"
+        )
+        changeset = build_changeset(first_statement(source))
+        assert changeset.blocked
+        # The statement after the blocking call was never interpreted.
+        assert "optimizer" not in changeset.names

@@ -1,0 +1,174 @@
+"""Tests for scope analysis, loop discovery and whole-script analysis."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.loop_finder import analyze_loop, analyze_script, find_loops
+from repro.analysis.scope import (bound_names, loop_scoped_names,
+                                  names_bound_before, names_read_after)
+
+FIGURE6_SCRIPT = textwrap.dedent("""
+    import torchlike as tl
+
+    trainloader = make_loader()
+    net = make_model()
+    optimizer = tl.SGD(net.parameters(), lr=0.1)
+    criterion = tl.CrossEntropyLoss()
+
+    def evaluate(model):
+        return model.score()
+
+    for epoch in range(200):
+        for batch in trainloader:
+            optimizer.zero_grad()
+            preds = net(batch)
+            avg_loss = criterion(preds, batch)
+            avg_loss.backward()
+            optimizer.step()
+        print(evaluate(net))
+""")
+
+
+class TestScopeHelpers:
+    def test_bound_names_collects_assignments_imports_defs(self):
+        tree = ast.parse(FIGURE6_SCRIPT)
+        names = bound_names(tree)
+        assert {"tl", "trainloader", "net", "optimizer", "criterion",
+                "evaluate", "epoch", "batch", "preds", "avg_loss"} <= names
+
+    def test_bound_names_does_not_enter_nested_functions(self):
+        source = "def f():\n    inner = 1\nouter = 2\n"
+        names = bound_names(ast.parse(source))
+        assert "outer" in names and "f" in names
+        assert "inner" not in names
+
+    def test_names_bound_before_stops_at_target(self):
+        tree = ast.parse(FIGURE6_SCRIPT)
+        main_loop = next(node for node in tree.body if isinstance(node, ast.For))
+        before = names_bound_before(tree.body, main_loop)
+        assert {"trainloader", "net", "optimizer", "criterion"} <= before
+        assert "batch" not in before
+
+    def test_loop_scoped_names_matches_figure6(self):
+        tree = ast.parse(FIGURE6_SCRIPT)
+        main_loop = next(node for node in tree.body if isinstance(node, ast.For))
+        inner_loop = main_loop.body[0]
+        before = names_bound_before(tree.body, inner_loop)
+        scoped = loop_scoped_names(inner_loop, before)
+        assert scoped == {"batch", "preds", "avg_loss"}
+
+    def test_names_read_after_detects_later_reads(self):
+        source = textwrap.dedent("""
+            items = load()
+            for item in items:
+                total = accumulate(total_init)
+            print(total)
+        """)
+        tree = ast.parse(source)
+        loop = next(node for node in tree.body if isinstance(node, ast.For))
+        reads = names_read_after(loop, tree.body)
+        assert "total" in reads
+        assert "items" not in reads
+
+
+class TestFindLoops:
+    def test_depths_and_scopes(self):
+        loops = find_loops(ast.parse(FIGURE6_SCRIPT))
+        depths = sorted(depth for _, depth, _ in loops)
+        assert depths == [0, 1]
+
+    def test_loops_inside_functions_have_their_own_scope(self):
+        source = textwrap.dedent("""
+            def train():
+                for epoch in range(3):
+                    for batch in data:
+                        step(batch)
+        """)
+        loops = find_loops(ast.parse(source))
+        assert len(loops) == 2
+        assert {depth for _, depth, _ in loops} == {0, 1}
+
+    def test_loops_inside_try_and_with(self):
+        source = textwrap.dedent("""
+            with open("f") as handle:
+                for line in handle:
+                    process(line)
+            try:
+                for x in items:
+                    consume(x)
+            except ValueError:
+                for y in items:
+                    recover(y)
+        """)
+        loops = find_loops(ast.parse(source))
+        assert len(loops) == 3
+
+
+class TestAnalyzeScript:
+    def test_main_loop_is_outermost_loop_containing_nested_loop(self):
+        analysis = analyze_script(FIGURE6_SCRIPT)
+        main = analysis.main_loop
+        assert main is not None and main.is_main
+        assert main.depth == 0
+
+    def test_main_loop_is_not_instrumentable_due_to_print(self):
+        """Figure 6: the main loop contains `print(evaluate(net))` — rule 5."""
+        analysis = analyze_script(FIGURE6_SCRIPT)
+        assert not analysis.main_loop.instrumentable
+        assert "rule 5" in analysis.main_loop.blocking_reason
+
+    def test_nested_training_loop_changeset_is_optimizer(self):
+        """Figure 6's end state: after filtering, the changeset is {optimizer}."""
+        analysis = analyze_script(FIGURE6_SCRIPT)
+        nested = analysis.nested_loops()
+        assert len(nested) == 1
+        loop = nested[0]
+        assert loop.instrumentable
+        assert loop.changeset == {"optimizer"}
+        assert loop.loop_scoped == {"batch", "preds", "avg_loss"}
+
+    def test_script_without_nested_loops_has_no_main_loop(self):
+        analysis = analyze_script("for x in range(3):\n    y = f(x)\n")
+        assert analysis.main_loop is None
+        assert analysis.nested_loops() == []
+
+    def test_instrumentable_loops_excludes_blocked(self):
+        source = textwrap.dedent("""
+            for epoch in range(2):
+                for batch in loader:
+                    optimizer.step()
+                for batch in loader:
+                    helper(batch)
+        """)
+        analysis = analyze_script(source)
+        assert len(analysis.nested_loops()) == 2
+        assert len(analysis.instrumentable_loops()) == 1
+
+    def test_loop_scoped_variable_read_after_loop_is_retained(self):
+        source = textwrap.dedent("""
+            loader = make()
+            net = model()
+            for epoch in range(2):
+                for batch in loader:
+                    loss = criterion(net(batch), batch)
+                    loss.backward()
+                report(loss)
+        """)
+        analysis = analyze_script(source)
+        nested = analysis.nested_loops()[0]
+        assert "loss" in nested.changeset
+
+    def test_explain_includes_final_changeset(self):
+        analysis = analyze_script(FIGURE6_SCRIPT)
+        text = analysis.nested_loops()[0].explain()
+        assert "optimizer" in text
+        assert "loop-scoped" in text
+
+    def test_analyze_loop_direct(self):
+        tree = ast.parse("for i in range(3):\n    acc.update(i)\n")
+        loop = tree.body[0]
+        analysis = analyze_loop(loop, tree.body, depth=0, is_main=False)
+        assert analysis.instrumentable
+        assert analysis.changeset == {"acc"}

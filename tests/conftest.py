@@ -1,0 +1,40 @@
+"""Shared pytest fixtures.
+
+Every test that records or replays gets an isolated Flor home under the
+test's temporary directory, and the process-wide configuration is restored
+afterwards so tests cannot leak state into each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import FlorConfig
+
+
+@pytest.fixture()
+def flor_config(tmp_path):
+    """Install an isolated Flor configuration rooted in ``tmp_path``."""
+    config = FlorConfig(home=tmp_path / "flor_home",
+                        background_materialization="thread")
+    repro.set_config(config)
+    yield config
+    repro.reset_config()
+
+
+@pytest.fixture()
+def sequential_config(tmp_path):
+    """Configuration with synchronous materialization (deterministic timing)."""
+    config = FlorConfig(home=tmp_path / "flor_home",
+                        background_materialization="sequential")
+    repro.set_config(config)
+    yield config
+    repro.reset_config()
+
+
+@pytest.fixture()
+def rng():
+    """A seeded NumPy random generator for deterministic model init."""
+    return np.random.default_rng(0)

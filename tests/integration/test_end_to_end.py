@@ -1,0 +1,182 @@
+"""End-to-end integration tests: record a script, query it in hindsight.
+
+These tests exercise the full automatic pipeline — instrumentation, record,
+probe detection, partial replay, hindsight parallelism and the deferred
+correctness check — on a small but real training script.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+import repro
+from repro.modes import InitStrategy
+from repro.record.recorder import record_source
+from repro.replay.replayer import replay_script
+
+TRAINING_SCRIPT = textwrap.dedent("""
+    import numpy as np
+    from repro import api as flor
+    from repro import torchlike as tl
+
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((48, 6)).astype('float32')
+    y = (X[:, 0] + X[:, 1] > 0).astype('int64')
+    dataset = tl.TensorDataset(X, y)
+    trainloader = tl.DataLoader(dataset, batch_size=12, shuffle=True, seed=0)
+    net = tl.Sequential(tl.Linear(6, 12, rng=rng), tl.ReLU(),
+                        tl.Linear(12, 2, rng=rng))
+    optimizer = tl.SGD(net.parameters(), lr=0.2, momentum=0.9)
+    criterion = tl.CrossEntropyLoss()
+
+
+    def evaluate(model):
+        with tl.no_grad():
+            predictions = model(tl.Tensor(X)).argmax(axis=1).numpy()
+        return float((predictions == y).mean())
+
+
+    for epoch in range(5):
+        trainloader.set_epoch(epoch)
+        for batch_x, batch_y in trainloader:
+            logits = net(tl.Tensor(batch_x))
+            loss = criterion(logits, batch_y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        flor.log("train_loss", loss.item())
+        flor.log("accuracy", evaluate(net))
+""")
+
+INNER_PROBE = TRAINING_SCRIPT.replace(
+    "        optimizer.step()",
+    "        optimizer.step()\n"
+    "        flor.log(\"grad_norm\", float(sum(\n"
+    "            float((p.grad ** 2).sum()) for p in net.parameters()\n"
+    "            if p.grad is not None)))")
+
+OUTER_PROBE = TRAINING_SCRIPT.replace(
+    '    flor.log("accuracy", evaluate(net))',
+    '    flor.log("accuracy", evaluate(net))\n'
+    '    flor.log("weight_norm", float(sum(\n'
+    '        float((p ** 2).sum()) for p in net.parameters())))')
+
+assert INNER_PROBE != TRAINING_SCRIPT and OUTER_PROBE != TRAINING_SCRIPT
+
+
+@pytest.fixture()
+def recorded_run(flor_config):
+    """Record the base training script once per test."""
+    return record_source(TRAINING_SCRIPT, name="e2e")
+
+
+class TestRecordPhase:
+    def test_record_produces_checkpoints_logs_and_source(self, recorded_run,
+                                                         flor_config):
+        assert recorded_run.checkpoint_count == 5
+        assert recorded_run.stored_nbytes > 0
+        losses = [r.value for r in recorded_run.log_records
+                  if r.name == "train_loss"]
+        assert len(losses) == 5
+        assert losses[-1] < losses[0]  # training actually converges
+        run_dir = flor_config.run_dir(recorded_run.run_id)
+        assert (run_dir / "record.log").exists()
+        assert (run_dir / "source" / "script.py").exists()
+        assert (run_dir / "manifest.sqlite").exists()
+
+    def test_record_metadata_describes_blocks(self, recorded_run, flor_config):
+        from repro.storage.checkpoint_store import CheckpointStore
+        store = CheckpointStore(flor_config.run_dir(recorded_run.run_id))
+        blocks = store.get_metadata("blocks")
+        assert "skipblock_0" in blocks
+        assert "optimizer" in blocks["skipblock_0"]["changeset"]
+
+    def test_record_overhead_is_reported(self, recorded_run):
+        assert recorded_run.wall_seconds > 0
+        assert 0 <= recorded_run.overhead_fraction < 1
+
+
+class TestPartialReplay:
+    def test_unmodified_replay_skips_all_blocks_and_matches_logs(
+            self, recorded_run):
+        replay = replay_script(recorded_run.run_id)
+        assert replay.probed_blocks == set()
+        assert replay.consistency is not None
+        assert replay.consistency.consistent
+        record_losses = [r.value for r in recorded_run.log_records
+                         if r.name == "train_loss"]
+        assert replay.values("train_loss") == pytest.approx(record_losses)
+
+    def test_outer_probe_replay_produces_new_values_without_reexecution(
+            self, recorded_run):
+        replay = replay_script(recorded_run.run_id, new_source=OUTER_PROBE)
+        assert replay.probed_blocks == set()
+        weight_norms = replay.values("weight_norm")
+        assert len(weight_norms) == 5
+        assert all(value > 0 for value in weight_norms)
+        assert replay.consistency.consistent
+
+    def test_inner_probe_replay_reexecutes_training_loop(self, recorded_run):
+        replay = replay_script(recorded_run.run_id, new_source=INNER_PROBE)
+        assert replay.probed_blocks == {"skipblock_0"}
+        grad_norms = replay.values("grad_norm")
+        # 5 epochs x 4 batches of hindsight-logged gradient norms.
+        assert len(grad_norms) == 20
+        assert all(value >= 0 for value in grad_norms)
+        # Re-execution reproduces the recorded metrics exactly.
+        assert replay.consistency.consistent
+
+    def test_explicit_probe_override(self, recorded_run):
+        replay = replay_script(recorded_run.run_id,
+                               probed_blocks={"skipblock_0"})
+        assert replay.probed_blocks == {"skipblock_0"}
+        assert replay.consistency.consistent
+
+
+class TestHindsightParallelism:
+    @pytest.mark.parametrize("init_strategy",
+                             [InitStrategy.STRONG, InitStrategy.WEAK])
+    def test_parallel_replay_matches_record(self, recorded_run, init_strategy):
+        replay = replay_script(recorded_run.run_id, new_source=OUTER_PROBE,
+                               num_workers=2, init_strategy=init_strategy)
+        assert len(replay.worker_results) == 2
+        assert replay.succeeded
+        assert replay.consistency.consistent
+        assert len(replay.values("weight_norm")) == 5
+        covered = sorted(index for worker in replay.worker_results
+                         for index in worker.iterations)
+        assert covered == [0, 1, 2, 3, 4]
+
+    def test_parallel_inner_probe(self, recorded_run):
+        replay = replay_script(recorded_run.run_id, new_source=INNER_PROBE,
+                               num_workers=2)
+        assert replay.consistency.consistent
+        assert len(replay.values("grad_norm")) == 20
+
+    def test_more_workers_than_epochs(self, recorded_run):
+        replay = replay_script(recorded_run.run_id, num_workers=7)
+        assert replay.succeeded
+        covered = sorted(index for worker in replay.worker_results
+                         for index in worker.iterations)
+        assert covered == [0, 1, 2, 3, 4]
+
+
+class TestFailureModes:
+    def test_replaying_unknown_run_raises(self, flor_config):
+        with pytest.raises(repro.ReplayError, match="no recorded run"):
+            replay_script("does-not-exist")
+
+    def test_recording_missing_script_file_raises(self, flor_config, tmp_path):
+        with pytest.raises(repro.RecordError, match="not found"):
+            repro.record_script(tmp_path / "missing.py")
+
+    def test_broken_replay_source_reports_worker_failure(self, recorded_run):
+        broken = TRAINING_SCRIPT.replace(
+            '    flor.log("train_loss", loss.item())',
+            '    flor.log("train_loss", loss.item())\n'
+            '    raise RuntimeError("injected failure")')
+        assert broken != TRAINING_SCRIPT
+        with pytest.raises(repro.ReplayError, match="injected failure"):
+            replay_script(recorded_run.run_id, new_source=broken)

@@ -1,0 +1,87 @@
+"""Tests for the log manager and log-file format."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.record.logger import LogManager, LogRecord, merge_logs, read_log
+from repro.torchlike import Tensor
+
+
+class TestLogManager:
+    def test_log_and_values(self, tmp_path):
+        manager = LogManager(tmp_path / "record.log")
+        manager.log("loss", 0.5, iteration=0)
+        manager.log("loss", 0.25, iteration=1)
+        manager.log("accuracy", 0.9, iteration=1)
+        assert manager.values("loss") == [0.5, 0.25]
+        assert manager.names() == ["loss", "accuracy"]
+        assert len(manager) == 3
+
+    def test_records_carry_sequence_numbers(self, tmp_path):
+        manager = LogManager(tmp_path / "record.log")
+        manager.log("a", 1)
+        manager.log("a", 2)
+        sequences = [record.sequence for record in manager]
+        assert sequences == [0, 1]
+
+    def test_log_file_is_jsonl_and_readable(self, tmp_path):
+        path = tmp_path / "record.log"
+        manager = LogManager(path)
+        manager.log("loss", 0.125, iteration=3)
+        records = read_log(path)
+        assert len(records) == 1
+        assert records[0].name == "loss"
+        assert records[0].value == 0.125
+        assert records[0].iteration == 3
+
+    def test_numpy_and_tensor_values_normalized(self, tmp_path):
+        manager = LogManager(tmp_path / "record.log")
+        manager.log("np_scalar", np.float32(1.5))
+        manager.log("np_array", np.array([1.0, 2.0]))
+        manager.log("tensor", Tensor(3.25))
+        values = {record.name: record.value for record in manager}
+        assert values["np_scalar"] == 1.5
+        assert values["np_array"] == [1.0, 2.0]
+        assert values["tensor"] == 3.25
+        # File must still round-trip through JSON.
+        assert len(read_log(tmp_path / "record.log")) == 3
+
+    def test_arbitrary_objects_stored_as_repr(self, tmp_path):
+        manager = LogManager(tmp_path / "record.log")
+        manager.log("object", object())
+        assert isinstance(manager.records[0].value, str)
+
+    def test_in_memory_manager_without_path(self):
+        manager = LogManager(None)
+        manager.log("loss", 1.0)
+        assert manager.values("loss") == [1.0]
+
+    def test_existing_log_truncated_on_open(self, tmp_path):
+        path = tmp_path / "record.log"
+        path.write_text('{"name": "stale", "value": 1}\n')
+        LogManager(path)
+        assert read_log(path) == []
+
+    def test_read_log_missing_file_returns_empty(self, tmp_path):
+        assert read_log(tmp_path / "absent.log") == []
+
+
+class TestMergeLogs:
+    def test_merge_orders_by_iteration_then_sequence(self):
+        worker0 = [LogRecord("loss", 0.1, iteration=0, sequence=0),
+                   LogRecord("loss", 0.2, iteration=1, sequence=1)]
+        worker1 = [LogRecord("loss", 0.3, iteration=2, sequence=0),
+                   LogRecord("loss", 0.4, iteration=3, sequence=1)]
+        merged = merge_logs([worker1, worker0])
+        assert [record.value for record in merged] == [0.1, 0.2, 0.3, 0.4]
+
+    def test_merge_places_none_iteration_first(self):
+        records = [LogRecord("setup", 1, iteration=None, sequence=0),
+                   LogRecord("loss", 0.5, iteration=0, sequence=1)]
+        merged = merge_logs([records])
+        assert merged[0].name == "setup"
+
+    def test_record_json_roundtrip(self):
+        record = LogRecord("loss", 0.5, iteration=2, sequence=7)
+        assert LogRecord.from_json(record.to_json()) == record

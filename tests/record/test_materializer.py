@@ -1,0 +1,140 @@
+"""Tests for the background materialization strategies (Section 5.1)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RecordError
+from repro.record.materializer import (MATERIALIZER_NAMES, create_materializer)
+from repro.storage.checkpoint_store import CheckpointStore
+from repro.storage.serializer import snapshot_value
+
+
+def make_snapshots(value: float = 1.0, size: int = 1024):
+    return [snapshot_value("weights", np.full(size, value, dtype=np.float32))]
+
+
+ALL_STRATEGIES = sorted(MATERIALIZER_NAMES)
+POSIX_ONLY = {"fork"}
+
+
+def strategies_for_this_platform():
+    names = list(ALL_STRATEGIES)
+    if not hasattr(os, "fork"):
+        names = [name for name in names if name not in POSIX_ONLY]
+    return names
+
+
+class TestStrategiesWriteDurableCheckpoints:
+    @pytest.mark.parametrize("strategy", strategies_for_this_platform())
+    def test_submit_flush_then_read_back(self, tmp_path, strategy):
+        store = CheckpointStore(tmp_path / strategy, compress=False)
+        materializer = create_materializer(strategy, store)
+        try:
+            ticket = materializer.submit("train", 0, make_snapshots(7.0))
+            materializer.flush()
+        finally:
+            materializer.close()
+        assert ticket.main_thread_seconds >= 0
+        assert ticket.payload_nbytes > 0
+        snapshots = store.get("train", 0)
+        np.testing.assert_allclose(snapshots[0].payload, np.full(1024, 7.0))
+
+    @pytest.mark.parametrize("strategy", strategies_for_this_platform())
+    def test_multiple_checkpoints(self, tmp_path, strategy):
+        store = CheckpointStore(tmp_path / strategy, compress=False)
+        materializer = create_materializer(strategy, store)
+        try:
+            for index in range(4):
+                materializer.submit("train", index, make_snapshots(float(index)))
+            materializer.flush()
+        finally:
+            materializer.close()
+        assert store.executions("train") == [0, 1, 2, 3]
+        np.testing.assert_allclose(store.get("train", 3)[0].payload,
+                                   np.full(1024, 3.0))
+
+    def test_stats_accumulate(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run", compress=False)
+        materializer = create_materializer("sequential", store)
+        materializer.submit("a", 0, make_snapshots())
+        materializer.submit("a", 1, make_snapshots())
+        materializer.close()
+        assert materializer.stats.submitted == 2
+        assert materializer.stats.total_main_thread_seconds > 0
+        assert materializer.stats.total_payload_nbytes > 0
+
+    def test_unknown_strategy_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run")
+        with pytest.raises(RecordError, match="unknown materializer"):
+            create_materializer("carrier-pigeon", store)
+
+
+class TestSequentialVsBackground:
+    def test_sequential_completes_inline(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run", compress=False)
+        materializer = create_materializer("sequential", store)
+        ticket = materializer.submit("train", 0, make_snapshots())
+        assert ticket.completed_inline
+        # Durable immediately, before any flush.
+        assert store.contains("train", 0)
+        materializer.close()
+
+    def test_thread_strategy_defers_work(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run", compress=False)
+        materializer = create_materializer("thread", store)
+        ticket = materializer.submit("train", 0, make_snapshots(size=200_000))
+        assert not ticket.completed_inline
+        materializer.close()
+        assert store.contains("train", 0)
+
+    def test_thread_blocks_main_thread_less_than_sequential(self, tmp_path):
+        """The point of Figure 5: background strategies keep the training
+        thread (much) less busy than the sequential baseline on a large
+        payload.  Timing comparisons are noisy, so the payload is large and
+        the assertion is a loose factor."""
+        payload = make_snapshots(size=2_000_000)
+
+        store_a = CheckpointStore(tmp_path / "sequential", compress=False)
+        sequential = create_materializer("sequential", store_a)
+        sequential_ticket = sequential.submit("train", 0, payload)
+        sequential.close()
+
+        store_b = CheckpointStore(tmp_path / "thread", compress=False)
+        threaded = create_materializer("thread", store_b)
+        thread_ticket = threaded.submit("train", 0, payload)
+        threaded.close()
+
+        assert (thread_ticket.main_thread_seconds
+                <= sequential_ticket.main_thread_seconds * 2)
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="requires POSIX fork()")
+class TestForkMaterializer:
+    def test_batching_defers_fork_until_flush(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run", compress=False)
+        materializer = create_materializer("fork", store, batch_objects=1000)
+        materializer.submit("train", 0, make_snapshots())
+        # Below the batch threshold: nothing durable yet.
+        assert not store.contains("train", 0)
+        materializer.flush()
+        assert store.contains("train", 0)
+        materializer.close()
+
+    def test_small_batch_threshold_forks_eagerly(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run", compress=False)
+        materializer = create_materializer("fork", store, batch_objects=1)
+        materializer.submit("train", 0, make_snapshots())
+        materializer.flush()
+        assert store.contains("train", 0)
+        materializer.close()
+
+    def test_requires_posix(self, tmp_path, monkeypatch):
+        from repro.record import materializer as module
+        store = CheckpointStore(tmp_path / "run")
+        monkeypatch.delattr(module.os, "fork")
+        with pytest.raises(RecordError, match="POSIX"):
+            module.ForkMaterializer(store)

@@ -1,0 +1,93 @@
+"""Tests for deferred correctness checks (record vs replay log comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReplayAnomalyError
+from repro.record.logger import LogRecord
+from repro.replay.consistency import check_consistency, compare_logs
+
+
+def records(values, name="loss", start_iteration=0):
+    return [LogRecord(name, value, iteration=start_iteration + index,
+                      sequence=index)
+            for index, value in enumerate(values)]
+
+
+class TestCompareLogs:
+    def test_identical_logs_are_consistent(self):
+        record = records([0.5, 0.4, 0.3])
+        report = compare_logs(record, records([0.5, 0.4, 0.3]))
+        assert report.consistent
+        assert report.matched == 3
+        assert report.hindsight_records == []
+
+    def test_value_mismatch_detected(self):
+        record = records([0.5, 0.4])
+        replay = records([0.5, 0.9])
+        report = compare_logs(record, replay)
+        assert not report.consistent
+        assert len(report.mismatches) == 1
+        assert "anomalies" in report.summary()
+
+    def test_float_tolerance(self):
+        record = records([0.5])
+        replay = records([0.5 + 1e-9])
+        assert compare_logs(record, replay).consistent
+
+    def test_missing_replay_record_detected(self):
+        record = records([0.5, 0.4, 0.3])
+        replay = records([0.5, 0.4])
+        report = compare_logs(record, replay)
+        assert not report.consistent
+        assert len(report.missing_from_replay) == 1
+
+    def test_extra_replay_records_are_hindsight_logs(self):
+        record = records([0.5, 0.4])
+        replay = record + records([1.0, 2.0], name="grad_norm")
+        report = compare_logs(record, replay)
+        assert report.consistent
+        assert len(report.hindsight_records) == 2
+
+    def test_partial_replay_compares_only_covered_iterations(self):
+        record = records([0.5, 0.4, 0.3, 0.2])
+        replay = records([0.3, 0.2], start_iteration=2)
+        report = compare_logs(record, replay, replay_iterations={2, 3})
+        assert report.consistent
+        assert report.matched == 2
+
+    def test_partial_replay_without_coverage_reports_missing(self):
+        record = records([0.5, 0.4, 0.3, 0.2])
+        replay = records([0.3, 0.2], start_iteration=2)
+        report = compare_logs(record, replay)
+        assert len(report.missing_from_replay) == 2
+
+    def test_non_numeric_values_compared_by_equality(self):
+        record = [LogRecord("status", "converged", iteration=0, sequence=0)]
+        good = [LogRecord("status", "converged", iteration=0, sequence=0)]
+        bad = [LogRecord("status", "diverged", iteration=0, sequence=0)]
+        assert compare_logs(record, good).consistent
+        assert not compare_logs(record, bad).consistent
+
+
+class TestCheckConsistency:
+    def test_warns_by_default_on_anomaly(self):
+        record = records([0.5])
+        replay = records([0.7])
+        with pytest.warns(UserWarning, match="anomalies"):
+            report = check_consistency(record, replay)
+        assert not report.consistent
+
+    def test_strict_mode_raises(self):
+        record = records([0.5])
+        replay = records([0.7])
+        with pytest.raises(ReplayAnomalyError):
+            check_consistency(record, replay, strict=True)
+
+    def test_consistent_logs_do_not_warn(self, recwarn):
+        record = records([0.5])
+        check_consistency(record, records([0.5]))
+        assert len(recwarn) == 0
+        summary = compare_logs(record, records([0.5])).summary()
+        assert "consistent" in summary

@@ -1,0 +1,60 @@
+"""Tests for iterator partitioning (hindsight parallelism, Section 5.4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReplayError
+from repro.replay.partition import partition_indices, segment_sizes
+
+
+class TestPartitionIndices:
+    def test_even_split(self):
+        segments = [partition_indices(8, 4, pid) for pid in range(4)]
+        assert [list(s.indices()) for s in segments] == [
+            [0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_uneven_split_gives_extra_to_first_workers(self):
+        sizes = segment_sizes(10, 4)
+        assert sizes == [3, 3, 2, 2]
+
+    def test_more_workers_than_items(self):
+        sizes = segment_sizes(2, 5)
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_single_worker_gets_everything(self):
+        segment = partition_indices(7, 1, 0)
+        assert list(segment.indices()) == list(range(7))
+
+    def test_paper_load_balance_example(self):
+        """200 epochs over 16 workers: the largest share is 13 epochs."""
+        assert max(segment_sizes(200, 16)) == 13
+
+    def test_contains(self):
+        segment = partition_indices(10, 2, 1)
+        assert 7 in segment
+        assert 2 not in segment
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ReplayError):
+            partition_indices(-1, 2, 0)
+        with pytest.raises(ReplayError):
+            partition_indices(10, 0, 0)
+        with pytest.raises(ReplayError):
+            partition_indices(10, 2, 2)
+        with pytest.raises(ReplayError):
+            partition_indices(10, 2, -1)
+
+    @given(st.integers(0, 500), st.integers(1, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_property_disjoint_and_complete(self, total, workers):
+        """Workers jointly cover every iteration exactly once, contiguously,
+        and the load imbalance is at most one iteration."""
+        segments = [partition_indices(total, workers, pid)
+                    for pid in range(workers)]
+        covered = [index for segment in segments for index in segment.indices()]
+        assert covered == list(range(total))
+        sizes = [len(segment) for segment in segments]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,107 @@
+"""Tests for probe detection via source diffing."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.instrument import BlockSpec, instrument_source
+from repro.replay.probe import detect_probed_blocks, diff_sources
+
+RECORD_SOURCE = textwrap.dedent("""\
+    loader = list(range(4))
+    net = make_model()
+    optimizer = make_optimizer(net)
+
+    for epoch in range(3):
+        for batch in loader:
+            loss = step(net, optimizer, batch)
+        log("loss", loss)
+""")
+
+
+def blocks_for(source: str) -> dict[str, BlockSpec]:
+    return instrument_source(source).blocks
+
+
+class TestDiffSources:
+    def test_identical_sources(self):
+        diff = diff_sources(RECORD_SOURCE, RECORD_SOURCE)
+        assert diff.is_identical
+
+    def test_insertion_recorded_with_position_and_lines(self):
+        replay = RECORD_SOURCE.replace(
+            '    log("loss", loss)',
+            '    log("loss", loss)\n    log("acc", evaluate(net))')
+        diff = diff_sources(RECORD_SOURCE, replay)
+        assert not diff.is_identical
+        assert len(diff.insertions) == 1
+        _point, lines = diff.insertions[0]
+        assert "acc" in lines[0]
+
+    def test_modified_line_recorded(self):
+        replay = RECORD_SOURCE.replace('log("loss", loss)',
+                                       'log("training_loss", loss)')
+        diff = diff_sources(RECORD_SOURCE, replay)
+        assert diff.changed_record_lines
+        assert diff.new_replay_lines
+
+
+class TestDetectProbedBlocks:
+    def test_unchanged_source_probes_nothing(self):
+        blocks = blocks_for(RECORD_SOURCE)
+        assert detect_probed_blocks(RECORD_SOURCE, RECORD_SOURCE, blocks) == set()
+
+    def test_log_added_inside_inner_loop_probes_block(self):
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace(
+            "        loss = step(net, optimizer, batch)",
+            "        loss = step(net, optimizer, batch)\n"
+            "        log(\"grad_norm\", grad_norm(net))")
+        assert replay != RECORD_SOURCE
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == {
+            "skipblock_0"}
+
+    def test_log_added_after_inner_loop_does_not_probe(self):
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace(
+            '    log("loss", loss)',
+            '    log("loss", loss)\n    log("weights", norm(net))')
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == set()
+
+    def test_insertion_at_loop_boundary_disambiguated_by_indentation(self):
+        """A line added directly after the loop's last statement is inside the
+        loop body when it is indented like the body."""
+        blocks = blocks_for(RECORD_SOURCE)
+        inside = RECORD_SOURCE.replace(
+            "        loss = step(net, optimizer, batch)",
+            "        loss = step(net, optimizer, batch)\n"
+            "        probe(loss)")
+        outside = RECORD_SOURCE.replace(
+            "        loss = step(net, optimizer, batch)",
+            "        loss = step(net, optimizer, batch)\n"
+            "    after_loop(net)")
+        assert inside != RECORD_SOURCE and outside != RECORD_SOURCE
+        assert detect_probed_blocks(RECORD_SOURCE, inside, blocks) == {
+            "skipblock_0"}
+        assert detect_probed_blocks(RECORD_SOURCE, outside, blocks) == set()
+
+    def test_modified_line_inside_loop_probes_block(self):
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace(
+            "loss = step(net, optimizer, batch)",
+            "loss = verbose_step(net, optimizer, batch)")
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == {
+            "skipblock_0"}
+
+    def test_change_before_main_loop_probes_nothing(self):
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace("net = make_model()",
+                                       "net = make_model()\nprint(net)")
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == set()
+
+    def test_explicit_blockspec_ranges(self):
+        blocks = {"b": BlockSpec("b", start_line=3, end_line=5,
+                                 changeset=(), loop_scoped=())}
+        record = "a\nb\nc\nd\ne\nf\n"
+        replay = "a\nb\nc\nNEW\nd\ne\nf\n"
+        assert detect_probed_blocks(record, replay, blocks) == {"b"}

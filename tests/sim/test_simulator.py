@@ -1,0 +1,173 @@
+"""Tests for the paper-scale evaluation simulator (record, replay, cluster, cost)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_EPSILON
+from repro.exceptions import SimulationError
+from repro.modes import InitStrategy
+from repro.sim.cluster import Cluster, achievable_speedup, ideal_speedup
+from repro.sim.cost_model import checkpoint_storage_cost, compare_replay_costs
+from repro.sim.record_sim import simulate_record
+from repro.sim.replay_sim import (simulate_inner_probe_replay,
+                                  simulate_outer_probe_replay,
+                                  simulate_parallel_replay_fraction,
+                                  simulate_scaleout)
+from repro.workloads.registry import WORKLOADS, workload_names
+
+
+class TestCluster:
+    def test_total_gpus_and_cost(self):
+        cluster = Cluster(machines=3, instance_name="p3.8xlarge")
+        assert cluster.total_gpus == 12
+        assert cluster.hourly_usd == pytest.approx(3 * 12.24)
+
+    def test_workers_capped_by_partitions(self):
+        cluster = Cluster(machines=4)
+        assert cluster.workers(max_useful=6) == 6
+        assert cluster.workers() == 16
+
+    def test_invalid_cluster(self):
+        with pytest.raises(SimulationError):
+            Cluster(machines=0)
+        with pytest.raises(SimulationError):
+            Cluster(machines=1, instance_name="tpu-v9000")
+
+    def test_achievable_speedup_paper_example(self):
+        """Figure 13: 200 epochs on 16 GPUs -> at most 200/13 = 15.38x."""
+        assert achievable_speedup(200, 16) == pytest.approx(200 / 13)
+        assert ideal_speedup(200, 16) == 16.0
+
+    def test_achievable_never_exceeds_ideal(self):
+        for partitions in (1, 7, 80, 200):
+            for workers in (1, 3, 4, 16):
+                assert (achievable_speedup(partitions, workers)
+                        <= ideal_speedup(partitions, workers) + 1e-9)
+
+    def test_invalid_speedup_arguments(self):
+        with pytest.raises(SimulationError):
+            achievable_speedup(0, 4)
+        with pytest.raises(SimulationError):
+            achievable_speedup(10, 0)
+        with pytest.raises(SimulationError):
+            ideal_speedup(0, 4)
+
+
+class TestRecordSimulation:
+    def test_adaptivity_disabled_reproduces_figure7_arrows(self):
+        """Figure 7: adaptivity-disabled overhead is 91% for RTE, 28% for CoLA."""
+        rte = simulate_record(WORKLOADS["RTE"], adaptive=False)
+        cola = simulate_record(WORKLOADS["CoLA"], adaptive=False)
+        assert rte.overhead_fraction == pytest.approx(0.91, rel=0.02)
+        assert cola.overhead_fraction == pytest.approx(0.28, rel=0.02)
+
+    def test_no_workload_exceeds_tolerance_with_adaptive_checkpointing(self):
+        """Figure 7's headline: no workload exceeds the 6.67% tolerance."""
+        for name in workload_names():
+            simulation = simulate_record(WORKLOADS[name], adaptive=True)
+            assert simulation.overhead_fraction <= DEFAULT_EPSILON + 1e-6
+
+    def test_average_overhead_is_low(self):
+        """Section 6.1: average record overhead across workloads is ~1.5-3%."""
+        overheads = [simulate_record(WORKLOADS[name]).overhead_fraction
+                     for name in workload_names()]
+        assert sum(overheads) / len(overheads) < 0.04
+
+    def test_fine_tuning_workloads_checkpoint_sparsely(self):
+        rte = simulate_record(WORKLOADS["RTE"])
+        cifr = simulate_record(WORKLOADS["Cifr"])
+        assert rte.checkpoint_density < 0.2
+        assert cifr.checkpoint_density == 1.0
+
+    def test_background_materialization_reduces_overhead(self):
+        """Section 5.1: backgrounding cuts overhead by roughly 4.76% -> 1.74%."""
+        for name in ("Cifr", "RsNt", "Wiki"):
+            with_bg = simulate_record(WORKLOADS[name], background=True)
+            without_bg = simulate_record(WORKLOADS[name], background=False)
+            assert with_bg.overhead_fraction < without_bg.overhead_fraction
+
+    def test_record_time_is_vanilla_plus_overhead(self):
+        simulation = simulate_record(WORKLOADS["Cifr"])
+        assert simulation.record_seconds > simulation.vanilla_seconds
+        assert simulation.stored_nbytes > 0
+        assert simulation.checkpoint_epochs[0] == 0 or simulation.checkpoint_epochs
+
+
+class TestReplaySimulation:
+    def test_outer_probe_speedups_favor_long_workloads(self):
+        """Figure 12 (top): longer experiments gain the most from partial replay."""
+        rte = simulate_outer_probe_replay(WORKLOADS["RTE"])
+        rsnt = simulate_outer_probe_replay(WORKLOADS["RsNt"])
+        wiki = simulate_outer_probe_replay(WORKLOADS["Wiki"])
+        assert rsnt.speedup > 100 > rte.speedup > 1
+        assert wiki.speedup > rte.speedup
+
+    def test_outer_probe_latency_order_of_minutes_for_dense_workloads(self):
+        """Section 6.3: partial replay latencies are minutes even for
+        many-hour training runs."""
+        rsnt = simulate_outer_probe_replay(WORKLOADS["RsNt"])
+        assert rsnt.replay_seconds < 15 * 60
+        assert rsnt.vanilla_seconds > 10 * 3600
+
+    def test_inner_probe_speedup_bounded_by_parallelism(self):
+        simulation = simulate_inner_probe_replay(WORKLOADS["RsNt"], num_gpus=16)
+        assert simulation.speedup <= 16
+        assert simulation.speedup > 10
+
+    def test_inner_probe_weak_init_slightly_faster_than_strong(self):
+        strong = simulate_inner_probe_replay(WORKLOADS["RsNt"], num_gpus=16,
+                                             init_strategy=InitStrategy.STRONG)
+        weak = simulate_inner_probe_replay(WORKLOADS["RsNt"], num_gpus=16,
+                                           init_strategy=InitStrategy.WEAK)
+        assert weak.replay_seconds <= strong.replay_seconds
+
+    def test_parallel_fraction_at_least_ideal(self):
+        """Figure 10: no workload beats the 1/num_gpus ideal line."""
+        for name in workload_names():
+            fraction = simulate_parallel_replay_fraction(WORKLOADS[name],
+                                                         num_gpus=4)
+            assert fraction >= 0.25 - 1e-9
+
+    def test_sparse_workloads_are_farther_from_ideal(self):
+        """Figure 10's annotation: RTE/CoLA are limited by epoch-partitions."""
+        rte = simulate_parallel_replay_fraction(WORKLOADS["RTE"], num_gpus=4)
+        rsnt = simulate_parallel_replay_fraction(WORKLOADS["RsNt"], num_gpus=4)
+        assert rte > rsnt
+
+    def test_scaleout_speedup_monotone_and_near_ideal(self):
+        """Figure 13: speedup grows with machines and tracks the ideal."""
+        speedups = simulate_scaleout(WORKLOADS["RsNt"], machines=[1, 2, 3, 4])
+        values = [speedups[m] for m in (1, 2, 3, 4)]
+        assert values == sorted(values)
+        assert values[-1] > 14  # near the 15.38x load-balance ceiling
+        assert values[0] > 3.5
+
+    def test_invalid_gpu_counts(self):
+        with pytest.raises(SimulationError):
+            simulate_outer_probe_replay(WORKLOADS["RTE"], num_gpus=0)
+        with pytest.raises(SimulationError):
+            simulate_inner_probe_replay(WORKLOADS["RTE"], num_gpus=0)
+
+
+class TestCostModel:
+    def test_marginal_cost_of_parallelism_is_small(self):
+        """Figure 14: parallel replay costs about the same as serial replay."""
+        for name in workload_names():
+            comparison = compare_replay_costs(WORKLOADS[name])
+            assert comparison.marginal_cost_usd < 3.00
+            assert comparison.parallel_hours <= comparison.serial_hours
+
+    def test_rsnt_saves_many_hours(self):
+        """Section 6.4: up to ~16-hour reductions for a few dollars."""
+        comparison = compare_replay_costs(WORKLOADS["RsNt"])
+        assert comparison.time_saved_hours > 10
+
+    def test_table4_costs_under_a_dollar(self):
+        for name in workload_names():
+            _nbytes, cost = checkpoint_storage_cost(WORKLOADS[name])
+            assert cost < 1.00
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(SimulationError):
+            compare_replay_costs(WORKLOADS["RTE"], serial_instance="nope")

@@ -1,0 +1,110 @@
+"""Tests for the cloud cost model and the background spooler."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.storage.costs import (GiB, INSTANCE_PRICES, S3_PRICE_PER_GB_MONTH,
+                                 compute_cost, gb, storage_cost_per_month)
+from repro.storage.spool import BackgroundSpooler
+
+
+class TestStorageCosts:
+    def test_rsnt_monthly_cost_matches_table4(self):
+        """Table 4: 39 GB of RsNt checkpoints cost ~$0.90 per month."""
+        assert storage_cost_per_month(39 * GiB) == pytest.approx(0.897, abs=0.01)
+
+    def test_imgn_monthly_cost_matches_table4(self):
+        """Table 4: 51 MB of ImgN checkpoints cost ~$0.001 per month."""
+        assert storage_cost_per_month(51 * 1024 ** 2) == pytest.approx(0.0011,
+                                                                       abs=0.0005)
+
+    def test_all_table4_workloads_under_a_dollar(self):
+        """Section 6.2: every workload's checkpoints cost < $1.00/month."""
+        from repro.workloads.registry import WORKLOADS
+        for spec in WORKLOADS.values():
+            assert storage_cost_per_month(spec.checkpoint_nbytes) < 1.00
+
+    def test_130gb_costs_about_one_gpu_hour(self):
+        """Section 6.2: storing 130 GB for a month ~ one single-GPU hour."""
+        storage = storage_cost_per_month(130 * GiB)
+        gpu_hour = compute_cost(1.0, instance="p3.2xlarge")
+        assert storage == pytest.approx(gpu_hour, rel=0.05)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            storage_cost_per_month(-1)
+
+    def test_gb_conversion(self):
+        assert gb(GiB) == pytest.approx(1.0)
+
+
+class TestComputeCosts:
+    def test_p3_8xlarge_hourly_price(self):
+        assert INSTANCE_PRICES["p3.8xlarge"].hourly_usd == pytest.approx(12.24)
+        assert INSTANCE_PRICES["p3.8xlarge"].gpus == 4
+
+    def test_linear_in_hours_and_count(self):
+        single = compute_cost(2.0, "p3.2xlarge")
+        assert compute_cost(4.0, "p3.2xlarge") == pytest.approx(2 * single)
+        assert compute_cost(2.0, "p3.2xlarge", count=3) == pytest.approx(3 * single)
+
+    def test_parallel_cost_roughly_equals_serial_cost(self):
+        """Figure 14's core point: 4 GPUs for T/4 hours ~ 1 GPU for T hours."""
+        serial = compute_cost(12.0, "p3.2xlarge")
+        parallel = compute_cost(3.0, "p3.8xlarge")
+        assert parallel == pytest.approx(serial, rel=0.01)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            compute_cost(-1.0)
+        with pytest.raises(SimulationError):
+            compute_cost(1.0, "m5.large")
+        with pytest.raises(SimulationError):
+            compute_cost(1.0, count=0)
+
+
+class TestBackgroundSpooler:
+    def test_spools_files_to_bucket(self, tmp_path):
+        source_dir = tmp_path / "checkpoints"
+        source_dir.mkdir()
+        files = []
+        for index in range(3):
+            path = source_dir / f"ckpt_{index}.bin"
+            path.write_bytes(b"x" * 1000)
+            files.append(path)
+
+        bucket = tmp_path / "bucket"
+        with BackgroundSpooler(bucket) as spooler:
+            for path in files:
+                spooler.submit(path)
+        stats = spooler.stats
+        assert stats.objects == 3
+        assert stats.bytes_transferred == 3000
+        assert sorted(p.name for p in bucket.iterdir()) == [
+            "ckpt_0.bin", "ckpt_1.bin", "ckpt_2.bin"]
+        assert stats.monthly_cost_usd > 0
+
+    def test_missing_file_recorded_as_error(self, tmp_path):
+        spooler = BackgroundSpooler(tmp_path / "bucket").start()
+        spooler.submit(tmp_path / "does-not-exist.bin")
+        stats = spooler.close()
+        assert stats.objects == 0
+        assert len(stats.errors) == 1
+
+    def test_close_without_start_is_safe(self, tmp_path):
+        spooler = BackgroundSpooler(tmp_path / "bucket")
+        assert spooler.close().objects == 0
+
+    def test_start_twice_is_idempotent(self, tmp_path):
+        spooler = BackgroundSpooler(tmp_path / "bucket")
+        spooler.start()
+        spooler.start()
+        (tmp_path / "file.bin").write_bytes(b"abc")
+        spooler.submit(tmp_path / "file.bin")
+        # Give the background thread a moment, then close and verify.
+        time.sleep(0.05)
+        assert spooler.close().objects == 1

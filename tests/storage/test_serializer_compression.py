@@ -1,0 +1,132 @@
+"""Tests for checkpoint serialization and compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import torchlike as tl
+from repro.storage.compression import compress, compression_ratio, decompress
+from repro.storage.serializer import (KIND_PICKLE, KIND_STATE_DICT,
+                                      deserialize_checkpoint, restore_value,
+                                      serialize_checkpoint, snapshot_value)
+
+
+class TestSnapshotValue:
+    def test_module_snapshotted_via_state_dict(self):
+        net = tl.Linear(3, 2, rng=np.random.default_rng(0))
+        snapshot = snapshot_value("net", net)
+        assert snapshot.kind == KIND_STATE_DICT
+        assert set(snapshot.payload) == {"weight", "bias"}
+
+    def test_optimizer_snapshotted_via_state_dict(self):
+        net = tl.Linear(3, 2, rng=np.random.default_rng(0))
+        optimizer = tl.SGD(net.parameters(), lr=0.1, momentum=0.9)
+        snapshot = snapshot_value("optimizer", optimizer)
+        assert snapshot.kind == KIND_STATE_DICT
+        assert "param_values" in snapshot.payload
+
+    def test_plain_value_snapshotted_via_pickle(self):
+        snapshot = snapshot_value("epoch", 7)
+        assert snapshot.kind == KIND_PICKLE
+        assert snapshot.payload == 7
+
+    def test_snapshot_is_a_deep_copy(self):
+        value = {"losses": [1.0, 2.0]}
+        snapshot = snapshot_value("history", value)
+        value["losses"].append(3.0)
+        assert snapshot.payload == {"losses": [1.0, 2.0]}
+
+    def test_nbytes_scales_with_payload(self):
+        small = snapshot_value("a", np.zeros(10, dtype=np.float32))
+        large = snapshot_value("b", np.zeros(10000, dtype=np.float32))
+        assert large.nbytes() > small.nbytes()
+
+    def test_nbytes_of_state_dict(self):
+        net = tl.Linear(8, 8, rng=np.random.default_rng(0))
+        snapshot = snapshot_value("net", net)
+        assert snapshot.nbytes() >= 8 * 8 * 4
+
+
+class TestRestoreValue:
+    def test_state_dict_restored_in_place(self):
+        net = tl.Linear(3, 2, rng=np.random.default_rng(0))
+        snapshot = snapshot_value("net", net)
+        net.weight.data[...] = 0.0
+        restored = restore_value(snapshot, net)
+        assert restored is net
+        assert np.abs(net.weight.data).sum() > 0
+
+    def test_state_dict_without_live_object_returns_copy(self):
+        net = tl.Linear(3, 2, rng=np.random.default_rng(0))
+        snapshot = snapshot_value("net", net)
+        restored = restore_value(snapshot, None)
+        assert isinstance(restored, dict)
+        assert "weight" in restored
+
+    def test_pickled_value_returned_as_copy(self):
+        snapshot = snapshot_value("history", [1, 2, 3])
+        restored = restore_value(snapshot)
+        assert restored == [1, 2, 3]
+        restored.append(4)
+        assert snapshot.payload == [1, 2, 3]
+
+    def test_optimizer_restore_resets_params(self):
+        net = tl.Linear(3, 2, rng=np.random.default_rng(0))
+        optimizer = tl.SGD(net.parameters(), lr=0.5)
+        snapshot = snapshot_value("optimizer", optimizer)
+        original = net.weight.data.copy()
+        net.weight.data[...] = 42.0
+        restore_value(snapshot, optimizer)
+        np.testing.assert_allclose(net.weight.data, original)
+
+
+class TestSerializeCheckpoint:
+    def test_roundtrip(self):
+        net = tl.Linear(4, 4, rng=np.random.default_rng(0))
+        snapshots = [snapshot_value("net", net), snapshot_value("epoch", 3)]
+        serialized = serialize_checkpoint(snapshots)
+        assert serialized.nbytes == len(serialized.data)
+        assert serialized.serialize_seconds >= 0
+        restored = deserialize_checkpoint(serialized.data)
+        assert [s.name for s in restored] == ["net", "epoch"]
+        np.testing.assert_allclose(restored[0].payload["weight"],
+                                   net.state_dict()["weight"])
+
+    def test_corrupt_payload_raises(self):
+        from repro.exceptions import SerializationError
+        with pytest.raises(SerializationError):
+            deserialize_checkpoint(b"not a pickle")
+
+    def test_non_list_payload_rejected(self):
+        import pickle
+
+        from repro.exceptions import SerializationError
+        with pytest.raises(SerializationError):
+            deserialize_checkpoint(pickle.dumps({"oops": 1}))
+
+
+class TestCompression:
+    def test_roundtrip(self):
+        data = b"flor " * 1000
+        result = compress(data)
+        assert result.compressed_nbytes < result.raw_nbytes
+        assert decompress(result.data) == data
+
+    def test_decompress_passthrough_for_raw_bytes(self):
+        assert decompress(b"plain bytes") == b"plain bytes"
+
+    def test_ratio_greater_than_one_for_redundant_data(self):
+        assert compression_ratio(b"a" * 10000) > 10
+
+    def test_ratio_close_to_one_for_random_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=10000, dtype=np.uint8).tobytes()
+        assert compression_ratio(data) < 1.2
+
+    @given(st.binary(min_size=0, max_size=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert decompress(compress(data).data) == data

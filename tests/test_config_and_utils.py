@@ -1,0 +1,131 @@
+"""Tests for configuration, exceptions and small utilities."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+import repro
+from repro.config import FlorConfig, get_config, reset_config, set_config
+from repro.exceptions import ConfigError, FlorError
+from repro.utils.hashing import digest_bytes, digest_file, stable_hash
+from repro.utils.naming import new_run_id, slugify
+from repro.utils.timing import Stopwatch, VirtualClock, format_duration
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = FlorConfig()
+        assert config.epsilon == pytest.approx(1 / 15)
+        assert config.adaptive_checkpointing
+        assert config.compress_checkpoints
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FlorConfig(epsilon=0.0)
+        with pytest.raises(ConfigError):
+            FlorConfig(epsilon=1.5)
+        with pytest.raises(ConfigError):
+            FlorConfig(scaling_factor=-1)
+        with pytest.raises(ConfigError):
+            FlorConfig(fork_batch_size=0)
+        with pytest.raises(ConfigError):
+            FlorConfig(background_materialization="plasma9000")
+
+    def test_with_overrides_returns_new_instance(self, tmp_path):
+        config = FlorConfig(home=tmp_path)
+        other = config.with_overrides(epsilon=0.1)
+        assert other.epsilon == pytest.approx(0.1)
+        assert config.epsilon == pytest.approx(1 / 15)
+        assert other.home == config.home
+
+    def test_run_dir(self, tmp_path):
+        config = FlorConfig(home=tmp_path)
+        assert config.run_dir("abc") == tmp_path / "abc"
+
+    def test_global_config_management(self, tmp_path):
+        reset_config()
+        default = get_config()
+        assert isinstance(default, FlorConfig)
+        custom = FlorConfig(home=tmp_path)
+        assert set_config(custom) is custom
+        assert get_config() is custom
+        reset_config()
+        assert get_config() is not custom
+
+    def test_set_config_type_checked(self):
+        with pytest.raises(ConfigError):
+            set_config("not a config")
+        reset_config()
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.RecordError, FlorError)
+        assert issubclass(repro.ReplayAnomalyError, repro.ReplayError)
+        assert issubclass(repro.CheckpointNotFoundError, repro.ReplayError)
+        assert issubclass(repro.SerializationError, repro.StorageError)
+
+
+class TestNaming:
+    def test_slugify(self):
+        assert slugify("ResNet-152 on Cifar100!") == "resnet-152-on-cifar100"
+        assert slugify("   ") == "run"
+        assert len(slugify("x" * 200)) <= 48
+
+    def test_new_run_id_unique_and_sortable(self):
+        first = new_run_id("My Experiment")
+        second = new_run_id("My Experiment")
+        assert first != second
+        assert first.startswith("my-experiment-")
+        assert re.match(r"^[a-z0-9\-]+-\d{8}T\d{6}-[0-9a-f]{8}$", first)
+
+
+class TestHashing:
+    def test_digest_bytes_and_stable_hash(self):
+        assert digest_bytes(b"abc") == stable_hash("abc")
+        assert digest_bytes(b"abc") != digest_bytes(b"abd")
+        assert len(digest_bytes(b"")) == 64
+
+    def test_digest_file(self, tmp_path):
+        path = tmp_path / "file.bin"
+        path.write_bytes(b"hello" * 1000)
+        assert digest_file(path) == digest_bytes(b"hello" * 1000)
+
+
+class TestTiming:
+    def test_stopwatch_context_manager(self):
+        with Stopwatch() as stopwatch:
+            total = sum(range(10000))
+        assert total > 0
+        assert stopwatch.elapsed >= 0
+
+    def test_stopwatch_requires_start(self):
+        stopwatch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            stopwatch.stop()
+        with pytest.raises(RuntimeError):
+            stopwatch.lap()
+
+    def test_stopwatch_lap(self):
+        stopwatch = Stopwatch().start()
+        assert stopwatch.lap() >= 0
+        assert stopwatch.stop() >= 0
+
+    def test_virtual_clock(self):
+        clock = VirtualClock()
+        clock.advance(10.0, "epoch 0")
+        clock.advance(5.0)
+        assert clock.now == pytest.approx(15.0)
+        assert clock.history == [(10.0, "epoch 0")]
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_format_duration(self):
+        assert format_duration(5) == "5s"
+        assert format_duration(65) == "1m 5s"
+        assert format_duration(3725) == "1h 2m 5s"
+        assert format_duration(0) == "0s"
+        assert format_duration(-65) == "-1m 5s"
+        assert format_duration(3600) == "1h"

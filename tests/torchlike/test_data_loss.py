@@ -1,0 +1,184 @@
+"""Tests for datasets, data loading, losses and state serialization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import torchlike as tl
+from repro.exceptions import SerializationError
+
+
+class TestTensorDataset:
+    def test_indexing_returns_field_tuple(self):
+        ds = tl.TensorDataset(np.arange(10), np.arange(10) * 2)
+        x, y = ds[3]
+        assert x == 3 and y == 6
+        assert len(ds) == 10
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            tl.TensorDataset(np.arange(5), np.arange(6))
+
+    def test_empty_arguments_raise(self):
+        with pytest.raises(ValueError):
+            tl.TensorDataset()
+
+    def test_accepts_tensors(self):
+        ds = tl.TensorDataset(tl.Tensor(np.ones((4, 2))), np.zeros(4))
+        assert ds[0][0].shape == (2,)
+
+
+class TestDataLoader:
+    def test_batch_shapes_and_count(self):
+        ds = tl.TensorDataset(np.zeros((10, 3)), np.zeros(10))
+        loader = tl.DataLoader(ds, batch_size=4)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert batches[0][0].shape == (4, 3)
+        assert batches[-1][0].shape == (2, 3)
+
+    def test_drop_last(self):
+        ds = tl.TensorDataset(np.zeros((10, 3)), np.zeros(10))
+        loader = tl.DataLoader(ds, batch_size=4, drop_last=True)
+        assert len(list(loader)) == 2
+        assert len(loader) == 2
+
+    def test_len_without_drop_last(self):
+        ds = tl.TensorDataset(np.zeros((10, 3)), np.zeros(10))
+        assert len(tl.DataLoader(ds, batch_size=4)) == 3
+
+    def test_shuffle_is_deterministic_given_seed_and_epoch(self):
+        ds = tl.TensorDataset(np.arange(20), np.arange(20))
+        loader_a = tl.DataLoader(ds, batch_size=5, shuffle=True, seed=7)
+        loader_b = tl.DataLoader(ds, batch_size=5, shuffle=True, seed=7)
+        order_a = np.concatenate([x for x, _ in loader_a])
+        order_b = np.concatenate([x for x, _ in loader_b])
+        np.testing.assert_array_equal(order_a, order_b)
+
+    def test_set_epoch_changes_order(self):
+        ds = tl.TensorDataset(np.arange(20), np.arange(20))
+        loader = tl.DataLoader(ds, batch_size=5, shuffle=True, seed=7)
+        first = np.concatenate([x for x, _ in loader])
+        loader.set_epoch(1)
+        second = np.concatenate([x for x, _ in loader])
+        assert not np.array_equal(first, second)
+        assert sorted(first) == sorted(second)
+
+    def test_invalid_batch_size(self):
+        ds = tl.TensorDataset(np.arange(4))
+        with pytest.raises(ValueError):
+            tl.DataLoader(ds, batch_size=0)
+
+    @given(st.integers(1, 40), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_every_sample_appears_exactly_once(self, n, batch_size):
+        ds = tl.TensorDataset(np.arange(n), np.arange(n))
+        loader = tl.DataLoader(ds, batch_size=batch_size, shuffle=True, seed=0)
+        seen = np.concatenate([x for x, _ in loader])
+        assert sorted(seen.tolist()) == list(range(n))
+
+
+class TestRandomSplit:
+    def test_split_sizes_and_disjointness(self):
+        ds = tl.TensorDataset(np.arange(30), np.arange(30))
+        train, test = tl.random_split(ds, [20, 10], seed=1)
+        assert len(train) == 20 and len(test) == 10
+        train_values = {train[i][0] for i in range(len(train))}
+        test_values = {test[i][0] for i in range(len(test))}
+        assert train_values.isdisjoint(test_values)
+        assert len(train_values | test_values) == 30
+
+    def test_bad_lengths_raise(self):
+        ds = tl.TensorDataset(np.arange(10))
+        with pytest.raises(ValueError):
+            tl.random_split(ds, [3, 3])
+
+
+class TestLosses:
+    def test_cross_entropy_uniform_logits(self):
+        logits = tl.Tensor(np.zeros((4, 3), dtype=np.float32))
+        loss = tl.cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3), rel=1e-5)
+
+    def test_cross_entropy_confident_correct_is_small(self):
+        logits = np.full((2, 3), -10.0, dtype=np.float32)
+        logits[0, 1] = 10.0
+        logits[1, 2] = 10.0
+        loss = tl.cross_entropy(tl.Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-4
+
+    def test_cross_entropy_3d_sequence_logits(self):
+        logits = tl.Tensor(np.zeros((2, 5, 4), dtype=np.float32))
+        loss = tl.cross_entropy(logits, np.zeros((2, 5), dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(4), rel=1e-5)
+
+    def test_cross_entropy_gradient_shape(self):
+        logits = tl.Tensor(np.random.default_rng(0).standard_normal(
+            (4, 3)).astype(np.float32), requires_grad=True)
+        tl.cross_entropy(logits, np.array([0, 1, 2, 0])).backward()
+        assert logits.grad.shape == (4, 3)
+        # Gradient rows sum to ~0 (softmax minus one-hot).
+        np.testing.assert_allclose(logits.grad.sum(axis=1), np.zeros(4), atol=1e-6)
+
+    def test_nll_loss_matches_cross_entropy(self):
+        rng = np.random.default_rng(0)
+        logits = tl.Tensor(rng.standard_normal((5, 4)).astype(np.float32))
+        targets = np.array([0, 1, 2, 3, 0])
+        ce = tl.cross_entropy(logits, targets).item()
+        nll = tl.nll_loss(logits.log_softmax(), targets).item()
+        assert ce == pytest.approx(nll, rel=1e-5)
+
+    def test_mse_and_l1(self):
+        prediction = tl.Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        target = np.array([0.0, 4.0], dtype=np.float32)
+        assert tl.mse_loss(prediction, target).item() == pytest.approx(2.5)
+        assert tl.l1_loss(prediction, target).item() == pytest.approx(1.5)
+
+    def test_loss_modules_wrap_functions(self):
+        logits = tl.Tensor(np.zeros((2, 2), dtype=np.float32))
+        targets = np.array([0, 1])
+        assert tl.CrossEntropyLoss()(logits, targets).item() == pytest.approx(
+            tl.cross_entropy(logits, targets).item())
+        assert tl.MSELoss()(logits, np.zeros((2, 2))).item() == pytest.approx(0.0)
+        assert tl.L1Loss()(logits, np.zeros((2, 2))).item() == pytest.approx(0.0)
+        assert tl.NLLLoss()(logits.log_softmax(), targets).item() > 0
+
+
+class TestSerializationHelpers:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        payload = {"weights": np.arange(4, dtype=np.float32)}
+        nbytes = tl.save(payload, tmp_path / "model.pkl")
+        assert nbytes > 0
+        restored = tl.load(tmp_path / "model.pkl")
+        np.testing.assert_allclose(restored["weights"], payload["weights"])
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            tl.load(tmp_path / "missing.pkl")
+
+    def test_state_nbytes_counts_arrays(self):
+        state = {"a": np.zeros(10, dtype=np.float32),
+                 "nested": {"b": np.zeros(5, dtype=np.float32)},
+                 "scalar": 3}
+        assert tl.state_nbytes(state) >= 10 * 4 + 5 * 4
+
+    def test_snapshot_and_restore_training_state(self):
+        rng = np.random.default_rng(0)
+        model = tl.Linear(3, 2, rng=rng)
+        optimizer = tl.SGD(model.parameters(), lr=0.5, momentum=0.9)
+        scheduler = tl.StepLR(optimizer, step_size=1, gamma=0.1)
+        snapshot = tl.snapshot_training_state(model, optimizer, scheduler,
+                                              extra={"epoch": 3})
+
+        # Mutate everything, then restore.
+        model.weight.data[...] = 0.0
+        optimizer.lr = 123.0
+        scheduler.last_epoch = 99
+        extra = tl.restore_training_state(snapshot, model, optimizer, scheduler)
+        assert extra == {"epoch": 3}
+        assert np.abs(model.weight.data).sum() > 0
+        assert optimizer.lr == pytest.approx(0.5)
+        assert scheduler.last_epoch == 0

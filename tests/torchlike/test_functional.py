@@ -1,0 +1,199 @@
+"""Tests for functional neural-network operations (conv, pooling, attention...)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.torchlike import functional as F
+from repro.torchlike.tensor import Tensor
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    """Reference convolution (direct loops) to validate the im2col version."""
+    batch, _, height, width = x.shape
+    out_channels, in_channels, kernel, _ = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - kernel) // stride + 1
+    out_w = (x.shape[3] - kernel) // stride + 1
+    out = np.zeros((batch, out_channels, out_h, out_w), dtype=np.float32)
+    for n in range(batch):
+        for oc in range(out_channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[n, :, i * stride:i * stride + kernel,
+                              j * stride:j * stride + kernel]
+                    out[n, oc, i, j] = (patch * w[oc]).sum()
+            if b is not None:
+                out[n, oc] += b[oc]
+    return out
+
+
+class TestLinearAndActivations:
+    def test_linear_matches_manual(self):
+        x = Tensor(np.ones((2, 3), dtype=np.float32))
+        w = Tensor(np.full((4, 3), 2.0, dtype=np.float32))
+        b = Tensor(np.arange(4, dtype=np.float32))
+        out = F.linear(x, w, b)
+        expected = np.tile(6.0 + np.arange(4), (2, 1))
+        np.testing.assert_allclose(out.data, expected, rtol=1e-6)
+
+    def test_gelu_asymptotics(self):
+        x = np.linspace(-6, 6, 50).astype(np.float32)
+        out = F.gelu(Tensor(x)).data
+        # Approaches the identity for large positive inputs, zero for large
+        # negative inputs, and is exactly zero at the origin.
+        np.testing.assert_allclose(out[-1], x[-1], rtol=1e-3)
+        assert abs(out[0]) < 1e-3
+        assert F.gelu(Tensor(np.array([0.0], dtype=np.float32))).data[0] == 0.0
+        assert np.all(out <= np.maximum(x, 0) + 1e-3)
+
+    def test_relu_sigmoid_tanh_wrappers(self):
+        x = Tensor(np.array([-1.0, 0.0, 1.0], dtype=np.float32))
+        np.testing.assert_allclose(F.relu(x).data, [0, 0, 1])
+        np.testing.assert_allclose(F.tanh(x).data, np.tanh(x.data), rtol=1e-6)
+        np.testing.assert_allclose(F.sigmoid(x).data,
+                                   1 / (1 + np.exp(-x.data)), rtol=1e-6)
+
+    def test_softmax_and_log_softmax(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]], dtype=np.float32))
+        probabilities = F.softmax(x).data
+        assert probabilities.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(probabilities), rtol=1e-5)
+
+
+class TestDropoutEmbeddingOneHot:
+    def test_dropout_disabled_in_eval(self):
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        out = F.dropout(x, p=0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_scales_surviving_activations(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((10000,), dtype=np.float32))
+        out = F.dropout(x, p=0.5, training=True, rng=rng).data
+        surviving = out[out > 0]
+        assert surviving[0] == pytest.approx(2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_dropout_p_one_zeroes_everything(self):
+        x = Tensor(np.ones((8,), dtype=np.float32))
+        np.testing.assert_allclose(F.dropout(x, p=1.0, training=True).data,
+                                   np.zeros(8))
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2, 1]), num_classes=3).data
+        np.testing.assert_allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_embedding_lookup_and_gradient(self):
+        weight = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3),
+                        requires_grad=True)
+        out = F.embedding(np.array([[1, 1], [3, 0]]), weight)
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        # Row 1 was looked up twice, rows 0 and 3 once, row 2 never.
+        np.testing.assert_allclose(weight.grad[:, 0], [1, 2, 0, 1])
+
+
+class TestConvolutionAndPooling:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_conv2d_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b),
+                       stride=stride, padding=padding)
+        expected = naive_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-4)
+
+    def test_conv2d_gradients_have_right_shapes_and_flow(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.standard_normal((5, 3, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+        b = Tensor(np.zeros(5, dtype=np.float32), requires_grad=True)
+        F.conv2d(x, w, b, padding=1).sum().backward()
+        assert x.grad.shape == x.shape
+        assert w.grad.shape == w.shape
+        assert b.grad.shape == b.shape
+        assert np.abs(w.grad).sum() > 0
+
+    def test_max_pool_values_and_gradient(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32),
+                   requires_grad=True)
+        out = F.max_pool2d(x, kernel=2)
+        assert out.data.reshape(-1)[0] == pytest.approx(4.0)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad.reshape(-1), [0, 0, 0, 1])
+
+    def test_avg_pool_values_and_gradient(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4),
+                   requires_grad=True)
+        out = F.avg_pool2d(x, kernel=2)
+        assert out.shape == (1, 1, 2, 2)
+        assert out.data[0, 0, 0, 0] == pytest.approx(np.mean([0, 1, 4, 5]))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+
+class TestNormalization:
+    def test_batch_norm_normalizes_training_batch(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(5.0, 3.0, size=(32, 4)).astype(np.float32))
+        gamma = Tensor(np.ones(4, dtype=np.float32))
+        beta = Tensor(np.zeros(4, dtype=np.float32))
+        running_mean = np.zeros(4, dtype=np.float32)
+        running_var = np.ones(4, dtype=np.float32)
+        out = F.batch_norm(x, gamma, beta, running_mean, running_var,
+                           training=True)
+        assert abs(out.data.mean()) < 1e-4
+        assert out.data.std() == pytest.approx(1.0, abs=0.05)
+        # Running statistics moved toward the batch statistics.
+        assert running_mean.mean() > 0.0
+
+    def test_batch_norm_eval_uses_running_statistics(self):
+        x = Tensor(np.full((4, 2), 10.0, dtype=np.float32))
+        gamma = Tensor(np.ones(2, dtype=np.float32))
+        beta = Tensor(np.zeros(2, dtype=np.float32))
+        running_mean = np.full(2, 10.0, dtype=np.float32)
+        running_var = np.ones(2, dtype=np.float32)
+        out = F.batch_norm(x, gamma, beta, running_mean, running_var,
+                           training=False)
+        np.testing.assert_allclose(out.data, np.zeros((4, 2)), atol=1e-3)
+
+    def test_layer_norm_last_axis(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(2.0, 4.0, size=(5, 8)).astype(np.float32))
+        gamma = Tensor(np.ones(8, dtype=np.float32))
+        beta = Tensor(np.zeros(8, dtype=np.float32))
+        out = F.layer_norm(x, gamma, beta).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(5), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(5), atol=0.05)
+
+
+class TestAttention:
+    def test_attention_output_shape(self):
+        rng = np.random.default_rng(0)
+        q = Tensor(rng.standard_normal((2, 5, 8)).astype(np.float32))
+        out = F.scaled_dot_product_attention(q, q, q)
+        assert out.shape == (2, 5, 8)
+
+    def test_attention_with_uniform_keys_averages_values(self):
+        q = Tensor(np.zeros((1, 3, 4), dtype=np.float32))
+        k = Tensor(np.zeros((1, 3, 4), dtype=np.float32))
+        v = Tensor(np.arange(12, dtype=np.float32).reshape(1, 3, 4))
+        out = F.scaled_dot_product_attention(q, k, v).data
+        expected = v.data.mean(axis=1, keepdims=True).repeat(3, axis=1)
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_attention_mask_blocks_positions(self):
+        q = Tensor(np.zeros((1, 2, 4), dtype=np.float32))
+        k = Tensor(np.zeros((1, 2, 4), dtype=np.float32))
+        v = Tensor(np.array([[[1.0] * 4, [100.0] * 4]], dtype=np.float32))
+        mask = np.array([[[0.0, -1e9], [0.0, -1e9]]], dtype=np.float32)
+        out = F.scaled_dot_product_attention(q, k, v, mask=mask).data
+        np.testing.assert_allclose(out, np.ones((1, 2, 4)), rtol=1e-4)

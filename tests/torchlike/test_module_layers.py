@@ -1,0 +1,196 @@
+"""Tests for Module/Parameter discovery, state dicts, and the layer zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import torchlike as tl
+
+
+class SmallNet(tl.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = tl.Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = tl.Linear(8, 2, rng=np.random.default_rng(1))
+        self.dropout = tl.Dropout(0.5, rng=np.random.default_rng(2))
+
+    def forward(self, x):
+        return self.fc2(self.dropout(self.fc1(x).relu()))
+
+
+class TestModuleProtocol:
+    def test_named_parameters_discovers_nested(self):
+        net = SmallNet()
+        names = dict(net.named_parameters())
+        assert set(names) == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_num_parameters(self):
+        net = SmallNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        net = SmallNet()
+        net.eval()
+        assert not net.dropout.training
+        net.train()
+        assert net.dropout.training
+
+    def test_zero_grad_clears_gradients(self):
+        net = SmallNet()
+        out = net(tl.Tensor(np.ones((2, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_roundtrip(self):
+        net = SmallNet()
+        other = SmallNet()
+        other.load_state_dict(net.state_dict())
+        for (_, a), (_, b) in zip(net.named_parameters(), other.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = SmallNet()
+        state = net.state_dict()
+        state["fc1.weight"][...] = 0.0
+        assert np.abs(net.fc1.weight.data).sum() > 0
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        net = SmallNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_strict_flags_missing_keys(self):
+        net = SmallNet()
+        state = net.state_dict()
+        del state["fc2.bias"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+        net.load_state_dict(state, strict=False)  # tolerated when not strict
+
+    def test_buffers_appear_in_state_dict(self):
+        bn = tl.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_named_modules_enumerates_tree(self):
+        net = SmallNet()
+        names = [name for name, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            tl.Module()(1)
+
+
+class TestLayers:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_linear_shapes(self):
+        layer = tl.Linear(6, 3, rng=self.rng)
+        out = layer(tl.Tensor(np.ones((5, 6), dtype=np.float32)))
+        assert out.shape == (5, 3)
+
+    def test_linear_without_bias(self):
+        layer = tl.Linear(4, 2, bias=False, rng=self.rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_conv_pool_stack_shapes(self):
+        stack = tl.Sequential(
+            tl.Conv2d(3, 8, 3, padding=1, rng=self.rng), tl.ReLU(),
+            tl.MaxPool2d(2), tl.Conv2d(8, 4, 3, padding=1, rng=self.rng),
+            tl.AvgPool2d(2), tl.Flatten())
+        out = stack(tl.Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 4 * 2 * 2)
+
+    def test_global_avg_pool(self):
+        out = tl.GlobalAvgPool2d()(tl.Tensor(np.ones((2, 5, 4, 4),
+                                                     dtype=np.float32)))
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.data, np.ones((2, 5)))
+
+    def test_batchnorm_layer_updates_buffers_only_in_training(self):
+        bn = tl.BatchNorm2d(2)
+        x = tl.Tensor(np.random.default_rng(0).normal(
+            3.0, 1.0, size=(4, 2, 3, 3)).astype(np.float32))
+        bn.train()
+        bn(x)
+        mean_after_train = bn.running_mean.copy()
+        bn.eval()
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, mean_after_train)
+
+    def test_layernorm_layer(self):
+        ln = tl.LayerNorm(8)
+        out = ln(tl.Tensor(np.random.default_rng(0).standard_normal(
+            (3, 8)).astype(np.float32)))
+        assert out.shape == (3, 8)
+
+    def test_dropout_layer_respects_eval(self):
+        layer = tl.Dropout(0.9, rng=self.rng)
+        layer.eval()
+        x = tl.Tensor(np.ones((10,), dtype=np.float32))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_embedding_layer(self):
+        emb = tl.Embedding(10, 4, rng=self.rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_sequential_indexing_and_len(self):
+        seq = tl.Sequential(tl.ReLU(), tl.Tanh(), tl.Sigmoid())
+        assert len(seq) == 3
+        assert isinstance(seq[1], tl.Tanh)
+        assert len(list(iter(seq))) == 3
+
+    def test_identity_and_activation_layers(self):
+        x = tl.Tensor(np.array([-1.0, 2.0], dtype=np.float32))
+        assert np.allclose(tl.Identity()(x).data, x.data)
+        assert np.allclose(tl.ReLU()(x).data, [0.0, 2.0])
+        assert np.allclose(tl.Tanh()(x).data, np.tanh(x.data))
+        assert tl.GELU()(x).shape == (2,)
+        assert tl.Sigmoid()(x).shape == (2,)
+
+    def test_residual_block_identity_shortcut_shape(self):
+        block = tl.ResidualBlock(4, 4, rng=self.rng)
+        out = block(tl.Tensor(np.zeros((2, 4, 6, 6), dtype=np.float32)))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_residual_block_projection_shortcut(self):
+        block = tl.ResidualBlock(4, 8, stride=2, rng=self.rng)
+        out = block(tl.Tensor(np.zeros((2, 4, 6, 6), dtype=np.float32)))
+        assert out.shape == (2, 8, 3, 3)
+
+    def test_fire_module_doubles_channels(self):
+        fire = tl.FireModule(4, 2, 4, rng=self.rng)
+        out = fire(tl.Tensor(np.zeros((1, 4, 5, 5), dtype=np.float32)))
+        assert out.shape == (1, 8, 5, 5)
+
+    def test_lstm_cell_state_evolution(self):
+        cell = tl.LSTMCell(4, 6, rng=self.rng)
+        x = tl.Tensor(np.ones((3, 4), dtype=np.float32))
+        h1, c1 = cell(x)
+        h2, c2 = cell(x, (h1, c1))
+        assert h1.shape == (3, 6) and c2.shape == (3, 6)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_multihead_attention_shape_and_divisibility_check(self):
+        attention = tl.MultiHeadSelfAttention(8, 2, rng=self.rng)
+        out = attention(tl.Tensor(np.zeros((2, 5, 8), dtype=np.float32)))
+        assert out.shape == (2, 5, 8)
+        with pytest.raises(ValueError):
+            tl.MultiHeadSelfAttention(7, 2, rng=self.rng)
+
+    def test_transformer_encoder_layer_backward(self):
+        layer = tl.TransformerEncoderLayer(8, 2, 16, rng=self.rng)
+        x = tl.Tensor(np.random.default_rng(0).standard_normal(
+            (2, 4, 8)).astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert any(p.grad is not None for p in layer.parameters())

@@ -1,0 +1,200 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import torchlike as tl
+from repro.torchlike.module import Parameter
+
+
+def quadratic_loss(param: Parameter) -> tl.Tensor:
+    """Convex objective with minimum at 3.0 in every coordinate."""
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer: tl.Optimizer, param: Parameter, steps: int) -> float:
+    for _ in range(steps):
+        loss = quadratic_loss(param)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return float(quadratic_loss(param).item())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        final = run_steps(tl.SGD([param], lr=0.1), param, 100)
+        assert final < 1e-4
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_momentum_accelerates(self):
+        plain_param = Parameter(np.zeros(4, dtype=np.float32))
+        momentum_param = Parameter(np.zeros(4, dtype=np.float32))
+        plain = run_steps(tl.SGD([plain_param], lr=0.01), plain_param, 30)
+        accelerated = run_steps(tl.SGD([momentum_param], lr=0.01, momentum=0.9),
+                                momentum_param, 30)
+        assert accelerated < plain
+
+    def test_weight_decay_shrinks_solution(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        run_steps(tl.SGD([param], lr=0.1, weight_decay=0.5), param, 200)
+        assert np.all(param.data < 3.0)
+        assert np.all(param.data > 0.0)
+
+    def test_skips_parameters_without_gradients(self):
+        param = Parameter(np.ones(2, dtype=np.float32))
+        opt = tl.SGD([param], lr=0.1)
+        opt.step()  # no backward was run
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+    def test_invalid_hyperparameters_raise(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            tl.SGD([param], lr=-1.0)
+        with pytest.raises(ValueError):
+            tl.SGD([param], lr=0.1, momentum=-0.5)
+        with pytest.raises(ValueError):
+            tl.SGD([param], lr=0.1, weight_decay=-0.1)
+        with pytest.raises(ValueError):
+            tl.SGD([], lr=0.1)
+
+
+class TestAdamFamily:
+    def test_adam_converges(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        final = run_steps(tl.Adam([param], lr=0.2), param, 200)
+        assert final < 1e-3
+
+    def test_adamw_decoupled_decay_differs_from_adam_l2(self):
+        adam_param = Parameter(np.full(2, 5.0, dtype=np.float32))
+        adamw_param = Parameter(np.full(2, 5.0, dtype=np.float32))
+        run_steps(tl.Adam([adam_param], lr=0.05, weight_decay=0.1), adam_param, 50)
+        run_steps(tl.AdamW([adamw_param], lr=0.05, weight_decay=0.1), adamw_param, 50)
+        assert not np.allclose(adam_param.data, adamw_param.data)
+
+    def test_adam_state_tracks_steps(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        opt = tl.Adam([param], lr=0.1)
+        run_steps(opt, param, 3)
+        entry = opt.state[id(param)]
+        assert entry["step"] == 3
+        assert entry["exp_avg"].shape == (2,)
+
+
+class TestOptimizerStateDict:
+    def test_roundtrip_restores_momentum_and_params(self):
+        param = Parameter(np.zeros(3, dtype=np.float32))
+        opt = tl.SGD([param], lr=0.1, momentum=0.9)
+        run_steps(opt, param, 5)
+        snapshot = opt.state_dict()
+        values_at_snapshot = param.data.copy()
+
+        run_steps(opt, param, 5)
+        assert not np.allclose(param.data, values_at_snapshot)
+
+        opt.load_state_dict(snapshot)
+        np.testing.assert_allclose(param.data, values_at_snapshot)
+        assert opt._step_count == 5
+
+    def test_load_without_param_restoration(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        opt = tl.Adam([param], lr=0.1)
+        run_steps(opt, param, 2)
+        snapshot = opt.state_dict()
+        run_steps(opt, param, 2)
+        kept_values = param.data.copy()
+        opt.load_state_dict(snapshot, restore_params=False)
+        np.testing.assert_allclose(param.data, kept_values)
+
+    def test_managed_parameters(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        opt = tl.SGD([param], lr=0.1)
+        assert opt.managed_parameters() == [param]
+
+
+class TestGradientClipping:
+    def test_clip_reduces_large_norm(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        param.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = tl.clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_clip_leaves_small_gradients_alone(self):
+        param = Parameter(np.zeros(2, dtype=np.float32))
+        param.grad = np.array([0.1, 0.1], dtype=np.float32)
+        tl.clip_grad_norm([param], max_norm=5.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])
+
+
+class TestSchedulers:
+    def make(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        return tl.SGD([param], lr=1.0)
+
+    def test_step_lr_halves_every_two_epochs(self):
+        opt = self.make()
+        sched = tl.StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25, 0.125])
+
+    def test_multi_step_lr(self):
+        opt = self.make()
+        sched = tl.MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(round(opt.lr, 6))
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_cosine_annealing_reaches_eta_min(self):
+        opt = self.make()
+        sched = tl.CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-6)
+
+    def test_cosine_annealing_midpoint(self):
+        opt = self.make()
+        sched = tl.CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5, abs=1e-6)
+
+    def test_lambda_lr(self):
+        opt = self.make()
+        sched = tl.LambdaLR(opt, lambda epoch: 1.0 / (1 + epoch))
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0 / 3.0)
+
+    def test_scheduler_state_dict_roundtrip(self):
+        opt = self.make()
+        sched = tl.StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        sched.step()
+        snapshot = sched.state_dict()
+        sched.step()
+        sched.load_state_dict(snapshot)
+        assert sched.last_epoch == 2
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_managed_optimizer(self):
+        opt = self.make()
+        sched = tl.StepLR(opt, step_size=1)
+        assert sched.managed_optimizer() is opt
+
+    def test_invalid_scheduler_parameters(self):
+        opt = self.make()
+        with pytest.raises(ValueError):
+            tl.StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            tl.CosineAnnealingLR(opt, t_max=0)

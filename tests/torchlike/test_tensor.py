@@ -1,0 +1,326 @@
+"""Unit and property-based tests for the autograd tensor engine."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import torchlike as tl
+from repro.torchlike.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def numerical_gradient(func, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = func(x.copy().reshape(x.shape))
+        flat[index] = original - eps
+        lower = func(x.copy().reshape(x.shape))
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestTensorBasics:
+    def test_construction_casts_to_float32(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.dtype == np.float32
+        assert t.shape == (3,)
+
+    def test_integer_data_preserved(self):
+        t = Tensor(np.array([1, 2, 3], dtype=np.int64))
+        assert t.dtype == np.int64
+
+    def test_item_and_float(self):
+        t = Tensor(2.5)
+        assert t.item() == pytest.approx(2.5)
+        assert float(t) == pytest.approx(2.5)
+        assert int(Tensor(3.0)) == 3
+
+    def test_detach_shares_data_but_drops_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_clone_copies_data(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        c = t.clone()
+        c.data[0] = 99.0
+        assert t.data[0] == pytest.approx(1.0)
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_pickle_drops_autograd_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2.0).sum()
+        restored = pickle.loads(pickle.dumps(b))
+        assert restored._backward is None
+        assert restored._parents == ()
+        np.testing.assert_allclose(restored.data, b.data)
+
+    def test_backward_on_non_scalar_requires_grad_argument(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+
+class TestNoGrad:
+    def test_no_grad_suspends_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            b = a * 3.0
+        assert not b.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_nesting_restores_state(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    def test_add_and_mul_gradients(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0, 6.0], requires_grad=True)
+        ((a + b) * a).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + b.data, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, a.data, rtol=1e-5)
+
+    def test_division_gradient(self):
+        a = Tensor([2.0, 4.0], requires_grad=True)
+        b = Tensor([1.0, 2.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0 / b.data, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, -a.data / b.data ** 2, rtol=1e-5)
+
+    def test_pow_gradient(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        (a ** 3).sum().backward()
+        np.testing.assert_allclose(a.grad, 3 * a.data ** 2, rtol=1e-5)
+
+    def test_broadcast_gradient_sums_over_broadcast_axes(self):
+        a = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((4,), dtype=np.float32), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0), rtol=1e-5)
+
+    def test_scalar_broadcasting(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (3.0 * a + 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 3.0])
+
+    def test_rsub_and_rdiv(self):
+        a = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((10.0 - a).data, [8.0, 6.0])
+        np.testing.assert_allclose((8.0 / a).data, [4.0, 2.0])
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        b = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 4)) @ b.data.T, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((2, 4)), rtol=1e-5)
+
+    def test_matmul_matches_numerical_gradient(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 2)).astype(np.float32)
+
+        def forward(values):
+            return float((values @ w).sum())
+
+        a = Tensor(x, requires_grad=True)
+        (a @ Tensor(w)).sum().backward()
+        numeric = numerical_gradient(forward, x.astype(np.float64))
+        np.testing.assert_allclose(a.grad, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_batched_matmul(self):
+        a = Tensor(np.ones((2, 3, 4), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((2, 4, 5), dtype=np.float32), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+
+class TestUnaryAndReduction:
+    @pytest.mark.parametrize("method, derivative", [
+        ("exp", lambda x: np.exp(x)),
+        ("tanh", lambda x: 1 - np.tanh(x) ** 2),
+        ("sigmoid", lambda x: (1 / (1 + np.exp(-x))) * (1 - 1 / (1 + np.exp(-x)))),
+        ("relu", lambda x: (x > 0).astype(np.float32)),
+        ("abs", lambda x: np.sign(x)),
+    ])
+    def test_unary_gradients(self, method, derivative):
+        x = np.array([-1.5, -0.2, 0.3, 2.0], dtype=np.float32)
+        t = Tensor(x, requires_grad=True)
+        getattr(t, method)().sum().backward()
+        np.testing.assert_allclose(t.grad, derivative(x), rtol=1e-4, atol=1e-6)
+
+    def test_log_and_sqrt_gradients(self):
+        x = np.array([0.5, 1.0, 4.0], dtype=np.float32)
+        t = Tensor(x, requires_grad=True)
+        t.log().sum().backward()
+        np.testing.assert_allclose(t.grad, 1 / x, rtol=1e-5)
+        t2 = Tensor(x, requires_grad=True)
+        t2.sqrt().sum().backward()
+        np.testing.assert_allclose(t2.grad, 0.5 / np.sqrt(x), rtol=1e-5)
+
+    def test_clip_gradient_masks_out_of_range(self):
+        t = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_sum_axis_and_keepdims(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        t = Tensor(np.ones((4,), dtype=np.float32), requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full(4, 0.25))
+
+    def test_max_gradient_flows_to_argmax(self):
+        t = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_min_matches_numpy(self):
+        t = Tensor([[1.0, -2.0], [0.5, 7.0]])
+        assert t.min().item() == pytest.approx(-2.0)
+
+    def test_var_matches_numpy(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        assert Tensor(x).var().item() == pytest.approx(np.var(x), rel=1e-5)
+
+    def test_norm(self):
+        assert Tensor([3.0, 4.0]).norm().item() == pytest.approx(5.0)
+
+    def test_argmax_argmin(self):
+        t = Tensor([[1.0, 9.0], [4.0, 2.0]])
+        np.testing.assert_array_equal(t.argmax(axis=1).data, [1, 0])
+        np.testing.assert_array_equal(t.argmin(axis=1).data, [0, 1])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        t = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        t.reshape(2, 3).sum().backward()
+        assert t.grad.shape == (6,)
+
+    def test_transpose_gradient(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        out = t.transpose()
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert t.grad.shape == (2, 3)
+
+    def test_transpose_with_axes_and_swapaxes(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.transpose(0, 2, 1).shape == (2, 4, 3)
+        assert t.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_getitem_gradient_scatter(self):
+        t = Tensor(np.arange(5, dtype=np.float32), requires_grad=True)
+        t[np.array([0, 2])].sum().backward()
+        np.testing.assert_allclose(t.grad, [1, 0, 1, 0, 0])
+
+    def test_flatten_and_unsqueeze_squeeze(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.flatten(start_dim=1).shape == (2, 12)
+        assert t.unsqueeze(0).shape == (1, 2, 3, 4)
+        assert Tensor(np.zeros((1, 3), dtype=np.float32)).squeeze(0).shape == (3,)
+
+    def test_softmax_sums_to_one(self):
+        t = Tensor(np.random.default_rng(0).standard_normal((4, 5)).astype(np.float32))
+        np.testing.assert_allclose(t.softmax(axis=1).data.sum(axis=1),
+                                   np.ones(4), rtol=1e-5)
+
+    def test_log_softmax_is_log_of_softmax(self):
+        t = Tensor(np.random.default_rng(0).standard_normal((3, 4)).astype(np.float32))
+        np.testing.assert_allclose(t.log_softmax().data,
+                                   np.log(t.softmax().data), rtol=1e-4, atol=1e-5)
+
+
+class TestFactoriesAndCombinators:
+    def test_factories(self):
+        assert tl.zeros(2, 3).shape == (2, 3)
+        assert tl.ones(4).data.sum() == pytest.approx(4.0)
+        assert tl.full((2, 2), 7.0).data[0, 0] == pytest.approx(7.0)
+        assert tl.arange(5).shape == (5,)
+        assert tl.randn(3, 2, rng=np.random.default_rng(0)).shape == (3, 2)
+        assert tl.rand(3, rng=np.random.default_rng(0)).shape == (3,)
+
+    def test_stack_and_cat_gradients(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        tl.stack([a, b]).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        a.zero_grad(), b.zero_grad()
+        tl.cat([a, b]).sum().backward()
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_comparison_operators_return_masks(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal((t > 1.5).data, [False, True, True])
+        np.testing.assert_array_equal((t <= 2.0).data, [True, True, False])
+        np.testing.assert_array_equal((t == 2.0).data, [False, True, False])
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_gradient_is_ones(self, values):
+        t = Tensor(np.array(values, dtype=np.float32), requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones(len(values)), rtol=1e-6)
+
+    @given(st.lists(st.floats(-3, 3), min_size=2, max_size=12),
+           st.floats(-2, 2), st.floats(-2, 2))
+    @settings(max_examples=50, deadline=None)
+    def test_linearity_of_gradients(self, values, alpha, beta):
+        x = np.array(values, dtype=np.float32)
+        a = Tensor(x, requires_grad=True)
+        (alpha * a + beta * a).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(len(values), alpha + beta),
+                                   rtol=1e-4, atol=1e-4)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_reshape_preserves_sum(self, rows, cols):
+        data = np.arange(rows * cols, dtype=np.float32)
+        t = Tensor(data)
+        assert t.reshape(rows, cols).sum().item() == pytest.approx(data.sum())

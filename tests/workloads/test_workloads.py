@@ -1,0 +1,182 @@
+"""Tests for the workload catalogue, synthetic data, models and training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import torchlike as tl
+from repro.exceptions import WorkloadError
+from repro.workloads import (WORKLOADS, build_model_for, build_training_script,
+                             dataset_for, get_workload, make_training_setup,
+                             run_vanilla_training, synthetic_data,
+                             workload_names)
+from repro.workloads.models import (MiniJasper, MiniResNet, MiniRNNTranslator,
+                                    MiniRoBERTaClassifier, MiniSqueezeNet)
+
+
+class TestRegistry:
+    def test_eight_workloads_in_table3_order(self):
+        assert workload_names() == ["RTE", "CoLA", "Cifr", "RsNt", "Wiki",
+                                    "Jasp", "ImgN", "RnnT"]
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_workload("rte").name == "RTE"
+        assert get_workload("RSNT").model == "ResNet-152"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("BERT")
+
+    def test_table3_epoch_counts(self):
+        epochs = {name: spec.epochs for name, spec in WORKLOADS.items()}
+        assert epochs == {"RTE": 200, "CoLA": 80, "Cifr": 200, "RsNt": 200,
+                          "Wiki": 12, "Jasp": 4, "ImgN": 8, "RnnT": 8}
+
+    def test_fine_tune_flags(self):
+        assert get_workload("RTE").is_fine_tune
+        assert get_workload("CoLA").is_fine_tune
+        assert not get_workload("Cifr").is_fine_tune
+
+    def test_derived_quantities(self):
+        spec = get_workload("RsNt")
+        assert spec.vanilla_seconds == pytest.approx(spec.vanilla_hours * 3600)
+        assert spec.epoch_seconds == pytest.approx(spec.vanilla_seconds / 200)
+        assert spec.checkpoint_nbytes_per_epoch == pytest.approx(
+            spec.checkpoint_nbytes / 200)
+
+    def test_fine_tune_workloads_have_poor_materialize_compute_ratio(self):
+        """The structural property adaptive checkpointing reacts to: the
+        fine-tuning workloads write far more checkpoint bytes per second of
+        epoch compute than the training workloads."""
+        def ratio(name):
+            spec = get_workload(name)
+            return spec.checkpoint_nbytes_per_epoch / spec.epoch_seconds
+
+        worst_fine_tune = min(ratio("RTE"), ratio("CoLA"))
+        best_training = max(ratio(name) for name in ("Cifr", "Wiki", "Jasp",
+                                                     "ImgN"))
+        assert worst_fine_tune > best_training
+
+
+class TestSyntheticData:
+    def test_image_dataset_shapes_and_determinism(self):
+        ds = synthetic_data.synthetic_image_classification(num_samples=20, seed=3)
+        image, label = ds[0]
+        assert image.shape == (3, 16, 16)
+        assert 0 <= label < 4
+        again = synthetic_data.synthetic_image_classification(num_samples=20, seed=3)
+        np.testing.assert_allclose(ds[5][0], again[5][0])
+
+    def test_image_dataset_is_learnable_signal(self):
+        ds = synthetic_data.synthetic_image_classification(num_samples=40, seed=0)
+        images = np.stack([ds[i][0] for i in range(40)])
+        labels = np.array([ds[i][1] for i in range(40)])
+        # Class-0 images have a bright top-left quadrant on average.
+        class0 = images[labels == 0][:, :, :8, :8].mean()
+        other = images[labels != 0][:, :, :8, :8].mean()
+        assert class0 > other
+
+    def test_text_dataset_keyword_marks_positive_class(self):
+        ds = synthetic_data.synthetic_text_classification(num_samples=50, seed=0)
+        tokens = np.stack([ds[i][0] for i in range(50)])
+        labels = np.array([ds[i][1] for i in range(50)])
+        has_keyword = (tokens == 1).any(axis=1)
+        np.testing.assert_array_equal(has_keyword, labels == 1)
+
+    def test_language_modeling_targets_are_shifted_inputs(self):
+        ds = synthetic_data.synthetic_language_modeling(num_samples=10, seed=0)
+        inputs, targets = ds[0]
+        assert inputs.shape == targets.shape
+        # Targets continue the same arithmetic progression.
+        step = (targets[0] - inputs[0]) % 50
+        np.testing.assert_array_equal((inputs + step) % 50, targets)
+
+    def test_speech_frames_band_structure(self):
+        ds = synthetic_data.synthetic_speech_frames(num_samples=12, seed=0)
+        frames, label = ds[0]
+        assert frames.shape == (1, 16, 16)
+
+    def test_translation_pairs_reverse_relation(self):
+        ds = synthetic_data.synthetic_translation_pairs(num_samples=8, seed=0)
+        source, target = ds[0]
+        np.testing.assert_array_equal(target, (source[::-1] + 1) % 40)
+
+
+class TestModels:
+    @pytest.mark.parametrize("model_cls,input_shape", [
+        (MiniSqueezeNet, (2, 3, 16, 16)),
+        (MiniResNet, (2, 3, 16, 16)),
+        (MiniJasper, (2, 1, 16, 16)),
+    ])
+    def test_vision_models_forward_and_backward(self, model_cls, input_shape):
+        model = model_cls(num_classes=4, rng=np.random.default_rng(0))
+        x = tl.Tensor(np.random.default_rng(1).standard_normal(
+            input_shape).astype(np.float32))
+        logits = model(x)
+        assert logits.shape == (input_shape[0], 4)
+        tl.cross_entropy(logits, np.zeros(input_shape[0], dtype=np.int64)).backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+    def test_roberta_classifier_forward(self):
+        model = MiniRoBERTaClassifier(rng=np.random.default_rng(0))
+        tokens = np.random.default_rng(0).integers(0, 50, size=(3, 10))
+        logits = model(tokens)
+        assert logits.shape == (3, 2)
+
+    def test_frozen_encoder_excludes_parameters_from_training(self):
+        model = MiniRoBERTaClassifier(freeze_encoder=True,
+                                      rng=np.random.default_rng(0))
+        trainable = model.trainable_parameters()
+        assert 0 < len(trainable) < len(list(model.parameters()))
+        head_params = set(map(id, model.head.parameters()))
+        assert head_params <= set(map(id, trainable))
+
+    def test_rnn_translator_output_shape(self):
+        model = MiniRNNTranslator(vocab_size=40, d_model=8,
+                                  rng=np.random.default_rng(0))
+        source = np.random.default_rng(0).integers(2, 40, size=(2, 6))
+        logits = model(source)
+        assert logits.shape == (2, 6, 40)
+
+    def test_build_model_for_every_workload(self):
+        for name in workload_names():
+            model = build_model_for(name, rng=np.random.default_rng(0))
+            assert model.num_parameters() > 0
+
+    def test_build_model_for_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_model_for("gpt4")
+
+
+class TestTraining:
+    def test_make_training_setup_uses_adamw_for_fine_tuning(self):
+        setup = make_training_setup("RTE")
+        assert isinstance(setup.optimizer, tl.AdamW)
+        setup = make_training_setup("Cifr")
+        assert isinstance(setup.optimizer, tl.SGD)
+
+    def test_dataset_for_every_workload(self):
+        for name in workload_names():
+            dataset = dataset_for(get_workload(name))
+            assert len(dataset) > 0
+
+    @pytest.mark.parametrize("name", ["Cifr", "RTE", "RnnT"])
+    def test_vanilla_training_reduces_loss(self, name):
+        losses = run_vanilla_training(name, epochs=3)
+        assert len(losses) == 3
+        assert losses[-1] < losses[0]
+
+    def test_training_script_builds_and_compiles_for_every_workload(self):
+        for name in workload_names():
+            source = build_training_script(name, epochs=2)
+            compile(source, f"<{name}>", "exec")
+            assert "for epoch in range(2):" in source
+            assert "flor.log" in source
+
+    def test_training_script_is_instrumentable(self):
+        from repro.analysis import instrument_source
+        result = instrument_source(build_training_script("Cifr", epochs=2))
+        assert result.has_main_loop
+        assert "skipblock_0" in result.blocks
+        assert "optimizer" in result.blocks["skipblock_0"].changeset
