@@ -4,8 +4,9 @@ The paper exposes a single meaningful knob to the user — the record overhead
 tolerance ``epsilon`` (Section 5.3, Eq. 1) — and fixes a handful of internal
 constants (the restore/materialize scaling factor ``c``, the checkpoint
 batching size for fork-based materialization, and so on).  This module keeps
-all of them in one dataclass so sessions, simulators and benchmarks share a
-single source of truth.
+all of them — plus the storage-backend and async-spool knobs this
+reproduction adds on the road to multi-run scale — in one dataclass so
+sessions, simulators and benchmarks share a single source of truth.
 """
 
 from __future__ import annotations
@@ -31,6 +32,18 @@ DEFAULT_FORK_BATCH_SIZE = 5000
 #: Default directory in which runs store checkpoints, logs and source copies.
 DEFAULT_HOME = Path(os.environ.get("FLOR_HOME", "~/.flor_repro")).expanduser()
 
+#: Default shard count for the sharded storage backend.
+DEFAULT_STORAGE_SHARDS = 4
+
+#: Default worker-pool size of the async materialization spool.
+DEFAULT_SPOOL_WORKERS = 2
+
+#: Default bound on in-flight checkpoints before ``submit`` backpressures.
+DEFAULT_SPOOL_QUEUE_SIZE = 64
+
+#: Default number of manifest rows per batched commit.
+DEFAULT_MANIFEST_BATCH_SIZE = 16
+
 
 @dataclass(frozen=True)
 class FlorConfig:
@@ -51,27 +64,65 @@ class FlorConfig:
         When False, every SkipBlock execution is memoized regardless of the
         Joint Invariant — the "adaptivity disabled" ablation in Figure 7.
     background_materialization:
-        Strategy name for checkpoint materialization: one of ``"fork"``,
-        ``"thread"``, ``"ipc_queue"``, ``"sequential"``.
+        Strategy name for checkpoint materialization: one of ``"spool"``
+        (the default: the bounded async pipeline), ``"fork"``,
+        ``"thread"``, ``"ipc_queue"``, ``"shared_memory"``,
+        ``"sequential"``.
     fork_batch_size:
-        Number of buffered checkpoint objects that triggers a fork.
+        Number of buffered checkpoint objects that triggers a fork
+        (``"fork"`` strategy only).
     compress_checkpoints:
         Gzip-compress payloads before they hit disk (Table 4 reports
         compressed sizes).
     strict_consistency:
         When True, deferred correctness checks raise instead of warning.
+    storage_backend:
+        Checkpoint storage backend: ``"local"`` (single SQLite manifest +
+        payload tree, the default), ``"memory"`` (process-local, for tests
+        and benchmarks) or ``"sharded"`` (checkpoints partitioned by
+        ``hash(block_id) % storage_shards``, one manifest per shard).
+        Reopening an existing run auto-detects its backend, so replay
+        never needs this to match the record-time value.
+    storage_shards:
+        Shard count for the ``"sharded"`` backend.  Persisted in the
+        run's ``shards.json`` at record time; the persisted value wins on
+        reopen.
+    spool_workers:
+        Worker-pool size of the async spool (``"spool"`` strategy):
+        how many checkpoints serialize/compress/write concurrently.
+    spool_queue_size:
+        Bound on checkpoints in flight in the spool.  When the queue is
+        full, ``submit`` blocks (backpressure) so record-time memory stays
+        bounded regardless of checkpoint traffic.
+    spool_mode:
+        ``"thread"`` (default) runs spool workers as threads;
+        ``"process"`` runs the CPU-bound serialize+gzip stage in a process
+        pool, sidestepping the GIL for large checkpoints.
+    manifest_batch_size:
+        Manifest rows the spool buffers before one batched transactional
+        commit.  Larger batches amortize commit overhead; ``flush()``
+        commits any remainder.
     """
 
     home: Path = field(default_factory=lambda: DEFAULT_HOME)
     epsilon: float = DEFAULT_EPSILON
     scaling_factor: float = DEFAULT_SCALING_FACTOR
     adaptive_checkpointing: bool = True
-    background_materialization: str = "thread"
+    background_materialization: str = "spool"
     fork_batch_size: int = DEFAULT_FORK_BATCH_SIZE
     compress_checkpoints: bool = True
     strict_consistency: bool = False
+    storage_backend: str = "local"
+    storage_shards: int = DEFAULT_STORAGE_SHARDS
+    spool_workers: int = DEFAULT_SPOOL_WORKERS
+    spool_queue_size: int = DEFAULT_SPOOL_QUEUE_SIZE
+    spool_mode: str = "thread"
+    manifest_batch_size: int = DEFAULT_MANIFEST_BATCH_SIZE
 
-    _VALID_MATERIALIZERS = ("fork", "thread", "ipc_queue", "sequential")
+    _VALID_MATERIALIZERS = ("fork", "thread", "ipc_queue", "sequential",
+                            "shared_memory", "spool")
+    _VALID_BACKENDS = ("local", "memory", "sharded")
+    _VALID_SPOOL_MODES = ("thread", "process")
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0 or self.epsilon >= 1:
@@ -91,6 +142,34 @@ class FlorConfig:
                 "background_materialization must be one of "
                 f"{self._VALID_MATERIALIZERS}, got "
                 f"{self.background_materialization!r}"
+            )
+        if self.storage_backend not in self._VALID_BACKENDS:
+            raise ConfigError(
+                f"storage_backend must be one of {self._VALID_BACKENDS}, "
+                f"got {self.storage_backend!r}"
+            )
+        if self.storage_shards < 1:
+            raise ConfigError(
+                f"storage_shards must be >= 1, got {self.storage_shards!r}"
+            )
+        if self.spool_workers < 1:
+            raise ConfigError(
+                f"spool_workers must be >= 1, got {self.spool_workers!r}"
+            )
+        if self.spool_queue_size < 1:
+            raise ConfigError(
+                f"spool_queue_size must be >= 1, got "
+                f"{self.spool_queue_size!r}"
+            )
+        if self.spool_mode not in self._VALID_SPOOL_MODES:
+            raise ConfigError(
+                f"spool_mode must be one of {self._VALID_SPOOL_MODES}, "
+                f"got {self.spool_mode!r}"
+            )
+        if self.manifest_batch_size < 1:
+            raise ConfigError(
+                f"manifest_batch_size must be >= 1, got "
+                f"{self.manifest_batch_size!r}"
             )
         object.__setattr__(self, "home", Path(self.home).expanduser())
 

@@ -41,6 +41,7 @@ class BlockStats:
     checkpoints: int = 0           # k_i
     total_compute_seconds: float = 0.0
     total_materialize_seconds: float = 0.0
+    total_background_seconds: float = 0.0
     total_restore_seconds: float = 0.0
     last_decision: "CheckpointDecision | None" = None
 
@@ -95,6 +96,25 @@ class AdaptiveController:
         if seconds > 0 and nbytes > 0:
             observed = nbytes / seconds
             # Exponentially-weighted blend keeps the estimate adaptive.
+            self._throughput = 0.7 * self._throughput + 0.3 * observed
+
+    def observe_background_materialization(self, block_id: str,
+                                           seconds: float,
+                                           nbytes: int) -> None:
+        """Record an asynchronously completed materialization.
+
+        Called from the spool's completion callback.  Unlike
+        :meth:`observe_materialization` this neither increments ``k_i``
+        (the SkipBlock already counted the checkpoint at submit time) nor
+        charges the record hot path; it only refines the throughput model
+        with the *real* background serialize+compress+write rate, which
+        the submit-time main-thread measurement of an async strategy
+        cannot see.
+        """
+        entry = self.block(block_id)
+        entry.total_background_seconds += max(seconds, 0.0)
+        if seconds > 0 and nbytes > 0:
+            observed = nbytes / seconds
             self._throughput = 0.7 * self._throughput + 0.3 * observed
 
     def observe_restore(self, block_id: str, restore_seconds: float,
@@ -178,6 +198,7 @@ class AdaptiveController:
                 "checkpoints": entry.checkpoints,
                 "total_compute_seconds": entry.total_compute_seconds,
                 "total_materialize_seconds": entry.total_materialize_seconds,
+                "total_background_seconds": entry.total_background_seconds,
                 "total_restore_seconds": entry.total_restore_seconds,
             }
             for block_id, entry in self.stats.items()

@@ -39,6 +39,7 @@ class RecordResult:
     materialization_main_thread_seconds: float
     checkpoint_count: int
     stored_nbytes: int
+    storage_backend: str = "local"
     log_records: list[LogRecord] = field(default_factory=list)
     instrumentation: InstrumentationResult | None = None
 
@@ -95,6 +96,7 @@ def record_source(source: str, name: str | None = None,
             session.materializer.stats.total_main_thread_seconds,
         checkpoint_count=session.store.checkpoint_count(),
         stored_nbytes=session.store.total_stored_nbytes(),
+        storage_backend=session.store.backend.name,
         log_records=list(session.logs.records),
         instrumentation=instrumentation,
     )

@@ -201,8 +201,14 @@ class SkipBlock:
         if decision.materialize:
             ticket = session.materializer.submit(
                 self.block_id, self.execution_index, snapshots)
+            # An async submit's main-thread time is just the enqueue cost;
+            # feeding nbytes/enqueue-time into the throughput model would
+            # inflate it absurdly.  Pass nbytes only for inline completions;
+            # async strategies refine throughput through the background
+            # completion callback instead.
             session.adaptive.observe_materialization(
-                self.block_id, ticket.main_thread_seconds, payload_nbytes)
+                self.block_id, ticket.main_thread_seconds,
+                payload_nbytes if ticket.completed_inline else 0)
         return tuple(named_values.values())
 
     # -- skip-and-restore path ---------------------------------------------

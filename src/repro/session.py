@@ -80,7 +80,9 @@ class Session:
         self.run_dir: Path = self.config.run_dir(run_id)
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.store = CheckpointStore(self.run_dir,
-                                     compress=self.config.compress_checkpoints)
+                                     compress=self.config.compress_checkpoints,
+                                     backend=self.config.storage_backend,
+                                     num_shards=self.config.storage_shards)
 
         if self.mode is Mode.RECORD:
             log_path = self.run_dir / "record.log"
@@ -94,8 +96,15 @@ class Session:
             epsilon=self.config.epsilon,
             scaling_factor=self.config.scaling_factor,
             enabled=self.config.adaptive_checkpointing)
+        materializer_kwargs = {}
+        if self.config.background_materialization == "spool":
+            # Feed real background materialization timings back into the
+            # adaptive controller's throughput model (Section 5.3.2).
+            materializer_kwargs["on_complete"] = (
+                self.adaptive.observe_background_materialization)
         self.materializer: Materializer = create_materializer(
-            self.config.background_materialization, self.store)
+            self.config.background_materialization, self.store,
+            config=self.config, **materializer_kwargs)
 
         self.block_specs: dict[str, BlockSpec] = {}
         if self.mode is Mode.REPLAY:
@@ -283,18 +292,33 @@ class Session:
             self.store.set_metadata("main_loop_total", self.main_loop_total)
             self.store.set_metadata("iterations_run", self.iterations_run)
             self.store.set_metadata("adaptive_summary", self.adaptive.summary())
-            self.store.set_metadata("materializer", {
+            materializer_meta = {
                 "strategy": self.materializer.name,
                 "submitted": self.materializer.stats.submitted,
                 "main_thread_seconds":
                     self.materializer.stats.total_main_thread_seconds,
-            })
+            }
+            spool = getattr(self.materializer, "spool", None)
+            if spool is not None:
+                materializer_meta["spool"] = {
+                    "workers": spool.workers,
+                    "mode": spool.mode,
+                    "completed": spool.stats.completed,
+                    "manifest_commits": spool.stats.manifest_commits,
+                    "backpressure_waits": spool.stats.backpressure_waits,
+                    "backpressure_seconds": spool.stats.backpressure_seconds,
+                    "spool_seconds": spool.stats.spool_seconds,
+                }
+            self.store.set_metadata("materializer", materializer_meta)
+            self.store.set_metadata("storage_backend",
+                                    self.store.backend.name)
             self.store.set_metadata("environment", {
                 "platform": platform.platform(),
                 "python": platform.python_version(),
                 "user": _safe_user(),
                 "wall_seconds": time.time() - self._started_at,
             })
+        self.store.flush()
 
     # ------------------------------------------------------------------ #
     # Activation / context manager protocol

@@ -1,6 +1,35 @@
-"""Checkpoint storage: serialization, compression, the SQLite-indexed store,
-cloud pricing, and background spooling to (simulated) object storage."""
+"""Checkpoint storage: the persistence layer of hindsight logging.
 
+The record phase turns loop state into Loop End Checkpoints; this package
+owns everything that happens to them afterwards:
+
+* :mod:`~repro.storage.serializer` — snapshots Python values (state-dict
+  aware, so models checkpoint as weight arrays, not object graphs) and
+  pickles snapshot lists into payload bytes, timing the work for the
+  adaptive controller.
+* :mod:`~repro.storage.compression` — gzip codec for payloads (Table 4
+  reports compressed sizes).
+* :mod:`~repro.storage.backends` — the pluggable backend abstraction:
+  ``local`` (one SQLite manifest + payload tree), ``memory`` (process-local,
+  for tests/benchmarks) and ``sharded`` (checkpoints partitioned by
+  ``hash(block_id) % num_shards``, one manifest per shard).
+* :mod:`~repro.storage.checkpoint_store` — the facade every other module
+  talks to: compression, digests, run metadata, source snapshots, and
+  backend routing behind a stable API.
+* :mod:`~repro.storage.spool` — :class:`AsyncSpool`, the bounded background
+  materialization pipeline (worker pool, batched manifest commits,
+  backpressure, a ``flush()`` barrier), plus the paper's EBS-to-S3
+  transfer sim.
+* :mod:`~repro.storage.costs` — the cloud pricing model behind the paper's
+  storage-cost tables.
+
+The durability contract threaded through all of it: payloads are written
+before their manifest rows commit, so the manifest never references a
+missing payload.
+"""
+
+from .backends import (BACKEND_NAMES, InMemoryBackend, LocalSQLiteBackend,
+                       ShardedSQLiteBackend, StorageBackend, resolve_backend)
 from .checkpoint_store import CheckpointRecord, CheckpointStore
 from .compression import CompressionResult, compress, compression_ratio, decompress
 from .costs import (GiB, INSTANCE_PRICES, InstanceType, S3_PRICE_PER_GB_MONTH,
@@ -8,14 +37,16 @@ from .costs import (GiB, INSTANCE_PRICES, InstanceType, S3_PRICE_PER_GB_MONTH,
 from .serializer import (SerializedCheckpoint, ValueSnapshot,
                          deserialize_checkpoint, restore_value,
                          serialize_checkpoint, snapshot_value)
-from .spool import BackgroundSpooler, SpoolStats
+from .spool import AsyncSpool, AsyncSpoolStats, BackgroundSpooler, SpoolStats
 
 __all__ = [
     "CheckpointStore", "CheckpointRecord",
+    "StorageBackend", "LocalSQLiteBackend", "InMemoryBackend",
+    "ShardedSQLiteBackend", "resolve_backend", "BACKEND_NAMES",
     "ValueSnapshot", "SerializedCheckpoint", "snapshot_value", "restore_value",
     "serialize_checkpoint", "deserialize_checkpoint",
     "compress", "decompress", "compression_ratio", "CompressionResult",
     "S3_PRICE_PER_GB_MONTH", "INSTANCE_PRICES", "InstanceType",
     "storage_cost_per_month", "compute_cost", "gb", "GiB",
-    "BackgroundSpooler", "SpoolStats",
+    "AsyncSpool", "AsyncSpoolStats", "BackgroundSpooler", "SpoolStats",
 ]

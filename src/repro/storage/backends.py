@@ -1,0 +1,609 @@
+"""Pluggable checkpoint storage backends.
+
+A backend owns the two planes of the checkpoint store:
+
+* the **payload plane** — opaque byte blobs, one per Loop End Checkpoint,
+  addressed by an opaque *location* string the backend hands out, and
+* the **manifest plane** — the index of checkpoints by
+  ``(block_id, execution_index)`` with sizes, timings and digests, plus a
+  small run-metadata table.
+
+:class:`~repro.storage.checkpoint_store.CheckpointStore` routes every read
+and write through this interface, so the rest of the system (sessions,
+materializers, the replayer, the spool) never touches SQLite or the
+filesystem directly.  Three implementations ship:
+
+``local``
+    The original single-directory layout: one ``manifest.sqlite`` plus a
+    ``checkpoints/`` payload tree.  Reuses one WAL-mode connection per
+    process (reopening automatically after ``fork``) and commits batched
+    inserts in a single transaction.
+``memory``
+    Everything in process memory — for tests and benchmarks.  Backends are
+    registered per run directory so "reopening" the store in the same
+    process attaches to the same data.
+``sharded``
+    Partitions checkpoints across ``num_shards`` local backends by
+    ``hash(block_id) % num_shards``, one manifest per shard, so concurrent
+    writers (spool workers, replay workers) contend on different SQLite
+    files.  The shard count is persisted in ``shards.json`` and wins over
+    whatever a reopening caller asks for.
+
+The durability contract every backend honours: a payload is written
+*before* its manifest row is committed, so the manifest never references a
+missing payload (crash-mid-spool leaves at most orphaned payload files).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..exceptions import StorageError
+from ..utils.hashing import stable_hash
+
+__all__ = [
+    "BACKEND_NAMES", "DEFAULT_NUM_SHARDS", "CheckpointRecord",
+    "StorageBackend", "LocalSQLiteBackend", "InMemoryBackend",
+    "ShardedSQLiteBackend", "resolve_backend",
+]
+
+#: Backend names accepted by the configuration layer.
+BACKEND_NAMES = ("local", "memory", "sharded")
+
+#: Shard count used when a sharded backend is requested without one.
+DEFAULT_NUM_SHARDS = 4
+
+#: Filename of the sharded backend's root manifest (also the sniffing key
+#: that lets a reopening store detect a sharded layout).
+SHARD_MANIFEST_NAME = "shards.json"
+
+
+@dataclass
+class CheckpointRecord:
+    """One row of the checkpoint manifest."""
+
+    block_id: str
+    execution_index: int
+    path: Path
+    raw_nbytes: int
+    stored_nbytes: int
+    digest: str
+    serialize_seconds: float
+    write_seconds: float
+    created_at: float
+
+
+class StorageBackend:
+    """Interface every checkpoint storage backend implements."""
+
+    name = "abstract"
+
+    # -- payload plane ----------------------------------------------------
+    def write_payload(self, block_id: str, execution_index: int,
+                      payload: bytes) -> str:
+        """Durably store one payload and return its location string."""
+        raise NotImplementedError
+
+    def read_payload(self, location: str) -> bytes:
+        raise NotImplementedError
+
+    # -- manifest plane ---------------------------------------------------
+    def index(self, record: CheckpointRecord) -> None:
+        """Commit one manifest row (upsert)."""
+        self.index_many([record])
+
+    def index_many(self, records: Sequence[CheckpointRecord]) -> None:
+        """Commit a batch of manifest rows in one transaction."""
+        raise NotImplementedError
+
+    def lookup(self, block_id: str, execution_index: int
+               ) -> CheckpointRecord | None:
+        raise NotImplementedError
+
+    def contains(self, block_id: str, execution_index: int) -> bool:
+        return self.lookup(block_id, execution_index) is not None
+
+    def executions(self, block_id: str) -> list[int]:
+        raise NotImplementedError
+
+    def latest_execution_at_or_before(self, block_id: str,
+                                      execution_index: int) -> int | None:
+        raise NotImplementedError
+
+    def blocks(self) -> list[str]:
+        raise NotImplementedError
+
+    def records(self) -> list[CheckpointRecord]:
+        raise NotImplementedError
+
+    def checkpoint_count(self) -> int:
+        raise NotImplementedError
+
+    def total_stored_nbytes(self) -> int:
+        raise NotImplementedError
+
+    def total_raw_nbytes(self) -> int:
+        raise NotImplementedError
+
+    # -- run metadata (values are already-encoded JSON strings) -----------
+    def set_metadata_json(self, key: str, value_json: str) -> None:
+        raise NotImplementedError
+
+    def get_metadata_json(self, key: str) -> str | None:
+        raise NotImplementedError
+
+    def all_metadata_json(self) -> dict[str, str]:
+        raise NotImplementedError
+
+    # -- lifecycle --------------------------------------------------------
+    def flush(self) -> None:
+        """Make every accepted write durable."""
+
+    def close(self) -> None:
+        """Release resources.  The backend reopens lazily if used again."""
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS checkpoints (
+    block_id         TEXT NOT NULL,
+    execution_index  INTEGER NOT NULL,
+    path             TEXT NOT NULL,
+    raw_nbytes       INTEGER NOT NULL,
+    stored_nbytes    INTEGER NOT NULL,
+    digest           TEXT NOT NULL,
+    serialize_seconds REAL NOT NULL,
+    write_seconds    REAL NOT NULL,
+    created_at       REAL NOT NULL,
+    PRIMARY KEY (block_id, execution_index)
+);
+CREATE TABLE IF NOT EXISTS run_metadata (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_checkpoints_block ON checkpoints (block_id);
+"""
+
+_UPSERT = (
+    "INSERT INTO checkpoints (block_id, execution_index, path, raw_nbytes, "
+    "stored_nbytes, digest, serialize_seconds, write_seconds, created_at) "
+    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?) "
+    "ON CONFLICT(block_id, execution_index) DO UPDATE SET "
+    "path=excluded.path, raw_nbytes=excluded.raw_nbytes, "
+    "stored_nbytes=excluded.stored_nbytes, digest=excluded.digest, "
+    "serialize_seconds=excluded.serialize_seconds, "
+    "write_seconds=excluded.write_seconds, created_at=excluded.created_at")
+
+_RECORD_COLUMNS = ("block_id, execution_index, path, raw_nbytes, "
+                   "stored_nbytes, digest, serialize_seconds, write_seconds, "
+                   "created_at")
+
+
+def _row_to_record(row) -> CheckpointRecord:
+    return CheckpointRecord(
+        block_id=row[0], execution_index=row[1], path=Path(row[2]),
+        raw_nbytes=row[3], stored_nbytes=row[4], digest=row[5],
+        serialize_seconds=row[6], write_seconds=row[7], created_at=row[8])
+
+
+def sanitize_block_id(block_id: str) -> str:
+    """Make a block id safe to use as a directory name."""
+    return "".join(ch if ch.isalnum() or ch in "-_." else "_"
+                   for ch in block_id)
+
+
+class LocalSQLiteBackend(StorageBackend):
+    """Single-directory backend: one SQLite manifest + a payload tree.
+
+    One connection is opened per process and reused for every operation
+    (the seed opened a fresh connection per call).  The connection runs in
+    WAL mode so readers never block the writer; a thread lock serializes
+    access from the training thread and background spool workers, and the
+    connection is transparently reopened in children after ``fork`` (fork
+    materialization and parallel replay both fork with a live store).
+    """
+
+    name = "local"
+
+    def __init__(self, root_dir: str | Path):
+        self.root_dir = Path(root_dir)
+        self.checkpoint_dir = self.root_dir / "checkpoints"
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._db_path = self.root_dir / "manifest.sqlite"
+        self._lock = threading.RLock()
+        self._conn: sqlite3.Connection | None = None
+        self._conn_pid: int | None = None
+        with self._lock:
+            self._connection().executescript(_SCHEMA)
+            self._connection().commit()
+
+    def _connection(self) -> sqlite3.Connection:
+        """The process-wide connection, (re)opened lazily and after fork."""
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            # After fork the inherited connection object must not be used
+            # (or even closed) in the child; just drop the reference.
+            self._conn = sqlite3.connect(self._db_path, timeout=30.0,
+                                         check_same_thread=False)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn_pid = pid
+        return self._conn
+
+    def _query(self, sql: str, params: tuple = ()):
+        with self._lock:
+            return self._connection().execute(sql, params).fetchall()
+
+    # -- payload plane ----------------------------------------------------
+    def payload_location(self, block_id: str, execution_index: int) -> Path:
+        return (self.checkpoint_dir / sanitize_block_id(block_id)
+                / f"{execution_index}.ckpt")
+
+    def write_payload(self, block_id, execution_index, payload):
+        path = self.payload_location(block_id, execution_index)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload)
+        return str(path)
+
+    def read_payload(self, location):
+        return Path(location).read_bytes()
+
+    # -- manifest plane ---------------------------------------------------
+    def index_many(self, records):
+        if not records:
+            return
+        rows = [(r.block_id, r.execution_index, str(r.path), r.raw_nbytes,
+                 r.stored_nbytes, r.digest, r.serialize_seconds,
+                 r.write_seconds, r.created_at) for r in records]
+        with self._lock:
+            conn = self._connection()
+            with conn:  # one transaction for the whole batch
+                conn.executemany(_UPSERT, rows)
+
+    def lookup(self, block_id, execution_index):
+        rows = self._query(
+            f"SELECT {_RECORD_COLUMNS} FROM checkpoints WHERE block_id = ? "
+            "AND execution_index = ?", (block_id, execution_index))
+        return _row_to_record(rows[0]) if rows else None
+
+    def executions(self, block_id):
+        rows = self._query(
+            "SELECT execution_index FROM checkpoints WHERE block_id = ? "
+            "ORDER BY execution_index", (block_id,))
+        return [row[0] for row in rows]
+
+    def latest_execution_at_or_before(self, block_id, execution_index):
+        rows = self._query(
+            "SELECT MAX(execution_index) FROM checkpoints WHERE block_id = ? "
+            "AND execution_index <= ?", (block_id, execution_index))
+        return rows[0][0] if rows and rows[0][0] is not None else None
+
+    def blocks(self):
+        rows = self._query(
+            "SELECT DISTINCT block_id FROM checkpoints ORDER BY block_id")
+        return [row[0] for row in rows]
+
+    def records(self):
+        rows = self._query(
+            f"SELECT {_RECORD_COLUMNS} FROM checkpoints "
+            "ORDER BY block_id, execution_index")
+        return [_row_to_record(row) for row in rows]
+
+    def checkpoint_count(self):
+        return int(self._query("SELECT COUNT(*) FROM checkpoints")[0][0])
+
+    def total_stored_nbytes(self):
+        return int(self._query(
+            "SELECT COALESCE(SUM(stored_nbytes), 0) FROM checkpoints")[0][0])
+
+    def total_raw_nbytes(self):
+        return int(self._query(
+            "SELECT COALESCE(SUM(raw_nbytes), 0) FROM checkpoints")[0][0])
+
+    # -- run metadata -----------------------------------------------------
+    def set_metadata_json(self, key, value_json):
+        with self._lock:
+            conn = self._connection()
+            with conn:
+                conn.execute(
+                    "INSERT INTO run_metadata (key, value) VALUES (?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                    (key, value_json))
+
+    def get_metadata_json(self, key):
+        rows = self._query(
+            "SELECT value FROM run_metadata WHERE key = ?", (key,))
+        return rows[0][0] if rows else None
+
+    def all_metadata_json(self):
+        rows = self._query("SELECT key, value FROM run_metadata")
+        return {key: value for key, value in rows}
+
+    # -- lifecycle --------------------------------------------------------
+    def flush(self):
+        with self._lock:
+            if self._conn is not None and self._conn_pid == os.getpid():
+                self._conn.commit()
+
+    def close(self):
+        with self._lock:
+            if self._conn is not None and self._conn_pid == os.getpid():
+                self._conn.commit()
+                self._conn.close()
+            self._conn = None
+            self._conn_pid = None
+
+
+#: Process-wide registry of in-memory backends, keyed by resolved run dir,
+#: so reopening a store in the same process attaches to the same data.
+_MEMORY_REGISTRY: dict[str, "InMemoryBackend"] = {}
+_MEMORY_REGISTRY_LOCK = threading.Lock()
+
+
+def _registry_key(root_dir: str | Path) -> str:
+    return str(Path(root_dir).expanduser().resolve())
+
+
+class InMemoryBackend(StorageBackend):
+    """Everything in process memory — for tests and benchmarks.
+
+    Not shared across processes: fork/IPC materialization and
+    multi-process parallel replay write into the child's copy.  Use it
+    with in-process strategies (``sequential``, ``thread``, ``spool`` in
+    thread mode) and single-worker replay.
+    """
+
+    name = "memory"
+
+    def __init__(self, root_dir: str | Path | None = None):
+        self.root_dir = Path(root_dir) if root_dir is not None else None
+        self._lock = threading.RLock()
+        self._rows: dict[tuple[str, int], CheckpointRecord] = {}
+        self._payloads: dict[str, bytes] = {}
+        self._metadata: dict[str, str] = {}
+
+    @classmethod
+    def for_dir(cls, root_dir: str | Path) -> "InMemoryBackend":
+        """Attach to (or create) the registered backend for ``root_dir``."""
+        key = _registry_key(root_dir)
+        with _MEMORY_REGISTRY_LOCK:
+            backend = _MEMORY_REGISTRY.get(key)
+            if backend is None:
+                backend = _MEMORY_REGISTRY[key] = cls(root_dir)
+            return backend
+
+    @classmethod
+    def discard_dir(cls, root_dir: str | Path) -> None:
+        """Drop the registered backend for ``root_dir`` (test hygiene)."""
+        with _MEMORY_REGISTRY_LOCK:
+            _MEMORY_REGISTRY.pop(_registry_key(root_dir), None)
+
+    # -- payload plane ----------------------------------------------------
+    def write_payload(self, block_id, execution_index, payload):
+        # No "//" in the scheme: locations round-trip through pathlib, which
+        # collapses duplicate slashes.
+        location = f"mem:{sanitize_block_id(block_id)}/{execution_index}"
+        with self._lock:
+            self._payloads[location] = bytes(payload)
+        return location
+
+    def read_payload(self, location):
+        with self._lock:
+            try:
+                return self._payloads[str(location)]
+            except KeyError:
+                raise StorageError(
+                    f"no in-memory payload at {location!r}") from None
+
+    # -- manifest plane ---------------------------------------------------
+    def index_many(self, records):
+        with self._lock:
+            for record in records:
+                self._rows[(record.block_id, record.execution_index)] = record
+
+    def lookup(self, block_id, execution_index):
+        with self._lock:
+            return self._rows.get((block_id, execution_index))
+
+    def executions(self, block_id):
+        with self._lock:
+            return sorted(index for block, index in self._rows
+                          if block == block_id)
+
+    def latest_execution_at_or_before(self, block_id, execution_index):
+        candidates = [index for index in self.executions(block_id)
+                      if index <= execution_index]
+        return max(candidates) if candidates else None
+
+    def blocks(self):
+        with self._lock:
+            return sorted({block for block, _ in self._rows})
+
+    def records(self):
+        with self._lock:
+            return [self._rows[key] for key in sorted(self._rows)]
+
+    def checkpoint_count(self):
+        with self._lock:
+            return len(self._rows)
+
+    def total_stored_nbytes(self):
+        with self._lock:
+            return sum(r.stored_nbytes for r in self._rows.values())
+
+    def total_raw_nbytes(self):
+        with self._lock:
+            return sum(r.raw_nbytes for r in self._rows.values())
+
+    # -- run metadata -----------------------------------------------------
+    def set_metadata_json(self, key, value_json):
+        with self._lock:
+            self._metadata[key] = value_json
+
+    def get_metadata_json(self, key):
+        with self._lock:
+            return self._metadata.get(key)
+
+    def all_metadata_json(self):
+        with self._lock:
+            return dict(self._metadata)
+
+
+class ShardedSQLiteBackend(StorageBackend):
+    """Partitions checkpoints across per-shard SQLite manifests.
+
+    Shard assignment is ``int(sha256(block_id)[:8], 16) % num_shards`` —
+    stable across processes and Python invocations (``hash()`` is
+    randomized for strings).  Each shard is a complete
+    :class:`LocalSQLiteBackend` under ``shards/shard-<k>/``, so writers of
+    different blocks commit to different SQLite files.  Run metadata lives
+    in shard 0.  ``shards.json`` at the root records the shard count;
+    a reopening store always honours the recorded count, so replaying a
+    sharded run needs no configuration.
+    """
+
+    name = "sharded"
+
+    def __init__(self, root_dir: str | Path,
+                 num_shards: int = DEFAULT_NUM_SHARDS):
+        self.root_dir = Path(root_dir)
+        self.num_shards = self._load_or_init_manifest(int(num_shards))
+        self.shards = [
+            LocalSQLiteBackend(self.root_dir / "shards" / f"shard-{k:02d}")
+            for k in range(self.num_shards)]
+
+    def _load_or_init_manifest(self, requested: int) -> int:
+        if requested < 1:
+            raise StorageError(f"num_shards must be >= 1, got {requested}")
+        manifest_path = self.root_dir / SHARD_MANIFEST_NAME
+        if manifest_path.exists():
+            try:
+                recorded = json.loads(manifest_path.read_text("utf-8"))
+                return int(recorded["num_shards"])
+            except (ValueError, KeyError, TypeError) as exc:
+                raise StorageError(
+                    f"corrupt shard manifest at {manifest_path}: {exc}"
+                ) from exc
+        self.root_dir.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(json.dumps(
+            {"version": 1, "num_shards": requested,
+             "partitioner": "sha256(block_id)[:8] % num_shards"}), "utf-8")
+        return requested
+
+    def shard_for(self, block_id: str) -> int:
+        return int(stable_hash(block_id)[:8], 16) % self.num_shards
+
+    def _shard(self, block_id: str) -> LocalSQLiteBackend:
+        return self.shards[self.shard_for(block_id)]
+
+    # -- payload plane ----------------------------------------------------
+    def write_payload(self, block_id, execution_index, payload):
+        return self._shard(block_id).write_payload(
+            block_id, execution_index, payload)
+
+    def read_payload(self, location):
+        return Path(location).read_bytes()
+
+    # -- manifest plane ---------------------------------------------------
+    def index_many(self, records):
+        by_shard: dict[int, list[CheckpointRecord]] = {}
+        for record in records:
+            by_shard.setdefault(self.shard_for(record.block_id),
+                                []).append(record)
+        for shard_index, batch in by_shard.items():
+            self.shards[shard_index].index_many(batch)
+
+    def lookup(self, block_id, execution_index):
+        return self._shard(block_id).lookup(block_id, execution_index)
+
+    def contains(self, block_id, execution_index):
+        return self._shard(block_id).contains(block_id, execution_index)
+
+    def executions(self, block_id):
+        return self._shard(block_id).executions(block_id)
+
+    def latest_execution_at_or_before(self, block_id, execution_index):
+        return self._shard(block_id).latest_execution_at_or_before(
+            block_id, execution_index)
+
+    def blocks(self):
+        merged: set[str] = set()
+        for shard in self.shards:
+            merged.update(shard.blocks())
+        return sorted(merged)
+
+    def records(self):
+        merged: list[CheckpointRecord] = []
+        for shard in self.shards:
+            merged.extend(shard.records())
+        merged.sort(key=lambda r: (r.block_id, r.execution_index))
+        return merged
+
+    def checkpoint_count(self):
+        return sum(shard.checkpoint_count() for shard in self.shards)
+
+    def total_stored_nbytes(self):
+        return sum(shard.total_stored_nbytes() for shard in self.shards)
+
+    def total_raw_nbytes(self):
+        return sum(shard.total_raw_nbytes() for shard in self.shards)
+
+    # -- run metadata (kept whole in shard 0) ------------------------------
+    def set_metadata_json(self, key, value_json):
+        self.shards[0].set_metadata_json(key, value_json)
+
+    def get_metadata_json(self, key):
+        return self.shards[0].get_metadata_json(key)
+
+    def all_metadata_json(self):
+        return self.shards[0].all_metadata_json()
+
+    # -- lifecycle --------------------------------------------------------
+    def flush(self):
+        for shard in self.shards:
+            shard.flush()
+
+    def close(self):
+        for shard in self.shards:
+            shard.close()
+
+
+def resolve_backend(run_dir: str | Path,
+                    backend: "StorageBackend | str | None" = None,
+                    *, num_shards: int | None = None) -> StorageBackend:
+    """Resolve a backend for ``run_dir``.
+
+    An explicit :class:`StorageBackend` instance wins.  Otherwise an
+    existing on-disk layout is sniffed first — a ``shards.json`` reopens
+    the run as sharded (with its recorded shard count) and an in-memory
+    registration reattaches it in-process — so replaying a run never
+    requires the caller to know how it was recorded.  Absent both, the
+    named backend (default ``"local"``) is created.
+    """
+    if isinstance(backend, StorageBackend):
+        return backend
+    run_dir = Path(run_dir)
+    shards = num_shards or DEFAULT_NUM_SHARDS
+    if (run_dir / SHARD_MANIFEST_NAME).exists():
+        return ShardedSQLiteBackend(run_dir, num_shards=shards)
+    if (run_dir / "manifest.sqlite").exists():
+        # An existing local run wins over any requested name: replaying a
+        # recorded run must work regardless of the caller's configuration.
+        return LocalSQLiteBackend(run_dir)
+    registered = _MEMORY_REGISTRY.get(_registry_key(run_dir))
+    if registered is not None and backend in (None, "local", "memory"):
+        return registered
+    if backend == "memory":
+        return InMemoryBackend.for_dir(run_dir)
+    if backend == "sharded":
+        return ShardedSQLiteBackend(run_dir, num_shards=shards)
+    if backend in (None, "local"):
+        return LocalSQLiteBackend(run_dir)
+    raise StorageError(
+        f"unknown storage backend {backend!r}; known backends: "
+        f"{', '.join(BACKEND_NAMES)}")

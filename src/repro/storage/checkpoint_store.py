@@ -1,6 +1,6 @@
-"""The on-disk checkpoint store.
+"""The checkpoint store: one facade over pluggable storage backends.
 
-Layout per run::
+Layout per run (local backend, the default)::
 
     <home>/<run_id>/
         manifest.sqlite        -- SQLite index of every checkpoint
@@ -10,110 +10,64 @@ Layout per run::
         record.log             -- the record-phase log (user metrics)
         replay-*.log           -- per-worker replay logs
 
-The manifest is the database-flavoured heart of the store: a small SQLite
-schema indexing checkpoints by ``(block_id, execution_index)`` with sizes,
-timings and content digests, plus a ``runs`` table of run-level metadata.
-SQLite gives us atomic writes from forked materializer children and cheap
-queries at replay time ("which executions of block X are memoized?").
+The sharded backend replaces ``manifest.sqlite`` + ``checkpoints/`` with a
+``shards.json`` root manifest and ``shards/shard-<k>/`` subtrees, each a
+complete local layout; the in-memory backend keeps both planes in process
+memory.  See :mod:`repro.storage.backends` for the backend contract.
+
+:class:`CheckpointStore` owns what is common to every backend: payload
+compression, digests, timing measurements, JSON encoding of run metadata,
+and the source-code snapshots replay needs for probe detection (sources
+always live on the filesystem — they are tiny and the replayer reads them
+before any backend is involved).
 """
 
 from __future__ import annotations
 
 import json
-import sqlite3
 import time
-from dataclasses import dataclass
 from pathlib import Path
 
 from ..exceptions import CheckpointNotFoundError, StorageError
 from ..utils.hashing import digest_bytes
 from . import compression
+from .backends import CheckpointRecord, StorageBackend, resolve_backend
 from .serializer import (SerializedCheckpoint, ValueSnapshot,
                          deserialize_checkpoint, serialize_checkpoint)
 
 __all__ = ["CheckpointRecord", "CheckpointStore"]
 
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS checkpoints (
-    block_id         TEXT NOT NULL,
-    execution_index  INTEGER NOT NULL,
-    path             TEXT NOT NULL,
-    raw_nbytes       INTEGER NOT NULL,
-    stored_nbytes    INTEGER NOT NULL,
-    digest           TEXT NOT NULL,
-    serialize_seconds REAL NOT NULL,
-    write_seconds    REAL NOT NULL,
-    created_at       REAL NOT NULL,
-    PRIMARY KEY (block_id, execution_index)
-);
-CREATE TABLE IF NOT EXISTS run_metadata (
-    key   TEXT PRIMARY KEY,
-    value TEXT NOT NULL
-);
-CREATE INDEX IF NOT EXISTS idx_checkpoints_block ON checkpoints (block_id);
-"""
-
-
-@dataclass
-class CheckpointRecord:
-    """One row of the checkpoint manifest."""
-
-    block_id: str
-    execution_index: int
-    path: Path
-    raw_nbytes: int
-    stored_nbytes: int
-    digest: str
-    serialize_seconds: float
-    write_seconds: float
-    created_at: float
-
 
 class CheckpointStore:
-    """SQLite-indexed store of Loop End Checkpoints for a single run."""
+    """Backend-routed store of Loop End Checkpoints for a single run."""
 
-    def __init__(self, run_dir: str | Path, compress: bool = True):
+    def __init__(self, run_dir: str | Path, compress: bool = True,
+                 backend: StorageBackend | str | None = None,
+                 num_shards: int | None = None):
         self.run_dir = Path(run_dir)
-        self.checkpoint_dir = self.run_dir / "checkpoints"
+        self.run_dir.mkdir(parents=True, exist_ok=True)
         self.source_dir = self.run_dir / "source"
-        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         self.source_dir.mkdir(parents=True, exist_ok=True)
         self.compress = compress
-        self._db_path = self.run_dir / "manifest.sqlite"
-        with self._connect() as conn:
-            conn.executescript(_SCHEMA)
-
-    # ------------------------------------------------------------------ #
-    # SQLite plumbing
-    # ------------------------------------------------------------------ #
-    def _connect(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(self._db_path, timeout=30.0)
-        conn.execute("PRAGMA journal_mode=WAL")
-        return conn
+        self.backend: StorageBackend = resolve_backend(
+            self.run_dir, backend, num_shards=num_shards)
 
     # ------------------------------------------------------------------ #
     # Run metadata
     # ------------------------------------------------------------------ #
     def set_metadata(self, key: str, value) -> None:
         """Store a JSON-serializable run-level metadata value."""
-        with self._connect() as conn:
-            conn.execute(
-                "INSERT INTO run_metadata (key, value) VALUES (?, ?) "
-                "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
-                (key, json.dumps(value)))
+        self.backend.set_metadata_json(key, json.dumps(value))
 
     def get_metadata(self, key: str, default=None):
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT value FROM run_metadata WHERE key = ?", (key,)).fetchone()
-        if row is None:
+        encoded = self.backend.get_metadata_json(key)
+        if encoded is None:
             return default
-        return json.loads(row[0])
+        return json.loads(encoded)
 
     def all_metadata(self) -> dict:
-        with self._connect() as conn:
-            rows = conn.execute("SELECT key, value FROM run_metadata").fetchall()
-        return {key: json.loads(value) for key, value in rows}
+        return {key: json.loads(value)
+                for key, value in self.backend.all_metadata_json().items()}
 
     # ------------------------------------------------------------------ #
     # Source snapshots (needed for probe detection on replay)
@@ -148,25 +102,34 @@ class CheckpointStore:
     def put_serialized(self, block_id: str, execution_index: int,
                        serialized: SerializedCheckpoint) -> CheckpointRecord:
         """Persist an already-serialized checkpoint payload."""
+        record = self.write_payload(block_id, execution_index, serialized)
+        self.backend.index(record)
+        return record
+
+    def write_payload(self, block_id: str, execution_index: int,
+                      serialized: SerializedCheckpoint) -> CheckpointRecord:
+        """Compress and write one payload WITHOUT committing its manifest row.
+
+        The async spool uses this to decouple the payload plane from
+        batched manifest commits; the returned record must be passed to
+        :meth:`index_records` to become visible.  Payload-before-manifest
+        ordering is what keeps a crash mid-spool recoverable.
+        """
         payload = serialized.data
         raw_nbytes = serialized.nbytes
         if self.compress:
-            result = compression.compress(payload)
-            payload = result.data
+            payload = compression.compress(payload).data
         stored_nbytes = len(payload)
 
-        block_dir = self.checkpoint_dir / _sanitize(block_id)
-        block_dir.mkdir(parents=True, exist_ok=True)
-        path = block_dir / f"{execution_index}.ckpt"
-
         start = time.perf_counter()
-        path.write_bytes(payload)
+        location = self.backend.write_payload(block_id, execution_index,
+                                              payload)
         write_seconds = time.perf_counter() - start
 
-        record = CheckpointRecord(
+        return CheckpointRecord(
             block_id=block_id,
             execution_index=execution_index,
-            path=path,
+            path=Path(location),
             raw_nbytes=raw_nbytes,
             stored_nbytes=stored_nbytes,
             digest=digest_bytes(payload),
@@ -174,41 +137,22 @@ class CheckpointStore:
             write_seconds=write_seconds,
             created_at=time.time(),
         )
-        self._index(record)
-        return record
 
-    def _index(self, record: CheckpointRecord) -> None:
-        with self._connect() as conn:
-            conn.execute(
-                "INSERT INTO checkpoints (block_id, execution_index, path, "
-                "raw_nbytes, stored_nbytes, digest, serialize_seconds, "
-                "write_seconds, created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?) "
-                "ON CONFLICT(block_id, execution_index) DO UPDATE SET "
-                "path=excluded.path, raw_nbytes=excluded.raw_nbytes, "
-                "stored_nbytes=excluded.stored_nbytes, digest=excluded.digest, "
-                "serialize_seconds=excluded.serialize_seconds, "
-                "write_seconds=excluded.write_seconds, "
-                "created_at=excluded.created_at",
-                (record.block_id, record.execution_index, str(record.path),
-                 record.raw_nbytes, record.stored_nbytes, record.digest,
-                 record.serialize_seconds, record.write_seconds,
-                 record.created_at))
+    def index_records(self, records: list[CheckpointRecord]) -> None:
+        """Commit a batch of manifest rows in one backend transaction."""
+        self.backend.index_many(records)
 
     # ------------------------------------------------------------------ #
     # Checkpoint read path
     # ------------------------------------------------------------------ #
     def contains(self, block_id: str, execution_index: int) -> bool:
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT 1 FROM checkpoints WHERE block_id = ? AND "
-                "execution_index = ?", (block_id, execution_index)).fetchone()
-        return row is not None
+        return self.backend.contains(block_id, execution_index)
 
     def get(self, block_id: str, execution_index: int,
             run_id: str = "?") -> list[ValueSnapshot]:
         """Load and deserialize the checkpoint for one loop execution."""
         record = self.describe(block_id, execution_index, run_id=run_id)
-        payload = Path(record.path).read_bytes()
+        payload = self.backend.read_payload(str(record.path))
         if self.compress or payload[:2] == b"\x1f\x8b":
             payload = compression.decompress(payload)
         return deserialize_checkpoint(payload)
@@ -216,80 +160,46 @@ class CheckpointStore:
     def describe(self, block_id: str, execution_index: int,
                  run_id: str = "?") -> CheckpointRecord:
         """Return the manifest row for one checkpoint (without loading it)."""
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT block_id, execution_index, path, raw_nbytes, "
-                "stored_nbytes, digest, serialize_seconds, write_seconds, "
-                "created_at FROM checkpoints WHERE block_id = ? AND "
-                "execution_index = ?", (block_id, execution_index)).fetchone()
-        if row is None:
+        record = self.backend.lookup(block_id, execution_index)
+        if record is None:
             raise CheckpointNotFoundError(run_id, block_id, execution_index)
-        return CheckpointRecord(
-            block_id=row[0], execution_index=row[1], path=Path(row[2]),
-            raw_nbytes=row[3], stored_nbytes=row[4], digest=row[5],
-            serialize_seconds=row[6], write_seconds=row[7], created_at=row[8])
+        return record
 
     def executions(self, block_id: str) -> list[int]:
         """Sorted execution indices that have a materialized checkpoint."""
-        with self._connect() as conn:
-            rows = conn.execute(
-                "SELECT execution_index FROM checkpoints WHERE block_id = ? "
-                "ORDER BY execution_index", (block_id,)).fetchall()
-        return [row[0] for row in rows]
+        return self.backend.executions(block_id)
 
     def latest_execution_at_or_before(self, block_id: str,
                                       execution_index: int) -> int | None:
         """Largest memoized execution index <= ``execution_index`` (or None)."""
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT MAX(execution_index) FROM checkpoints WHERE "
-                "block_id = ? AND execution_index <= ?",
-                (block_id, execution_index)).fetchone()
-        return row[0] if row and row[0] is not None else None
+        return self.backend.latest_execution_at_or_before(
+            block_id, execution_index)
 
     def blocks(self) -> list[str]:
-        with self._connect() as conn:
-            rows = conn.execute(
-                "SELECT DISTINCT block_id FROM checkpoints ORDER BY block_id"
-            ).fetchall()
-        return [row[0] for row in rows]
+        return self.backend.blocks()
 
     def records(self) -> list[CheckpointRecord]:
-        with self._connect() as conn:
-            rows = conn.execute(
-                "SELECT block_id, execution_index, path, raw_nbytes, "
-                "stored_nbytes, digest, serialize_seconds, write_seconds, "
-                "created_at FROM checkpoints ORDER BY block_id, "
-                "execution_index").fetchall()
-        return [CheckpointRecord(
-            block_id=row[0], execution_index=row[1], path=Path(row[2]),
-            raw_nbytes=row[3], stored_nbytes=row[4], digest=row[5],
-            serialize_seconds=row[6], write_seconds=row[7], created_at=row[8])
-            for row in rows]
+        return self.backend.records()
 
     # ------------------------------------------------------------------ #
     # Aggregates (feed the storage-cost model)
     # ------------------------------------------------------------------ #
     def total_stored_nbytes(self) -> int:
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT COALESCE(SUM(stored_nbytes), 0) FROM checkpoints"
-            ).fetchone()
-        return int(row[0])
+        return self.backend.total_stored_nbytes()
 
     def total_raw_nbytes(self) -> int:
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT COALESCE(SUM(raw_nbytes), 0) FROM checkpoints"
-            ).fetchone()
-        return int(row[0])
+        return self.backend.total_raw_nbytes()
 
     def checkpoint_count(self) -> int:
-        with self._connect() as conn:
-            row = conn.execute("SELECT COUNT(*) FROM checkpoints").fetchone()
-        return int(row[0])
+        return self.backend.checkpoint_count()
 
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Make every accepted write durable."""
+        self.backend.flush()
 
-def _sanitize(block_id: str) -> str:
-    """Make a block id safe to use as a directory name."""
-    return "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in block_id)
+    def close(self) -> None:
+        """Release backend resources (reopens lazily if used again)."""
+        self.backend.close()

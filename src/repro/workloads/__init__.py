@@ -1,4 +1,20 @@
-"""Miniature versions of the paper's eight evaluation workloads (Table 3)."""
+"""Miniature versions of the paper's eight evaluation workloads (Table 3).
+
+Each workload pairs a small :mod:`repro.torchlike` model with a synthetic
+dataset generator so the full record -> replay pipeline runs in seconds on a
+CPU while keeping the paper's shape: an epoch-level main loop, a nested
+batch loop wrapped in a SkipBlock, and per-epoch metric logging.
+
+* :mod:`~repro.workloads.registry` — :class:`WorkloadSpec` table mapping the
+  paper's workload names (ImgN, Cifr, RoBERTa, ...) to model builders,
+  dataset shapes and paper-reported statistics.
+* :mod:`~repro.workloads.models` — the miniature model zoo (MiniSqueezeNet,
+  MiniResNet, MiniRoBERTa, MiniJasper, MiniRNNTranslator, ...).
+* :mod:`~repro.workloads.synthetic_data` — deterministic generators for
+  image/text/speech/translation toy datasets.
+* :mod:`~repro.workloads.training` — glue: builds runnable training scripts
+  (for the instrumenter) and vanilla baselines (for overhead benchmarks).
+"""
 
 from .models import (MiniJasper, MiniResNet, MiniRNNTranslator, MiniRoBERTa,
                      MiniRoBERTaClassifier, MiniSqueezeNet, build_model_for)

@@ -148,3 +148,61 @@ class TestThresholdAndEstimates:
         summary = controller.summary()
         assert summary["b"]["executions"] == 1
         assert summary["b"]["checkpoints"] == 1
+
+
+class TestAsyncThroughputFeedback:
+    """Async submits must not pollute the throughput model (enqueue time is
+    not materialization time); only background completions refine it."""
+
+    def test_inline_zero_nbytes_skips_throughput_blend(self):
+        from repro.record.adaptive import (AdaptiveController,
+                                           DEFAULT_THROUGHPUT_BYTES_PER_SECOND)
+        controller = AdaptiveController()
+        # An async submit: microseconds of enqueue time, nbytes withheld.
+        controller.observe_materialization("train", 2e-5, 0)
+        assert controller._throughput == DEFAULT_THROUGHPUT_BYTES_PER_SECOND
+        assert controller.block("train").checkpoints == 1
+
+    def test_background_completion_refines_throughput(self):
+        from repro.record.adaptive import AdaptiveController
+        controller = AdaptiveController()
+        before = controller._throughput
+        controller.observe_background_materialization("train", 0.1, 3_000_000)
+        after = controller._throughput
+        assert after != before
+        # Blended toward the observed 30 MB/s, never toward enqueue rates.
+        assert after < before
+        assert controller.block("train").total_background_seconds == 0.1
+        # k_i is counted at submit time, not again on completion.
+        assert controller.block("train").checkpoints == 0
+
+    def test_spool_materializer_feedback_keeps_estimates_sane(self, tmp_path):
+        import time
+
+        import numpy as np
+
+        from repro.record.adaptive import AdaptiveController
+        from repro.record.materializer import create_materializer
+        from repro.storage.checkpoint_store import CheckpointStore
+        from repro.storage.serializer import snapshot_value
+
+        controller = AdaptiveController()
+        store = CheckpointStore(tmp_path / "run")
+        materializer = create_materializer(
+            "spool", store,
+            on_complete=controller.observe_background_materialization)
+        payload = [snapshot_value("w", np.zeros(400_000, dtype=np.float32))]
+        nbytes = payload[0].nbytes()
+        for index in range(3):
+            ticket = materializer.submit("train", index, payload)
+            controller.observe_materialization(
+                "train", ticket.main_thread_seconds,
+                nbytes if ticket.completed_inline else 0)
+        materializer.close()
+        # The model saw only real background rates: a 1.6 MB checkpoint
+        # must not look instantaneous (the polluted model estimated ~us).
+        estimate = controller.estimate_materialize_seconds(nbytes)
+        elapsed = materializer.spool.stats.spool_seconds / 3
+        assert estimate > elapsed / 100
+        assert controller.block("train").checkpoints == 3
+        assert controller.block("train").total_background_seconds > 0

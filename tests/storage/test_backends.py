@@ -1,0 +1,290 @@
+"""Backend conformance suite: every backend honours the same contract.
+
+The same test body runs against the local, in-memory and sharded backends;
+backend-specific behaviour (on-disk layout, shard routing, registry
+reattachment) is covered separately below, and the sharded backend must
+round-trip a replay identically to the local one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import FlorConfig
+from repro.exceptions import CheckpointNotFoundError, StorageError
+from repro.storage.backends import (InMemoryBackend, LocalSQLiteBackend,
+                                    ShardedSQLiteBackend, resolve_backend)
+from repro.storage.checkpoint_store import CheckpointStore
+from repro.storage.serializer import serialize_checkpoint, snapshot_value
+
+BACKENDS = ["local", "memory", "sharded"]
+
+
+def make_snapshots(value: float = 1.0, size: int = 64):
+    return [snapshot_value("weights", np.full(size, value, dtype=np.float32)),
+            snapshot_value("epoch", int(value))]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend_name(request):
+    return request.param
+
+
+@pytest.fixture()
+def store(tmp_path, backend_name):
+    store = CheckpointStore(tmp_path / "run", backend=backend_name,
+                            num_shards=3)
+    yield store
+    store.close()
+    InMemoryBackend.discard_dir(tmp_path / "run")
+
+
+class TestConformance:
+    def test_backend_name_matches_request(self, store, backend_name):
+        assert store.backend.name == backend_name
+
+    def test_put_then_get(self, store):
+        store.put("train", 0, make_snapshots(3.0))
+        snapshots = store.get("train", 0)
+        assert [s.name for s in snapshots] == ["weights", "epoch"]
+        np.testing.assert_allclose(snapshots[0].payload, np.full(64, 3.0))
+
+    def test_contains_and_missing_raises(self, store):
+        assert not store.contains("train", 0)
+        store.put("train", 0, make_snapshots())
+        assert store.contains("train", 0)
+        with pytest.raises(CheckpointNotFoundError):
+            store.get("train", 99)
+
+    def test_overwrite_same_execution_index(self, store):
+        store.put("train", 0, make_snapshots(1.0))
+        store.put("train", 0, make_snapshots(9.0))
+        np.testing.assert_allclose(store.get("train", 0)[0].payload,
+                                   np.full(64, 9.0))
+        assert store.checkpoint_count() == 1
+
+    def test_manifest_queries(self, store):
+        for index in (4, 0, 2):
+            store.put("train", index, make_snapshots(float(index)))
+        store.put("eval", 1, make_snapshots())
+        assert store.executions("train") == [0, 2, 4]
+        assert store.executions("missing") == []
+        assert store.latest_execution_at_or_before("train", 3) == 2
+        assert store.latest_execution_at_or_before("train", 4) == 4
+        assert store.latest_execution_at_or_before("missing", 4) is None
+        assert store.blocks() == ["eval", "train"]
+        records = store.records()
+        assert [(r.block_id, r.execution_index) for r in records] == [
+            ("eval", 1), ("train", 0), ("train", 2), ("train", 4)]
+        assert all(record.digest for record in records)
+
+    def test_totals(self, store):
+        for index in range(3):
+            store.put("train", index, make_snapshots(float(index)))
+        assert store.checkpoint_count() == 3
+        assert store.total_stored_nbytes() > 0
+        assert store.total_raw_nbytes() > 0
+
+    def test_batched_index_commit(self, store):
+        serialized_records = [
+            store.write_payload("train", index,
+                                serialize_checkpoint(
+                                    make_snapshots(float(index))))
+            for index in range(5)]
+        # Payloads written, nothing indexed yet.
+        assert store.checkpoint_count() == 0
+        store.index_records(serialized_records)
+        assert store.checkpoint_count() == 5
+        assert store.executions("train") == [0, 1, 2, 3, 4]
+
+    def test_metadata_roundtrip(self, store):
+        store.set_metadata("epochs", 10)
+        store.set_metadata("blocks", {"b0": {"line": 3}})
+        store.set_metadata("epochs", 20)
+        assert store.get_metadata("epochs") == 20
+        assert store.get_metadata("blocks")["b0"]["line"] == 3
+        assert store.get_metadata("missing", "default") == "default"
+        assert set(store.all_metadata()) == {"epochs", "blocks"}
+
+    def test_reopen_preserves_contents(self, store, tmp_path, backend_name):
+        store.put("train", 0, make_snapshots(5.0))
+        store.set_metadata("run_id", "abc")
+        store.flush()
+        reopened = CheckpointStore(tmp_path / "run", backend=backend_name,
+                                   num_shards=3)
+        assert reopened.get_metadata("run_id") == "abc"
+        np.testing.assert_allclose(reopened.get("train", 0)[0].payload,
+                                   np.full(64, 5.0))
+
+    def test_weird_block_ids(self, store):
+        store.put("weird/block id!", 0, make_snapshots())
+        assert store.get("weird/block id!", 0)[0].name == "weights"
+
+    def test_uncompressed(self, tmp_path, backend_name):
+        store = CheckpointStore(tmp_path / "raw", backend=backend_name,
+                                num_shards=3, compress=False)
+        record = store.put("train", 0, make_snapshots())
+        assert record.stored_nbytes == record.raw_nbytes
+        assert store.get("train", 0)[0].name == "weights"
+        InMemoryBackend.discard_dir(tmp_path / "raw")
+
+
+class TestLocalBackend:
+    def test_single_connection_reused(self, tmp_path):
+        backend = LocalSQLiteBackend(tmp_path / "run")
+        first = backend._connection()
+        backend.blocks()
+        assert backend._connection() is first
+        backend.close()
+        # Reopens lazily after close.
+        assert backend.checkpoint_count() == 0
+
+    def test_wal_mode(self, tmp_path):
+        backend = LocalSQLiteBackend(tmp_path / "run")
+        mode = backend._connection().execute(
+            "PRAGMA journal_mode").fetchone()[0]
+        assert mode.lower() == "wal"
+
+
+class TestMemoryBackend:
+    def test_no_disk_payloads(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run", backend="memory")
+        record = store.put("train", 0, make_snapshots())
+        assert str(record.path).startswith("mem:")
+        assert not (tmp_path / "run" / "manifest.sqlite").exists()
+        assert not (tmp_path / "run" / "checkpoints").exists()
+        InMemoryBackend.discard_dir(tmp_path / "run")
+
+    def test_registry_reattach_without_backend_name(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run", backend="memory")
+        store.put("train", 0, make_snapshots(2.0))
+        # A caller that does not know the run was in-memory still finds it.
+        reopened = CheckpointStore(tmp_path / "run")
+        assert reopened.backend is store.backend
+        InMemoryBackend.discard_dir(tmp_path / "run")
+
+    def test_missing_payload_raises_storage_error(self, tmp_path):
+        backend = InMemoryBackend()
+        with pytest.raises(StorageError):
+            backend.read_payload("mem:never/0")
+
+    def test_existing_local_run_wins_over_memory_request(self, tmp_path):
+        # Record-time layout on disk must be honoured even when the
+        # reopening caller is configured for a different backend.
+        local = CheckpointStore(tmp_path / "run")
+        local.put("train", 0, make_snapshots(6.0))
+        local.flush()
+        reopened = CheckpointStore(tmp_path / "run", backend="memory")
+        assert reopened.backend.name == "local"
+        np.testing.assert_allclose(reopened.get("train", 0)[0].payload,
+                                   np.full(64, 6.0))
+
+
+class TestShardedBackend:
+    def test_layout_and_shard_manifest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run", backend="sharded",
+                                num_shards=3)
+        for index in range(4):
+            store.put(f"block-{index}", 0, make_snapshots())
+        manifest = json.loads(
+            (tmp_path / "run" / "shards.json").read_text("utf-8"))
+        assert manifest["num_shards"] == 3
+        shard_dirs = sorted(p.name for p in
+                            (tmp_path / "run" / "shards").iterdir())
+        assert shard_dirs == ["shard-00", "shard-01", "shard-02"]
+
+    def test_stable_partitioning(self, tmp_path):
+        backend = ShardedSQLiteBackend(tmp_path / "run", num_shards=5)
+        assignments = {bid: backend.shard_for(bid)
+                       for bid in ("train", "eval", "epoch-7")}
+        reopened = ShardedSQLiteBackend(tmp_path / "run", num_shards=5)
+        for bid, shard in assignments.items():
+            assert reopened.shard_for(bid) == shard
+            assert 0 <= shard < 5
+
+    def test_blocks_spread_across_shards(self, tmp_path):
+        backend = ShardedSQLiteBackend(tmp_path / "run", num_shards=4)
+        used = {backend.shard_for(f"block-{i}") for i in range(32)}
+        assert len(used) > 1
+
+    def test_persisted_shard_count_wins_on_reopen(self, tmp_path):
+        CheckpointStore(tmp_path / "run", backend="sharded", num_shards=3)
+        reopened = CheckpointStore(tmp_path / "run", backend="sharded",
+                                   num_shards=8)
+        assert reopened.backend.num_shards == 3
+
+    def test_reopen_autodetects_sharded_layout(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run", backend="sharded",
+                                num_shards=3)
+        store.put("train", 0, make_snapshots(4.0))
+        # A default (local) store on the same dir must find the shards.
+        reopened = CheckpointStore(tmp_path / "run")
+        assert reopened.backend.name == "sharded"
+        np.testing.assert_allclose(reopened.get("train", 0)[0].payload,
+                                   np.full(64, 4.0))
+
+    def test_corrupt_shard_manifest_raises(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        (run / "shards.json").write_text("{not json", "utf-8")
+        with pytest.raises(StorageError, match="corrupt shard manifest"):
+            ShardedSQLiteBackend(run)
+
+
+class TestResolveBackend:
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="unknown storage backend"):
+            resolve_backend(tmp_path / "run", "s3-glacier")
+
+    def test_explicit_instance_wins(self, tmp_path):
+        backend = InMemoryBackend()
+        assert resolve_backend(tmp_path / "run", backend) is backend
+
+
+class TestShardedReplayRoundtrip:
+    """Acceptance: a sharded run replays identically to a local run."""
+
+    TRAIN_SCRIPT = """
+import numpy as np
+from repro import api as flor
+
+weights = np.zeros(8)
+for epoch in range(4):
+    for step in range(3):
+        weights = weights + (epoch + 1)
+    flor.log("checksum", float(weights.sum()))
+"""
+
+    @pytest.mark.parametrize("backend_name", ["local", "sharded"])
+    def test_record_replay_identical(self, tmp_path, backend_name):
+        from repro.record.recorder import record_source
+        from repro.replay.replayer import replay_script
+
+        config = FlorConfig(home=tmp_path / "home",
+                            storage_backend=backend_name, storage_shards=3,
+                            adaptive_checkpointing=False)
+        repro.set_config(config)
+        try:
+            recorded = record_source(self.TRAIN_SCRIPT,
+                                     name=f"roundtrip-{backend_name}",
+                                     config=config)
+            assert recorded.storage_backend == backend_name
+            record_values = [r.value for r in recorded.log_records
+                             if r.name == "checksum"]
+            replayed = replay_script(recorded.run_id, config=config)
+            assert replayed.succeeded
+            assert replayed.values("checksum") == record_values
+            assert replayed.consistency is not None
+            assert replayed.consistency.consistent
+            # Parallel replay: forked workers each reopen the (possibly
+            # sharded) store; merged logs must match the record exactly.
+            parallel = replay_script(recorded.run_id, num_workers=2,
+                                     config=config)
+            assert parallel.succeeded
+            assert parallel.values("checksum") == record_values
+        finally:
+            repro.reset_config()
