@@ -44,6 +44,12 @@ DEFAULT_SPOOL_QUEUE_SIZE = 64
 #: Default number of manifest rows per batched commit.
 DEFAULT_MANIFEST_BATCH_SIZE = 16
 
+#: Default parallel-replay scheduling mode (see ``replay_scheduler``).
+DEFAULT_REPLAY_SCHEDULER = "static"
+
+#: Default target iterations per dynamic-replay work-queue chunk.
+DEFAULT_REPLAY_CHUNK_SIZE = 4
+
 
 @dataclass(frozen=True)
 class FlorConfig:
@@ -102,6 +108,17 @@ class FlorConfig:
         Manifest rows the spool buffers before one batched transactional
         commit.  Larger batches amortize commit overhead; ``flush()``
         commits any remainder.
+    replay_scheduler:
+        Parallel-replay scheduling mode.  ``"static"`` (the default) gives
+        each worker a checkpoint-aligned contiguous segment balanced by
+        estimated recompute + restore cost; ``"dynamic"`` has workers pull
+        checkpoint-aligned chunks from a shared work queue, so stragglers
+        no longer bound wall time; ``"uniform"`` keeps the paper's
+        count-balanced split (for ablation).
+    replay_chunk_size:
+        Target iterations per work-queue chunk in ``"dynamic"`` scheduling.
+        Sparse checkpointing can force larger chunks (chunks always start
+        at restorable iterations).
     """
 
     home: Path = field(default_factory=lambda: DEFAULT_HOME)
@@ -118,11 +135,14 @@ class FlorConfig:
     spool_queue_size: int = DEFAULT_SPOOL_QUEUE_SIZE
     spool_mode: str = "thread"
     manifest_batch_size: int = DEFAULT_MANIFEST_BATCH_SIZE
+    replay_scheduler: str = DEFAULT_REPLAY_SCHEDULER
+    replay_chunk_size: int = DEFAULT_REPLAY_CHUNK_SIZE
 
     _VALID_MATERIALIZERS = ("fork", "thread", "ipc_queue", "sequential",
                             "shared_memory", "spool")
     _VALID_BACKENDS = ("local", "memory", "sharded")
     _VALID_SPOOL_MODES = ("thread", "process")
+    _VALID_REPLAY_SCHEDULERS = ("uniform", "static", "dynamic")
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0 or self.epsilon >= 1:
@@ -170,6 +190,17 @@ class FlorConfig:
             raise ConfigError(
                 f"manifest_batch_size must be >= 1, got "
                 f"{self.manifest_batch_size!r}"
+            )
+        if self.replay_scheduler not in self._VALID_REPLAY_SCHEDULERS:
+            raise ConfigError(
+                f"replay_scheduler must be one of "
+                f"{self._VALID_REPLAY_SCHEDULERS}, got "
+                f"{self.replay_scheduler!r}"
+            )
+        if self.replay_chunk_size < 1:
+            raise ConfigError(
+                f"replay_chunk_size must be >= 1, got "
+                f"{self.replay_chunk_size!r}"
             )
         object.__setattr__(self, "home", Path(self.home).expanduser())
 

@@ -72,6 +72,9 @@ class AdaptiveController:
     scaling_factor: float = DEFAULT_SCALING_FACTOR
     enabled: bool = True
     stats: dict[str, BlockStats] = field(default_factory=dict)
+    #: Compute seconds per main-loop iteration (summed over the iteration's
+    #: SkipBlock executions) — the replay scheduler's cost model.
+    iteration_seconds: dict[int, float] = field(default_factory=dict)
     _throughput: float = DEFAULT_THROUGHPUT_BYTES_PER_SECOND
     _observed_ratios: list[float] = field(default_factory=list)
 
@@ -81,11 +84,21 @@ class AdaptiveController:
     def block(self, block_id: str) -> BlockStats:
         return self.stats.setdefault(block_id, BlockStats())
 
-    def observe_execution(self, block_id: str, compute_seconds: float) -> None:
-        """Record that a loop executed, taking ``compute_seconds``."""
+    def observe_execution(self, block_id: str, compute_seconds: float,
+                          iteration: int | None = None) -> None:
+        """Record that a loop executed, taking ``compute_seconds``.
+
+        ``iteration`` is the enclosing main-loop iteration (when there is
+        one); its per-iteration total feeds the replay scheduler's
+        recompute-cost estimates.
+        """
         entry = self.block(block_id)
         entry.executions += 1
         entry.total_compute_seconds += max(compute_seconds, 0.0)
+        if iteration is not None:
+            self.iteration_seconds[iteration] = (
+                self.iteration_seconds.get(iteration, 0.0)
+                + max(compute_seconds, 0.0))
 
     def observe_materialization(self, block_id: str, seconds: float,
                                 nbytes: int) -> None:
@@ -202,4 +215,33 @@ class AdaptiveController:
                 "total_restore_seconds": entry.total_restore_seconds,
             }
             for block_id, entry in self.stats.items()
+        }
+
+    def iteration_stats(self) -> dict:
+        """Per-iteration timing statistics for the replay scheduler.
+
+        Persisted into store metadata at record-session close, this is what
+        lets replay balance work segments by *estimated recompute + restore
+        cost* instead of iteration count.  Background (spool) timings stand
+        in for main-thread materialization seconds when available — they
+        are the real serialize+compress+write cost.
+        """
+        executions = sum(entry.executions for entry in self.stats.values())
+        checkpoints = sum(entry.checkpoints for entry in self.stats.values())
+        compute = sum(entry.total_compute_seconds
+                      for entry in self.stats.values())
+        materialize = sum(entry.total_background_seconds
+                          or entry.total_materialize_seconds
+                          for entry in self.stats.values())
+        mean_compute = compute / executions if executions else 0.0
+        mean_materialize = materialize / checkpoints if checkpoints else 0.0
+        return {
+            "per_iteration_compute_seconds": {
+                str(iteration): round(seconds, 6)
+                for iteration, seconds in sorted(
+                    self.iteration_seconds.items())},
+            "mean_compute_seconds": round(mean_compute, 6),
+            "mean_materialize_seconds": round(mean_materialize, 6),
+            "estimated_restore_seconds": round(
+                self.scaling_factor * mean_materialize, 6),
         }

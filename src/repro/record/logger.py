@@ -16,7 +16,8 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["LogRecord", "LogManager", "read_log"]
+__all__ = ["LogRecord", "LogManager", "read_log", "merge_logs",
+           "iteration_order_key"]
 
 
 @dataclass(frozen=True)
@@ -131,10 +132,21 @@ def read_log(path: str | Path) -> list[LogRecord]:
     return records
 
 
+def iteration_order_key(record: LogRecord) -> tuple:
+    """Sort key restoring main-loop iteration order across workers.
+
+    Per-worker ``sequence`` numbers restart at zero in every worker, so raw
+    concatenation of worker logs is *not* iteration-ordered; sorting by
+    ``(iteration, sequence)`` is, because each iteration is replayed by
+    exactly one worker.  Records logged outside the loop sort first.
+    """
+    return (record.iteration if record.iteration is not None else -1,
+            record.sequence)
+
+
 def merge_logs(logs: Iterable[Iterable[LogRecord]]) -> list[LogRecord]:
     """Merge per-worker replay logs into main-loop iteration order."""
     merged: list[LogRecord] = []
     for worker_records in logs:
         merged.extend(worker_records)
-    return sorted(merged, key=lambda r: (
-        r.iteration if r.iteration is not None else -1, r.sequence))
+    return sorted(merged, key=iteration_order_key)

@@ -24,12 +24,13 @@ so the caller can rebind them.
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import TYPE_CHECKING, Mapping
 
 from ..analysis.augmentation import augment_changeset
 from ..exceptions import ReplayError
-from ..modes import InitStrategy, Phase
+from ..modes import Phase
 from ..storage.serializer import ValueSnapshot, restore_value, snapshot_value
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -84,8 +85,12 @@ class SkipBlock:
         if phase is Phase.RECORD:
             decision = True
         elif phase is Phase.REPLAY_INIT:
-            decision = not self._restorable(weak_ok=self.session.init_strategy
-                                            is InitStrategy.WEAK)
+            # Nearest-earlier (weak) restoration is allowed only at the
+            # initialization plan's designated restore iteration; any other
+            # init iteration must exact-restore or recompute, or replay
+            # silently rewinds to stale state (the weak-init divergence bug).
+            decision = not self._restorable(
+                weak_ok=self.session.allows_weak_restore(self.execution_index))
         elif phase is Phase.REPLAY_EXEC:
             if self.block_id in self.session.probed_blocks:
                 decision = True
@@ -178,7 +183,8 @@ class SkipBlock:
             return tuple(named_values.values())
 
         session = self.session
-        session.adaptive.observe_execution(self.block_id, compute_seconds)
+        session.adaptive.observe_execution(self.block_id, compute_seconds,
+                                           iteration=session.current_iteration)
 
         # Runtime changeset augmentation with library knowledge.
         capture_names = list(named_values)
@@ -192,6 +198,12 @@ class SkipBlock:
         payload_nbytes = 0
         for name in capture_names:
             value = named_values.get(name, namespace.get(name) if namespace else None)
+            if inspect.ismodule(value):
+                # Table 1's method-call rule conservatively adds the call's
+                # receiver to the changeset, which drags modules in when the
+                # loop calls e.g. ``time.sleep``.  Modules are import
+                # machinery, not training state — never checkpoint them.
+                continue
             snapshot = snapshot_value(name, value)
             payload_nbytes += snapshot.nbytes()
             snapshots.append(snapshot)

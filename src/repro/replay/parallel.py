@@ -1,10 +1,22 @@
 """Parallel replay: many workers, no coordination (Section 5.4).
 
 Each worker executes the *same* instrumented replay script; the Flor
-generator gives worker ``pid`` its own contiguous segment of main-loop
-iterations, and checkpoints break the cross-iteration dependencies, so
-workers neither communicate nor coordinate.  On the paper's testbed each
-worker owned one GPU; here each worker is a separate OS process.
+generator gives worker ``pid`` its scheduler-issued share of main-loop
+iterations, and checkpoints break the cross-iteration dependencies.  Under
+static scheduling workers neither communicate nor coordinate (every worker
+derives the same checkpoint-aligned plan); under dynamic scheduling they
+share only a SQLite-backed chunk queue provisioned here.  On the paper's
+testbed each worker owned one GPU; here each worker is a separate OS
+process.
+
+Fork safety: the parent process may hold a live Flor session (an open
+WAL-mode SQLite connection, background spool worker threads) when this
+module forks its worker pool.  ``run_parallel_replay`` quiesces that state
+first — flushing and closing the parent's store so children do not inherit
+an open connection, and switching to the ``spawn`` start method when an
+async spool is active, since its worker threads do not survive ``fork``.
+Forked children additionally drop the inherited active-session registration
+so their own replay session can activate.
 """
 
 from __future__ import annotations
@@ -13,13 +25,15 @@ import multiprocessing as mp
 import os
 import time
 import traceback
+import uuid
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..config import FlorConfig
 from ..exceptions import ReplayError
 from ..modes import InitStrategy, Mode
 from ..record.logger import LogRecord, read_log
-from ..session import Session
+from ..session import Session, get_active_session
 
 __all__ = ["WorkerResult", "run_worker", "run_parallel_replay"]
 
@@ -42,14 +56,16 @@ class WorkerResult:
 def run_worker(run_id: str, instrumented_source: str, config: FlorConfig,
                pid: int, num_workers: int, init_strategy: InitStrategy,
                probed_blocks: set[str],
-               sample_iterations: list[int] | None = None) -> WorkerResult:
+               sample_iterations: list[int] | None = None,
+               replay_queue_path: str | None = None) -> WorkerResult:
     """Execute one worker's share of a parallel replay (in this process)."""
     start = time.perf_counter()
     session = Session(run_id=run_id, mode=Mode.REPLAY, config=config,
                       pid=pid, num_workers=num_workers,
                       init_strategy=init_strategy,
                       probed_blocks=probed_blocks,
-                      sample_iterations=sample_iterations)
+                      sample_iterations=sample_iterations,
+                      replay_queue_path=replay_queue_path)
     exec_globals = {"__name__": "__main__",
                     "__file__": f"replay-p{pid}of{num_workers}.py"}
     try:
@@ -70,15 +86,53 @@ def run_worker(run_id: str, instrumented_source: str, config: FlorConfig,
 def _worker_entry(args: tuple) -> dict:
     """Multiprocessing entry point; returns a picklable summary."""
     (run_id, instrumented_source, config, pid, num_workers, init_strategy,
-     probed_blocks) = args
+     probed_blocks, replay_queue_path) = args
+    # A forked child inherits the parent's active-session registration (and
+    # a spawned child starts clean either way); drop it so this worker's
+    # replay session can activate.
+    from .. import session as session_module
+    session_module._ACTIVE_SESSION = None
     result = run_worker(run_id, instrumented_source, config, pid, num_workers,
-                        InitStrategy(init_strategy), set(probed_blocks))
+                        InitStrategy(init_strategy), set(probed_blocks),
+                        replay_queue_path=replay_queue_path)
     return {
         "pid": result.pid,
         "wall_seconds": result.wall_seconds,
         "iterations": result.iterations,
         "error": result.error,
     }
+
+
+def _quiesce_parent_session(start_method: str) -> str:
+    """Make the parent's live Flor session safe to fork around.
+
+    Flushes in-flight materializations and the store so children observe a
+    consistent manifest.  With an async spool active, ``fork`` would copy a
+    process whose spool worker threads no longer exist (fork duplicates
+    only the calling thread) while their queue and locks do — so select
+    ``spawn`` instead.  Otherwise close the parent's store connection; the
+    backend reopens lazily, and children open their own.
+    """
+    session = get_active_session()
+    if session is None:
+        return start_method
+    session.materializer.flush()
+    session.store.flush()
+    if (start_method == "fork"
+            and getattr(session.materializer, "spool", None) is not None):
+        return "spawn"
+    session.store.close()
+    return start_method
+
+
+def _remove_queue_files(queue_path: str | None) -> None:
+    if not queue_path:
+        return
+    for suffix in ("", "-wal", "-shm"):
+        try:
+            Path(queue_path + suffix).unlink()
+        except OSError:
+            pass
 
 
 def run_parallel_replay(run_id: str, instrumented_source: str,
@@ -90,9 +144,11 @@ def run_parallel_replay(run_id: str, instrumented_source: str,
     """Run ``num_workers`` replay workers and collect their results.
 
     Workers run as separate processes (``fork`` start method where
-    available) so they are as independent as the paper's per-GPU workers.
-    Per-worker log records are re-read from the per-worker replay logs so
-    nothing has to be pickled back through the pool.
+    available and safe, ``spawn`` otherwise) so they are as independent as
+    the paper's per-GPU workers.  Per-worker log records are re-read from
+    the per-worker replay logs so nothing has to be pickled back through
+    the pool.  For dynamic scheduling this driver provisions the shared
+    chunk-queue file that workers pull work from, and removes it afterwards.
     """
     if num_workers < 1:
         raise ReplayError(f"num_workers must be >= 1, got {num_workers}")
@@ -107,11 +163,24 @@ def run_parallel_replay(run_id: str, instrumented_source: str,
                            init_strategy, probed,
                            sample_iterations=sample_iterations)]
 
-    ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+    queue_path: str | None = None
+    if config.replay_scheduler == "dynamic":
+        run_dir = config.run_dir(run_id)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        queue_path = str(run_dir
+                         / f"replay-queue-{uuid.uuid4().hex[:12]}.sqlite")
+
+    start_method = "fork" if hasattr(os, "fork") else "spawn"
+    start_method = _quiesce_parent_session(start_method)
+    ctx = mp.get_context(start_method)
     jobs = [(run_id, instrumented_source, config, pid, num_workers,
-             init_strategy.value, sorted(probed)) for pid in range(num_workers)]
-    with ctx.Pool(processes=num_workers) as pool:
-        summaries = pool.map(_worker_entry, jobs)
+             init_strategy.value, sorted(probed), queue_path)
+            for pid in range(num_workers)]
+    try:
+        with ctx.Pool(processes=num_workers) as pool:
+            summaries = pool.map(_worker_entry, jobs)
+    finally:
+        _remove_queue_files(queue_path)
 
     run_dir = config.run_dir(run_id)
     results = []

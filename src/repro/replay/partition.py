@@ -1,10 +1,17 @@
-"""Iterator partitioning for hindsight parallelism (Section 5.4.1).
+"""Uniform iterator partitioning for hindsight parallelism (Section 5.4.1).
 
-The Flor generator splits the main loop's iterator into as many contiguous
-segments as there are parallel workers and assigns one segment per worker.
-Work is balanced so segment sizes differ by at most one — with 200 epochs
-over 16 workers, the largest share is 13 epochs, which is exactly the load-
+The paper splits the main loop's iterator into as many contiguous segments
+as there are parallel workers and assigns one segment per worker.  Work is
+balanced so segment sizes differ by at most one — with 200 epochs over 16
+workers, the largest share is 13 epochs, which is exactly the load-
 balancing limit the paper reports for Figure 13.
+
+This count-balanced split assumes every boundary is restorable, which
+adaptive checkpointing does not guarantee; replay normally plans segments
+through :mod:`repro.replay.scheduler`, which aligns boundaries to
+materialized checkpoints and balances by estimated cost, and falls back to
+:func:`partition_indices` for the ``"uniform"`` scheduling mode and for
+runs with no usable checkpoints.
 """
 
 from __future__ import annotations

@@ -18,7 +18,8 @@ from ..analysis.instrument import BlockSpec, instrument_source
 from ..config import FlorConfig, get_config
 from ..exceptions import ReplayError
 from ..modes import InitStrategy
-from ..record.logger import LogRecord, merge_logs, read_log
+from ..record.logger import (LogRecord, iteration_order_key, merge_logs,
+                             read_log)
 from ..record.recorder import ORIGINAL_SOURCE_NAME
 from ..storage.checkpoint_store import CheckpointStore
 from .consistency import ConsistencyReport, check_consistency
@@ -46,9 +47,17 @@ class ReplayResult:
         return all(worker.succeeded for worker in self.worker_results)
 
     def values(self, name: str) -> list:
-        """All replayed values logged under ``name``, in iteration order."""
-        return [record.value for record in self.log_records
-                if record.name == name]
+        """All replayed values logged under ``name``, in iteration order.
+
+        ``log_records`` merges per-worker logs whose ``sequence`` counters
+        each restart at zero, so the promise of iteration order is kept by
+        sorting on ``(iteration, sequence)`` here rather than trusting the
+        stored order.
+        """
+        matching = [record for record in self.log_records
+                    if record.name == name]
+        matching.sort(key=iteration_order_key)
+        return [record.value for record in matching]
 
 
 def replay_script(run_id: str, new_source: str | Path | None = None,
@@ -114,6 +123,10 @@ def replay_script(run_id: str, new_source: str | Path | None = None,
 
     instrumentation = instrument_source(replay_source_text)
 
+    # Release this process's store connection before the parallel driver
+    # forks worker processes; the backend reopens lazily if needed again.
+    store.close()
+
     start = time.perf_counter()
     worker_results = run_parallel_replay(
         run_id=run_id,
@@ -133,6 +146,8 @@ def replay_script(run_id: str, new_source: str | Path | None = None,
             f"{len(failures)} replay worker(s) failed for run {run_id}:\n"
             f"{details}")
 
+    # Sort the concatenated per-worker logs into main-loop iteration order
+    # before they feed the consistency check or reach the user.
     merged = merge_logs([worker.log_records for worker in worker_results])
     result = ReplayResult(
         run_id=run_id,

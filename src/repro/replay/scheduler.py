@@ -1,0 +1,639 @@
+"""Checkpoint-aware replay scheduling (beyond Section 5.4.1's uniform split).
+
+The paper partitions the main loop's iterations uniformly across workers and
+assumes every segment boundary is restorable.  Under adaptive checkpointing
+(Section 5.3) that assumption breaks: the controller materializes a *sparse*
+subset of Loop End Checkpoints, so a uniform boundary often falls on an
+iteration with no checkpoint and the worker must recompute the gap from the
+nearest earlier one — or, worse, silently start from stale state.
+
+This module replaces the uniform split with a scheduler that
+
+* asks the checkpoint store which execution indices were *actually*
+  materialized for every main-loop block (``CheckpointStore.list_executions``)
+  and intersects them into the set of **aligned** iterations — iterations
+  whose end-state is fully restorable;
+* weighs iterations by the per-iteration timing statistics the record phase
+  persists into store metadata (``iteration_stats``), so segments are
+  balanced by *estimated recompute + restore cost* instead of iteration
+  count; and
+* offers two scheduling modes (``FlorConfig.replay_scheduler``):
+
+  ``"static"``
+      Each worker independently derives the same checkpoint-aligned,
+      cost-balanced contiguous segment for its pid — deterministic and
+      coordination-free, like the paper's split.
+  ``"dynamic"``
+      The iteration range is cut into checkpoint-aligned chunks of roughly
+      ``replay_chunk_size`` iterations and workers *pull* chunks from a
+      shared queue (SQLite-backed across processes), so a straggler chunk
+      no longer bounds wall time the way a contiguous split does.
+
+  A third value, ``"uniform"``, keeps the paper's original split for
+  ablation and benchmarking.
+
+Every scheduling mode also produces the worker's **initialization plan**:
+the iteration to restore from (weak initialization) plus the gap of
+iterations that must be recomputed forward to reach the segment start —
+the fix for the weak-init divergence bug where a missing boundary
+checkpoint silently replayed from stale state.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from ..exceptions import ReplayError
+from .partition import WorkSegment, partition_indices
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..config import FlorConfig
+    from ..session import Session
+    from ..storage.checkpoint_store import CheckpointStore
+
+__all__ = [
+    "SCHEDULER_MODES", "MAIN_LOOP_INDEX_LIMIT", "InitPlan", "IterationCosts",
+    "aligned_checkpoints", "candidate_starts", "load_iteration_costs",
+    "plan_static_segments", "plan_chunks", "InProcessChunkQueue",
+    "SqliteChunkQueue", "ReplayScheduler",
+]
+
+#: Scheduling modes accepted by ``FlorConfig.replay_scheduler``.
+SCHEDULER_MODES = ("uniform", "static", "dynamic")
+
+#: Execution indices at or above this value are composite (a block entered
+#: more than once in one iteration) or synthetic; they never denote a
+#: main-loop iteration boundary.  Mirrors ``Session.next_execution_index``.
+MAIN_LOOP_INDEX_LIMIT = 1_000_000
+
+#: Fallback per-iteration compute estimate when a run predates (or lost) the
+#: recorded ``iteration_stats`` metadata.  Only relative magnitudes matter.
+DEFAULT_ITERATION_SECONDS = 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Initialization plans
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class InitPlan:
+    """How one worker reaches the starting state of a work segment.
+
+    ``restore_index`` is the single iteration run in replay-initialization
+    mode with *weak* (nearest-checkpoint) restoration allowed — always an
+    aligned iteration, so the restore is exact.  ``recompute`` is the gap of
+    iterations run forward from that state (each SkipBlock inside them may
+    still exact-restore when its own checkpoint exists, and executes
+    otherwise).  Strong initialization is the degenerate plan with no
+    restore index and ``recompute`` covering the whole prefix.
+    """
+
+    restore_index: int | None
+    recompute: range
+
+    def indices(self) -> list[int]:
+        """Initialization iterations, in execution order."""
+        head = [] if self.restore_index is None else [self.restore_index]
+        return head + list(self.recompute)
+
+    def __len__(self) -> int:
+        return (0 if self.restore_index is None else 1) + len(self.recompute)
+
+
+# --------------------------------------------------------------------------- #
+# Cost model
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class IterationCosts:
+    """Per-iteration replay cost estimates, from recorded timing stats.
+
+    ``per_iteration`` holds measured compute seconds per main-loop iteration
+    (summed over that iteration's SkipBlock executions);
+    ``mean_compute_seconds`` covers iterations with no measurement, and
+    ``restore_seconds`` estimates one checkpoint restoration (the paper's
+    ``R_i = c * M_i``, Eq. 3).
+    """
+
+    per_iteration: dict[int, float] = field(default_factory=dict)
+    mean_compute_seconds: float = DEFAULT_ITERATION_SECONDS
+    restore_seconds: float = 0.0
+
+    def compute(self, index: int) -> float:
+        """Estimated seconds to re-execute iteration ``index``."""
+        return max(self.per_iteration.get(index, self.mean_compute_seconds),
+                   1e-9)
+
+    def replay_cost(self, index: int, restorable: bool,
+                    probed: bool = False) -> float:
+        """Estimated seconds iteration ``index`` costs during replay-exec."""
+        if probed or not restorable:
+            return self.compute(index)
+        # A restorable, un-probed iteration is skipped and restored; keep the
+        # estimate strictly positive so balancing never divides by zero.
+        return max(self.restore_seconds,
+                   min(0.1 * self.mean_compute_seconds, self.compute(index)),
+                   1e-9)
+
+
+def load_iteration_costs(store: "CheckpointStore",
+                         scaling_factor: float = 1.0) -> IterationCosts:
+    """Build the cost model from the run's ``iteration_stats`` metadata.
+
+    The record phase persists per-iteration compute seconds and mean
+    materialization seconds at session close; runs recorded before that
+    metadata existed fall back to uniform unit costs, which degrades the
+    scheduler to count-balanced (but still checkpoint-aligned) segments.
+    """
+    stats = store.get_metadata("iteration_stats") or {}
+    per = {}
+    for key, seconds in (stats.get("per_iteration_compute_seconds") or {}).items():
+        try:
+            per[int(key)] = max(float(seconds), 0.0)
+        except (TypeError, ValueError):
+            continue
+    mean = stats.get("mean_compute_seconds")
+    if not mean or mean <= 0:
+        mean = (sum(per.values()) / len(per)) if per else DEFAULT_ITERATION_SECONDS
+    restore = stats.get("estimated_restore_seconds")
+    if not restore or restore <= 0:
+        materialize = stats.get("mean_materialize_seconds") or 0.0
+        restore = scaling_factor * float(materialize)
+    return IterationCosts(per_iteration=per,
+                          mean_compute_seconds=float(mean),
+                          restore_seconds=max(float(restore), 0.0))
+
+
+# --------------------------------------------------------------------------- #
+# Checkpoint alignment
+# --------------------------------------------------------------------------- #
+def aligned_checkpoints(store: "CheckpointStore", total: int,
+                        loop_blocks: Iterable[str] | None = None) -> list[int]:
+    """Main-loop iterations whose end-state is fully restorable.
+
+    An iteration ``i`` is *aligned* when **every** main-loop SkipBlock has a
+    materialized checkpoint at execution index ``i`` — restoring iteration
+    ``i`` then reproduces the record-phase state exactly, so a work segment
+    may start at ``i + 1``.  Blocks outside the main loop use their own
+    counters and run identically in every worker; they do not constrain
+    alignment.
+    """
+    if total <= 0:
+        return []
+    blocks = list(loop_blocks) if loop_blocks is not None else None
+    if blocks is None:
+        blocks = store.get_metadata("loop_blocks")
+    if not blocks:
+        # Pre-metadata runs: conservatively treat any block with a plain
+        # (non-composite) execution index inside the loop range as main-loop.
+        blocks = [block_id for block_id in store.blocks()
+                  if any(0 <= index < min(total, MAIN_LOOP_INDEX_LIMIT)
+                         for index in store.list_executions(block_id))]
+    if not blocks:
+        return []
+    aligned: set[int] | None = None
+    for block_id in blocks:
+        indices = {index for index in store.list_executions(block_id)
+                   if 0 <= index < min(total, MAIN_LOOP_INDEX_LIMIT)}
+        aligned = indices if aligned is None else aligned & indices
+        if not aligned:
+            return []
+    return sorted(aligned or ())
+
+
+def candidate_starts(total: int, aligned: Sequence[int]) -> list[int]:
+    """Iteration indices where a work segment may begin.
+
+    ``0`` is always a valid start (no state precedes it); every aligned
+    iteration ``i`` makes ``i + 1`` a valid start.
+    """
+    starts = {0}
+    for index in aligned:
+        if 0 <= index + 1 < total:
+            starts.add(index + 1)
+    return sorted(starts)
+
+
+# --------------------------------------------------------------------------- #
+# Static (per-worker deterministic) planning
+# --------------------------------------------------------------------------- #
+def plan_static_segments(total: int, num_workers: int,
+                         aligned: Sequence[int], costs: IterationCosts,
+                         probed: bool = False) -> list[WorkSegment]:
+    """Checkpoint-aligned, cost-balanced contiguous segments, one per worker.
+
+    Boundaries are chosen only from aligned starts; segments are balanced by
+    estimated replay cost (restore for memoized iterations, recompute for the
+    rest, plus one restore charge per non-zero segment start).  The split
+    minimizes the *bottleneck* segment cost exactly — binary search on the
+    bottleneck with a greedy feasibility packing, the classic min-max
+    contiguous partition — because the slowest worker bounds replay wall
+    time (Figure 13's load-balancing limit).  When there are fewer aligned
+    boundaries than workers, trailing workers receive empty segments rather
+    than boundaries that would force duplicated recompute.  With no aligned
+    checkpoints at all, the plan falls back to the paper's uniform split —
+    every worker recomputes either way, and uniform spreads that recompute
+    evenly.
+    """
+    if num_workers < 1:
+        raise ReplayError(f"num_workers must be >= 1, got {num_workers}")
+    if total <= 0:
+        return [WorkSegment(0, 0) for _ in range(num_workers)]
+    if num_workers == 1:
+        return [WorkSegment(0, total)]
+    if not aligned:
+        return [partition_indices(total, num_workers, pid)
+                for pid in range(num_workers)]
+
+    restorable = set(aligned)
+    prefix = [0.0]
+    for index in range(total):
+        prefix.append(prefix[-1] + costs.replay_cost(
+            index, index in restorable, probed=probed))
+    bounds = candidate_starts(total, aligned) + [total]
+    startup = max(costs.restore_seconds, 0.0)
+
+    def segment_cost(start: int, end: int) -> float:
+        if end <= start:
+            return 0.0
+        return (startup if start > 0 else 0.0) + prefix[end] - prefix[start]
+
+    def pack(limit: float) -> list[int] | None:
+        """Greedy packing: segment ends staying under ``limit`` (or None)."""
+        ends: list[int] = []
+        position = 0
+        while bounds[position] < total:
+            if len(ends) == num_workers:
+                return None
+            farthest = position
+            while (farthest + 1 < len(bounds) and segment_cost(
+                    bounds[position], bounds[farthest + 1]) <= limit):
+                farthest += 1
+            if farthest == position:
+                return None  # even one aligned hop exceeds the limit
+            ends.append(bounds[farthest])
+            position = farthest
+        return ends
+
+    # The bottleneck optimum lies between the heaviest single aligned hop
+    # (no split can do better) and the whole range on one worker.
+    low = max(segment_cost(bounds[i], bounds[i + 1])
+              for i in range(len(bounds) - 1))
+    high = segment_cost(0, total) + startup
+    assert pack(high) is not None  # one worker can always take everything
+    for _ in range(48):
+        middle = (low + high) / 2.0
+        if pack(middle) is None:
+            low = middle
+        else:
+            high = middle
+    limit = high
+
+    # Farthest reachable bound per position at the optimal bottleneck, and
+    # the fewest segments needed to finish from each bound (both via the
+    # classic greedy; ``reach`` is monotone, so one two-pointer sweep).
+    reach = [0] * len(bounds)
+    farthest = 0
+    for position in range(len(bounds)):
+        farthest = max(farthest, position)
+        while (farthest + 1 < len(bounds) and segment_cost(
+                bounds[position], bounds[farthest + 1]) <= limit):
+            farthest += 1
+        reach[position] = farthest
+    need = [0] * len(bounds)
+    for position in range(len(bounds) - 2, -1, -1):
+        need[position] = 1 + need[reach[position]]
+
+    # Among the cuts that keep the bottleneck optimal, prefer the one whose
+    # segment cost is closest to an even share — greedy-farthest packing
+    # alone would front-load work and leave trailing workers idle on ties.
+    ends: list[int] = []
+    position = 0
+    workers_left = num_workers
+    while bounds[position] < total:
+        share = (prefix[total] - prefix[bounds[position]]) / workers_left
+        candidates = [index for index in range(position + 1,
+                                               reach[position] + 1)
+                      if need[index] <= workers_left - 1]
+        cut = min(candidates, key=lambda index: abs(
+            segment_cost(bounds[position], bounds[index]) - share))
+        ends.append(bounds[cut])
+        position = cut
+        workers_left -= 1
+
+    segments = []
+    prev = 0
+    for end in ends + [total] * (num_workers - len(ends)):
+        end = min(max(end, prev), total)
+        segments.append(WorkSegment(prev, end))
+        prev = end
+    return segments
+
+
+# --------------------------------------------------------------------------- #
+# Dynamic (work-queue) planning
+# --------------------------------------------------------------------------- #
+def plan_chunks(total: int, chunk_size: int,
+                aligned: Sequence[int]) -> list[WorkSegment]:
+    """Cut ``range(total)`` into checkpoint-aligned chunks for the queue.
+
+    Each chunk starts at an aligned boundary and targets ``chunk_size``
+    iterations; sparse checkpointing can force larger chunks (an unaligned
+    cut would trade a cheap restore for duplicated recompute).
+    """
+    if total <= 0:
+        return []
+    if chunk_size < 1:
+        raise ReplayError(f"chunk_size must be >= 1, got {chunk_size}")
+    bounds = [start for start in candidate_starts(total, aligned)
+              if start > 0]
+    bounds.append(total)
+    chunks: list[WorkSegment] = []
+    begin = 0
+    for bound in bounds:
+        if bound - begin >= chunk_size or bound == total:
+            if bound > begin:
+                chunks.append(WorkSegment(begin, bound))
+                begin = bound
+    return chunks
+
+
+class InProcessChunkQueue:
+    """Single-process chunk queue (one worker, or tests)."""
+
+    def __init__(self, chunks: Sequence[WorkSegment]):
+        self._chunks: list[WorkSegment] = list(chunks)
+
+    def claim(self, pid: int,
+              preferred_start: int | None = None) -> WorkSegment | None:
+        if not self._chunks:
+            return None
+        if preferred_start is not None:
+            for position, chunk in enumerate(self._chunks):
+                if chunk.start == preferred_start:
+                    return self._chunks.pop(position)
+        return self._chunks.pop(0)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class SqliteChunkQueue:
+    """Shared work queue of replay chunks, claimable across processes.
+
+    Every worker initializes the queue idempotently (the chunk list is a
+    deterministic function of the store, so ``INSERT OR IGNORE`` from any
+    number of workers converges to the same rows) and claims chunks with an
+    ``BEGIN IMMEDIATE`` transaction, so each chunk is executed by exactly
+    one worker.  Workers prefer the chunk contiguous with their last one —
+    contiguous chunks need no re-initialization (state carries forward).
+    """
+
+    _SCHEMA = ("CREATE TABLE IF NOT EXISTS chunks ("
+               "chunk_index INTEGER PRIMARY KEY, "
+               "start INTEGER NOT NULL, stop INTEGER NOT NULL, "
+               "claimed_by INTEGER)")
+
+    def __init__(self, path: str | Path, chunks: Sequence[WorkSegment]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=30.0,
+                                     isolation_level=None,
+                                     check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._execute_transaction(lambda conn: (
+            conn.execute(self._SCHEMA),
+            conn.executemany(
+                "INSERT OR IGNORE INTO chunks "
+                "(chunk_index, start, stop, claimed_by) VALUES (?, ?, ?, NULL)",
+                [(index, chunk.start, chunk.stop)
+                 for index, chunk in enumerate(chunks)])))
+
+    @staticmethod
+    def _is_lock_contention(error: sqlite3.OperationalError) -> bool:
+        message = str(error).lower()
+        return "locked" in message or "busy" in message
+
+    def _rollback_quietly(self) -> None:
+        """Leave no transaction open, whatever state the failure left."""
+        try:
+            self._conn.execute("ROLLBACK")
+        except sqlite3.Error:
+            pass
+
+    def _execute_transaction(self, operation):
+        last_error: sqlite3.OperationalError | None = None
+        for attempt in range(64):
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                result = operation(self._conn)
+                self._conn.execute("COMMIT")
+                return result
+            except sqlite3.OperationalError as exc:
+                # Only lock contention is retryable; anything else (disk
+                # full, corruption) must surface with its real cause, and
+                # either way no transaction may stay open across attempts.
+                self._rollback_quietly()
+                if not self._is_lock_contention(exc):
+                    raise
+                last_error = exc
+                time.sleep(0.005 * (attempt + 1))
+            except BaseException:
+                self._rollback_quietly()
+                raise
+        raise ReplayError(f"could not acquire the replay work queue at "
+                          f"{self.path} (database stayed locked: "
+                          f"{last_error})")
+
+    def claim(self, pid: int,
+              preferred_start: int | None = None) -> WorkSegment | None:
+        """Atomically claim one unclaimed chunk, or None when drained."""
+
+        def _claim(conn: sqlite3.Connection):
+            row = None
+            if preferred_start is not None:
+                row = conn.execute(
+                    "SELECT chunk_index, start, stop FROM chunks "
+                    "WHERE claimed_by IS NULL AND start = ? LIMIT 1",
+                    (preferred_start,)).fetchone()
+            if row is None:
+                row = conn.execute(
+                    "SELECT chunk_index, start, stop FROM chunks "
+                    "WHERE claimed_by IS NULL "
+                    "ORDER BY chunk_index LIMIT 1").fetchone()
+            if row is None:
+                return None
+            conn.execute("UPDATE chunks SET claimed_by = ? "
+                         "WHERE chunk_index = ?", (pid, row[0]))
+            return WorkSegment(start=row[1], stop=row[2])
+
+        return self._execute_transaction(_claim)
+
+    def claims(self) -> dict[int, int | None]:
+        """Chunk index -> claiming pid (None while unclaimed); for tests."""
+        rows = self._conn.execute(
+            "SELECT chunk_index, claimed_by FROM chunks "
+            "ORDER BY chunk_index").fetchall()
+        return {row[0]: row[1] for row in rows}
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# The scheduler facade
+# --------------------------------------------------------------------------- #
+class ReplayScheduler:
+    """Issues checkpoint-aligned work segments and initialization plans.
+
+    One instance is built per worker from the (shared, read-only) checkpoint
+    store; static scheduling is deterministic so every worker derives the
+    same global plan without coordination, and dynamic scheduling
+    coordinates through a shared SQLite chunk queue.
+    """
+
+    def __init__(self, store: "CheckpointStore", total: int,
+                 num_workers: int, *, mode: str = "static",
+                 chunk_size: int = 4, scaling_factor: float = 1.0,
+                 strict: bool = False,
+                 probed_blocks: Iterable[str] = (),
+                 loop_blocks: Iterable[str] | None = None,
+                 queue_path: str | Path | None = None):
+        if mode not in SCHEDULER_MODES:
+            raise ReplayError(f"replay scheduler must be one of "
+                              f"{SCHEDULER_MODES}, got {mode!r}")
+        if total < 0:
+            raise ReplayError(f"iteration count must be non-negative, "
+                              f"got {total}")
+        if num_workers < 1:
+            raise ReplayError(f"num_workers must be >= 1, got {num_workers}")
+        self.store = store
+        self.total = total
+        self.num_workers = num_workers
+        self.mode = mode
+        self.chunk_size = chunk_size
+        self.strict = strict
+        self.probed = bool(set(probed_blocks))
+        self.queue_path = Path(queue_path) if queue_path else None
+        # The aligned set backs init planning in every mode (weak init must
+        # find a truly restorable iteration even under the uniform split).
+        self.aligned = aligned_checkpoints(store, total,
+                                           loop_blocks=loop_blocks)
+        self.costs = load_iteration_costs(store,
+                                          scaling_factor=scaling_factor)
+        self._queue: InProcessChunkQueue | SqliteChunkQueue | None = None
+
+    @classmethod
+    def for_session(cls, session: "Session", total: int) -> "ReplayScheduler":
+        config: "FlorConfig" = session.config
+        return cls(
+            store=session.store,
+            total=total,
+            num_workers=session.num_workers,
+            mode=config.replay_scheduler,
+            chunk_size=config.replay_chunk_size,
+            scaling_factor=config.scaling_factor,
+            strict=config.strict_consistency,
+            probed_blocks=session.probed_blocks,
+            queue_path=session.replay_queue_path,
+        )
+
+    # -- segment issue ----------------------------------------------------
+    def static_segments(self) -> list[WorkSegment]:
+        """The full static plan (same in every worker), for inspection."""
+        if self.mode == "uniform" or not self.aligned:
+            return [partition_indices(self.total, self.num_workers, pid)
+                    for pid in range(self.num_workers)]
+        return plan_static_segments(self.total, self.num_workers,
+                                    self.aligned, self.costs,
+                                    probed=self.probed)
+
+    def chunks(self) -> list[WorkSegment]:
+        """The dynamic mode's chunk list (deterministic across workers)."""
+        return plan_chunks(self.total, self.chunk_size, self.aligned)
+
+    def worker_segments(self, pid: int) -> Iterator[WorkSegment]:
+        """Yield the work segments worker ``pid`` must replay, in order."""
+        if not 0 <= pid < self.num_workers:
+            raise ReplayError(f"pid must be in [0, {self.num_workers}), "
+                              f"got {pid}")
+        if self.total <= 0:
+            return
+        if self.mode != "dynamic" or not self.aligned:
+            # Dynamic without any aligned checkpoint degrades to the uniform
+            # split: chunked pulls would each recompute from iteration 0.
+            yield self.static_segments()[pid]
+            return
+        if self.num_workers > 1 and self.queue_path is None:
+            # Dynamic coordination needs the shared queue the parallel
+            # driver provisions; an uncoordinated multi-worker session
+            # falls back to the deterministic static plan.
+            yield self.static_segments()[pid]
+            return
+        queue = self._make_queue()
+        try:
+            resume_from: int | None = None
+            while True:
+                chunk = queue.claim(pid, preferred_start=resume_from)
+                if chunk is None:
+                    return
+                yield chunk
+                resume_from = chunk.stop
+        finally:
+            queue.close()
+
+    def _make_queue(self) -> InProcessChunkQueue | SqliteChunkQueue:
+        chunks = self.chunks()
+        if self.queue_path is None:
+            return InProcessChunkQueue(chunks)
+        return SqliteChunkQueue(self.queue_path, chunks)
+
+    # -- initialization planning ------------------------------------------
+    def init_plan(self, start: int, resume_from: int | None,
+                  strong: bool) -> InitPlan:
+        """Plan how a worker reaches the state preceding iteration ``start``.
+
+        ``resume_from`` is the end of the segment this worker just finished
+        (state carries forward): a contiguous next segment needs no
+        initialization, and a later one can recompute forward from the
+        current state when that beats restoring an older checkpoint.
+
+        Weak initialization restores the nearest *aligned* checkpoint at or
+        before ``start - 1`` and recomputes the gap — the fix for the
+        divergence where a missing boundary checkpoint silently replayed
+        from stale state.  With no usable checkpoint at all the plan either
+        raises (strict mode) or degrades to recomputing the whole prefix,
+        which is strong initialization — slow but correct.
+        """
+        empty = range(0, 0)
+        if start <= 0 or resume_from == start:
+            return InitPlan(None, empty)
+        if resume_from is not None and resume_from > start:
+            raise ReplayError(
+                f"cannot initialize segment start {start} from later "
+                f"state {resume_from}")
+        if strong:
+            return InitPlan(None, range(resume_from or 0, start))
+        restore = max((index for index in self.aligned if index <= start - 1),
+                      default=None)
+        if resume_from is not None and (restore is None
+                                        or restore < resume_from):
+            # Current state is already past every usable checkpoint;
+            # recompute forward from it.
+            return InitPlan(None, range(resume_from, start))
+        if restore is None:
+            message = (
+                f"weak initialization has no usable checkpoint at or before "
+                f"iteration {start - 1}; recomputing iterations 0..{start - 1} "
+                f"from scratch instead")
+            if self.strict:
+                raise ReplayError(
+                    f"weak initialization has no usable checkpoint at or "
+                    f"before iteration {start - 1} (strict consistency)")
+            warnings.warn(message, stacklevel=2)
+            return InitPlan(None, range(0, start))
+        return InitPlan(restore, range(restore + 1, start))

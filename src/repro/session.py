@@ -60,7 +60,8 @@ class Session:
                  pid: int = 0, num_workers: int = 1,
                  init_strategy: InitStrategy = InitStrategy.STRONG,
                  probed_blocks: Iterable[str] | None = None,
-                 sample_iterations: Iterable[int] | None = None):
+                 sample_iterations: Iterable[int] | None = None,
+                 replay_queue_path: str | Path | None = None):
         self.config = config or get_config()
         self.run_id = run_id
         self.mode = Mode(mode)
@@ -71,6 +72,10 @@ class Session:
         self.sample_iterations: list[int] | None = (
             sorted(set(sample_iterations)) if sample_iterations is not None
             else None)
+        #: Shared dynamic-scheduling work queue, provisioned by the parallel
+        #: replay driver; None for static scheduling or standalone sessions.
+        self.replay_queue_path: Path | None = (
+            Path(replay_queue_path) if replay_queue_path is not None else None)
 
         if self.num_workers < 1:
             raise ReplayError(f"num_workers must be >= 1, got {num_workers}")
@@ -107,18 +112,28 @@ class Session:
             config=self.config, **materializer_kwargs)
 
         self.block_specs: dict[str, BlockSpec] = {}
+        # Composite execution-index scheme: 2 offsets composites by
+        # (iteration + 1) * 1_000_000 so iteration 0's repeats can never
+        # alias a later iteration's plain index; 1 is the legacy formula.
+        # Replay honours whatever scheme the run was recorded under.
+        self._index_scheme = 2
         if self.mode is Mode.REPLAY:
             stored = self.store.get_metadata("blocks", {})
             self.block_specs = {bid: BlockSpec.from_dict(spec)
                                 for bid, spec in stored.items()}
+            self._index_scheme = int(
+                self.store.get_metadata("execution_index_scheme", 1))
 
         # Main-loop bookkeeping.
         self.current_iteration: int | None = None
         self.main_loop_total: int | None = None
         self.iterations_run: list[int] = []
         self.work_segment = None  # set by _replay_loop to a WorkSegment
+        self.scheduler = None  # set by _replay_loop to a ReplayScheduler
         self._iteration_occurrences: dict[str, int] = {}
         self._global_counters: dict[str, int] = {}
+        self._loop_block_ids: set[str] = set()
+        self._weak_restore_index: int | None = None
         self._started_at = time.time()
         self._closed = False
 
@@ -143,10 +158,10 @@ class Session:
     def loop(self, iterable: Iterable) -> Iterator:
         """The Flor generator (Figure 9) wrapping the main training loop.
 
-        On record it simply tracks the iteration index.  On replay it
-        partitions the iterations across workers, runs the worker's
-        initialization segment with SkipBlocks in restore mode, then its
-        work segment in replay-execution mode.
+        On record it simply tracks the iteration index.  On replay it asks
+        the checkpoint-aware scheduler for this worker's segments and, for
+        each, runs the scheduler's initialization plan with SkipBlocks in
+        restore mode before replaying the segment in execution mode.
         """
         items = list(iterable)
         self.main_loop_total = len(items)
@@ -166,40 +181,48 @@ class Session:
     def _replay_loop(self, items: list) -> Iterator:
         # Imported here (not at module scope) to avoid a cycle: the replay
         # package's drivers import Session themselves.
-        from .replay.partition import partition_indices
+        from .replay.scheduler import ReplayScheduler
 
         if self.sample_iterations is not None:
             yield from self._sampling_replay_loop(items)
             return
 
-        segment = partition_indices(len(items), self.num_workers, self.pid)
-        self.work_segment = segment
+        scheduler = ReplayScheduler.for_session(self, len(items))
+        self.scheduler = scheduler
+        strong = self.init_strategy is InitStrategy.STRONG
 
-        if segment.start > 0:
-            if self.init_strategy is InitStrategy.STRONG:
-                init_indices: Iterable[int] = range(0, segment.start)
-            else:
-                init_indices = [segment.start - 1]
-        else:
-            init_indices = []
+        resume_from: int | None = None
+        for segment in scheduler.worker_segments(self.pid):
+            self.work_segment = segment
+            if len(segment) == 0:
+                continue
 
-        self.phase = Phase.REPLAY_INIT
-        try:
-            for index in init_indices:
+            plan = scheduler.init_plan(segment.start, resume_from,
+                                       strong=strong)
+            if len(plan):
+                self.phase = Phase.REPLAY_INIT
+                # Only the plan's designated restore iteration may fall back
+                # to an earlier checkpoint; the gap iterations after it must
+                # recompute (or exact-restore), never restore stale state.
+                self._weak_restore_index = plan.restore_index
+                try:
+                    for index in plan.indices():
+                        self._begin_iteration(index)
+                        try:
+                            yield items[index]
+                        finally:
+                            self._end_iteration(index)
+                finally:
+                    self._weak_restore_index = None
+                    self.phase = Phase.REPLAY_EXEC
+
+            for index in segment.indices():
                 self._begin_iteration(index)
                 try:
                     yield items[index]
                 finally:
                     self._end_iteration(index)
-        finally:
-            self.phase = Phase.REPLAY_EXEC
-
-        for index in segment.indices():
-            self._begin_iteration(index)
-            try:
-                yield items[index]
-            finally:
-                self._end_iteration(index)
+            resume_from = segment.stop
 
     def _sampling_replay_loop(self, items: list) -> Iterator:
         """Sampling replay (the Section 8 proof of concept).
@@ -219,6 +242,9 @@ class Session:
         for index in wanted:
             if index > 0 and previous != index - 1:
                 self.phase = Phase.REPLAY_INIT
+                # Sampling's random access deliberately accepts the nearest
+                # earlier checkpoint for its single init iteration.
+                self._weak_restore_index = index - 1
                 try:
                     self._begin_iteration(index - 1)
                     try:
@@ -226,6 +252,7 @@ class Session:
                     finally:
                         self._end_iteration(index - 1)
                 finally:
+                    self._weak_restore_index = None
                     self.phase = Phase.REPLAY_EXEC
             self._begin_iteration(index)
             try:
@@ -257,14 +284,35 @@ class Session:
         simple per-block counter.
         """
         if self.current_iteration is not None:
+            self._loop_block_ids.add(block_id)
             occurrence = self._iteration_occurrences.get(block_id, 0)
             self._iteration_occurrences[block_id] = occurrence + 1
             if occurrence == 0:
                 return self.current_iteration
-            return self.current_iteration * 1_000_000 + occurrence
+            # Scheme 2 starts composite indices at 1_000_000 for *every*
+            # iteration (iteration + 1, not iteration), so iteration 0's
+            # repeats can never alias iteration 1's plain index — the
+            # scheduler filters composites with that threshold when
+            # computing alignment.  Replay of a run recorded under the
+            # legacy scheme keeps the legacy formula so stored checkpoint
+            # indices still line up.
+            offset = 1 if self._index_scheme >= 2 else 0
+            return (self.current_iteration + offset) * 1_000_000 + occurrence
         counter = self._global_counters.get(block_id, 0)
         self._global_counters[block_id] = counter + 1
         return counter
+
+    def allows_weak_restore(self, execution_index: int) -> bool:
+        """Whether a replay-init SkipBlock may restore a *nearest-earlier*
+        checkpoint at ``execution_index``.
+
+        Only the initialization plan's designated restore iteration may —
+        anywhere else a nearest-earlier fallback would silently rewind state
+        (the weak-init divergence bug); those activations must recompute or
+        exact-restore instead.
+        """
+        return (self._weak_restore_index is not None
+                and execution_index == self._weak_restore_index)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -286,12 +334,20 @@ class Session:
         if self.mode is Mode.RECORD:
             self.store.set_metadata("run_id", self.run_id)
             self.store.set_metadata("mode", self.mode.value)
+            self.store.set_metadata("execution_index_scheme",
+                                    self._index_scheme)
             self.store.set_metadata(
                 "blocks", {bid: spec.to_dict()
                            for bid, spec in self.block_specs.items()})
             self.store.set_metadata("main_loop_total", self.main_loop_total)
             self.store.set_metadata("iterations_run", self.iterations_run)
             self.store.set_metadata("adaptive_summary", self.adaptive.summary())
+            # Scheduler-facing metadata: which blocks live inside the main
+            # loop (alignment) and what iterations cost (balancing).
+            self.store.put_metadata("loop_blocks",
+                                    sorted(self._loop_block_ids))
+            self.store.put_metadata("iteration_stats",
+                                    self.adaptive.iteration_stats())
             materializer_meta = {
                 "strategy": self.materializer.name,
                 "submitted": self.materializer.stats.submitted,

@@ -112,6 +112,15 @@ class StorageBackend:
     def executions(self, block_id: str) -> list[int]:
         raise NotImplementedError
 
+    def list_executions(self, block_id: str) -> list[int]:
+        """Sorted execution indices with a materialized checkpoint.
+
+        The replay scheduler's query: which iterations of ``block_id`` did
+        the adaptive controller *actually* materialize?  Alias of
+        :meth:`executions`; backends may override with a cheaper form.
+        """
+        return self.executions(block_id)
+
     def latest_execution_at_or_before(self, block_id: str,
                                       execution_index: int) -> int | None:
         raise NotImplementedError

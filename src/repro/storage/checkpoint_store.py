@@ -59,6 +59,10 @@ class CheckpointStore:
         """Store a JSON-serializable run-level metadata value."""
         self.backend.set_metadata_json(key, json.dumps(value))
 
+    # ``put_metadata`` mirrors the checkpoint write path's put/get naming;
+    # the record close path uses it for scheduler-facing metadata.
+    put_metadata = set_metadata
+
     def get_metadata(self, key: str, default=None):
         encoded = self.backend.get_metadata_json(key)
         if encoded is None:
@@ -168,6 +172,15 @@ class CheckpointStore:
     def executions(self, block_id: str) -> list[int]:
         """Sorted execution indices that have a materialized checkpoint."""
         return self.backend.executions(block_id)
+
+    def list_executions(self, block_id: str) -> list[int]:
+        """Sorted execution indices with a materialized checkpoint.
+
+        The replay scheduler's alignment query (which iterations can a work
+        segment start after?) — routed to the backend, which may answer it
+        with an index-only scan.
+        """
+        return self.backend.list_executions(block_id)
 
     def latest_execution_at_or_before(self, block_id: str,
                                       execution_index: int) -> int | None:

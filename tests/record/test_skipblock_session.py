@@ -98,7 +98,9 @@ class TestRecordMode:
                 first = session.skipblock("b").execution_index
                 second = session.skipblock("b").execution_index
         assert first == 0
-        assert second == 1_000_000 * 0 + 1 or second != first
+        # Composite indices live above 1_000_000 even in iteration 0, so a
+        # repeat can never alias a later iteration's plain index.
+        assert second == 1_000_001
 
 
 class TestReplayMode:
@@ -126,8 +128,11 @@ class TestReplayMode:
         assert replay_losses == pytest.approx(record_losses, rel=1e-4)
 
     def test_partitioned_replay_covers_assigned_segment_only(self, flor_config):
+        # The uniform scheduler pins the exact segment shape this asserts;
+        # the cost-balanced default may legitimately cut elsewhere.
         run_id, _ = self.record_run(flor_config, "replay-partitioned")
-        replay = Session(run_id, Mode.REPLAY, config=flor_config,
+        config = flor_config.with_overrides(replay_scheduler="uniform")
+        replay = Session(run_id, Mode.REPLAY, config=config,
                          pid=1, num_workers=2)
         with replay:
             train_with_explicit_api(replay)
@@ -137,7 +142,8 @@ class TestReplayMode:
 
     def test_weak_init_uses_nearest_checkpoint(self, flor_config):
         run_id, _ = self.record_run(flor_config, "replay-weak")
-        replay = Session(run_id, Mode.REPLAY, config=flor_config,
+        config = flor_config.with_overrides(replay_scheduler="uniform")
+        replay = Session(run_id, Mode.REPLAY, config=config,
                          pid=1, num_workers=2,
                          init_strategy=InitStrategy.WEAK)
         with replay:
@@ -146,7 +152,8 @@ class TestReplayMode:
 
     def test_phase_transitions_during_replay(self, flor_config):
         run_id, _ = self.record_run(flor_config, "replay-phases")
-        replay = Session(run_id, Mode.REPLAY, config=flor_config,
+        config = flor_config.with_overrides(replay_scheduler="uniform")
+        replay = Session(run_id, Mode.REPLAY, config=config,
                          pid=1, num_workers=2)
         phases = []
         with replay:
@@ -154,6 +161,32 @@ class TestReplayMode:
                 phases.append(replay.phase)
         assert phases == [Phase.REPLAY_INIT, Phase.REPLAY_INIT,
                           Phase.REPLAY_EXEC, Phase.REPLAY_EXEC]
+
+    def test_legacy_composite_index_scheme_respected_on_replay(
+            self, flor_config):
+        # A run recorded under the legacy composite-index formula replays
+        # with the same formula (read from store metadata), so its stored
+        # checkpoint indices still line up.
+        record = Session("legacy-idx", Mode.RECORD, config=flor_config)
+        record._index_scheme = 1
+        with record:
+            for _ in record.loop(range(2)):
+                for _repeat in range(2):
+                    sb = record.skipblock("b")
+                    sb.should_execute()
+                    sb.end(_namespace={}, value=1)
+
+        replay = Session("legacy-idx", Mode.REPLAY, config=flor_config)
+        assert replay._index_scheme == 1
+        with replay:
+            observed = []
+            for _ in replay.loop(range(2)):
+                for _repeat in range(2):
+                    sb = replay.skipblock("b")
+                    observed.append(sb.execution_index)
+                    sb.should_execute()
+                    sb.end(_namespace={}, value=1)
+        assert observed == [0, 1, 1, 1_000_001]  # the legacy formula
 
     def test_invalid_worker_configuration(self, flor_config):
         with pytest.raises(repro.ReplayError):

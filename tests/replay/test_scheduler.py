@@ -1,0 +1,373 @@
+"""Unit tests for the checkpoint-aware replay scheduler."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.config import FlorConfig
+from repro.exceptions import ReplayError
+from repro.replay.partition import WorkSegment
+from repro.replay.scheduler import (InitPlan, InProcessChunkQueue,
+                                    IterationCosts, ReplayScheduler,
+                                    SqliteChunkQueue, aligned_checkpoints,
+                                    candidate_starts, load_iteration_costs,
+                                    plan_chunks, plan_static_segments)
+from repro.storage.backends import CheckpointRecord
+from repro.storage.checkpoint_store import CheckpointStore
+
+
+def make_store(tmp_path, checkpoints: dict[str, list[int]],
+               loop_blocks: list[str] | None = None,
+               iteration_stats: dict | None = None) -> CheckpointStore:
+    """A store whose manifest claims the given checkpoints exist."""
+    store = CheckpointStore(tmp_path / "run", backend="memory")
+    for block_id, indices in checkpoints.items():
+        for index in indices:
+            store.backend.index(CheckpointRecord(
+                block_id=block_id, execution_index=index,
+                path=tmp_path / "x", raw_nbytes=10, stored_nbytes=5,
+                digest="d", serialize_seconds=0.0, write_seconds=0.0,
+                created_at=0.0))
+    if loop_blocks is not None:
+        store.set_metadata("loop_blocks", loop_blocks)
+    if iteration_stats is not None:
+        store.put_metadata("iteration_stats", iteration_stats)
+    return store
+
+
+def covered(segments: list[WorkSegment]) -> list[int]:
+    indices: list[int] = []
+    for segment in segments:
+        indices.extend(segment.indices())
+    return indices
+
+
+class TestAlignment:
+    def test_aligned_is_intersection_across_loop_blocks(self, tmp_path):
+        store = make_store(tmp_path, {"a": [0, 1, 3, 5], "b": [1, 2, 3]},
+                           loop_blocks=["a", "b"])
+        assert aligned_checkpoints(store, 6) == [1, 3]
+
+    def test_blocks_outside_the_loop_do_not_constrain(self, tmp_path):
+        store = make_store(tmp_path, {"a": [0, 2], "setup": [0]},
+                           loop_blocks=["a"])
+        assert aligned_checkpoints(store, 4) == [0, 2]
+
+    def test_composite_and_out_of_range_indices_ignored(self, tmp_path):
+        store = make_store(
+            tmp_path, {"a": [0, 2, 9, 1_000_001]}, loop_blocks=["a"])
+        assert aligned_checkpoints(store, 4) == [0, 2]
+
+    def test_falls_back_to_stored_blocks_without_metadata(self, tmp_path):
+        store = make_store(tmp_path, {"a": [0, 2]})
+        assert aligned_checkpoints(store, 4) == [0, 2]
+
+    def test_no_checkpoints_means_no_alignment(self, tmp_path):
+        store = make_store(tmp_path, {}, loop_blocks=[])
+        assert aligned_checkpoints(store, 10) == []
+
+    def test_candidate_starts(self):
+        assert candidate_starts(6, [1, 3]) == [0, 2, 4]
+        assert candidate_starts(6, [5]) == [0]  # 5+1 == total: not a start
+        assert candidate_starts(6, []) == [0]
+
+
+class TestIterationCosts:
+    def test_loads_recorded_stats(self, tmp_path):
+        store = make_store(tmp_path, {}, iteration_stats={
+            "per_iteration_compute_seconds": {"0": 2.0, "1": 4.0},
+            "mean_compute_seconds": 3.0,
+            "mean_materialize_seconds": 0.5,
+            "estimated_restore_seconds": 0.7,
+        })
+        costs = load_iteration_costs(store)
+        assert costs.compute(0) == 2.0
+        assert costs.compute(7) == 3.0  # unmeasured -> mean
+        assert costs.restore_seconds == 0.7
+
+    def test_defaults_without_stats(self, tmp_path):
+        store = make_store(tmp_path, {})
+        costs = load_iteration_costs(store)
+        assert costs.compute(0) > 0
+        assert costs.replay_cost(0, restorable=True) > 0
+
+    def test_replay_cost_prefers_restore_when_memoized(self):
+        costs = IterationCosts(per_iteration={}, mean_compute_seconds=1.0,
+                               restore_seconds=0.2)
+        assert costs.replay_cost(0, restorable=True) == pytest.approx(0.2)
+        assert costs.replay_cost(0, restorable=False) == pytest.approx(1.0)
+        # Probed blocks re-execute even when memoized.
+        assert costs.replay_cost(0, restorable=True,
+                                 probed=True) == pytest.approx(1.0)
+
+
+class TestStaticPlanning:
+    UNIT = IterationCosts(per_iteration={}, mean_compute_seconds=1.0,
+                          restore_seconds=0.1)
+
+    def test_boundaries_land_on_aligned_starts(self):
+        aligned = [2, 5, 8]
+        segments = plan_static_segments(12, 3, aligned, self.UNIT)
+        starts = {0, 3, 6, 9}
+        assert covered(segments) == list(range(12))
+        for segment in segments[1:]:
+            if len(segment):
+                assert segment.start in starts
+
+    def test_full_alignment_degrades_to_balanced_split(self):
+        segments = plan_static_segments(4, 2, [0, 1, 2, 3], self.UNIT)
+        assert covered(segments) == [0, 1, 2, 3]
+        assert all(len(segment) >= 1 for segment in segments)
+        # The startup-free leading worker shoulders at least an even share.
+        assert len(segments[0]) >= len(segments[1])
+
+    def test_cost_skew_moves_the_boundary(self):
+        # A probed replay re-executes everything; the first half is cheap,
+        # the second expensive, so the cost-balanced cut lands past the
+        # count-balanced midpoint of 6.
+        aligned = list(range(12))
+        costs = IterationCosts(
+            per_iteration={i: (0.1 if i < 6 else 1.0) for i in range(12)},
+            mean_compute_seconds=0.5, restore_seconds=0.01)
+        segments = plan_static_segments(12, 2, aligned, costs, probed=True)
+        assert segments[0].start == 0
+        assert segments[0].stop > 6
+        assert covered(segments) == list(range(12))
+
+    def test_sparser_checkpoints_than_workers_leaves_workers_idle(self):
+        segments = plan_static_segments(10, 4, [4], self.UNIT)
+        assert covered(segments) == list(range(10))
+        assert sum(1 for segment in segments if len(segment) == 0) >= 2
+
+    def test_no_checkpoints_falls_back_to_uniform(self):
+        segments = plan_static_segments(10, 3, [], self.UNIT)
+        assert [len(segment) for segment in segments] == [4, 3, 3]
+
+    def test_degenerate_totals(self):
+        assert plan_static_segments(0, 3, [], self.UNIT) == [
+            WorkSegment(0, 0)] * 3
+        assert plan_static_segments(5, 1, [1], self.UNIT) == [
+            WorkSegment(0, 5)]
+
+    def test_more_workers_than_iterations(self):
+        segments = plan_static_segments(3, 5, [0, 1, 2], self.UNIT)
+        assert covered(segments) == [0, 1, 2]
+        assert sum(1 for segment in segments if len(segment) == 0) >= 2
+
+
+class TestChunkPlanning:
+    def test_chunks_cover_and_align(self):
+        chunks = plan_chunks(12, 2, [1, 3, 5, 7, 9])
+        assert covered(chunks) == list(range(12))
+        starts = {0, 2, 4, 6, 8, 10}
+        assert all(chunk.start in starts for chunk in chunks)
+        assert all(len(chunk) >= 2 for chunk in chunks[:-1])
+
+    def test_sparse_checkpoints_force_larger_chunks(self):
+        chunks = plan_chunks(10, 2, [6])
+        assert chunks == [WorkSegment(0, 7), WorkSegment(7, 10)]
+
+    def test_degenerate(self):
+        assert plan_chunks(0, 2, []) == []
+        assert plan_chunks(5, 2, []) == [WorkSegment(0, 5)]
+        with pytest.raises(ReplayError):
+            plan_chunks(5, 0, [1])
+
+
+class TestChunkQueues:
+    CHUNKS = [WorkSegment(0, 2), WorkSegment(2, 4), WorkSegment(4, 6)]
+
+    def test_in_process_queue_drains_in_order(self):
+        queue = InProcessChunkQueue(self.CHUNKS)
+        claimed = [queue.claim(0), queue.claim(0), queue.claim(0)]
+        assert claimed == self.CHUNKS
+        assert queue.claim(0) is None
+
+    def test_in_process_queue_prefers_contiguous(self):
+        queue = InProcessChunkQueue(self.CHUNKS)
+        assert queue.claim(0, preferred_start=2) == WorkSegment(2, 4)
+        assert queue.claim(0) == WorkSegment(0, 2)
+
+    def test_sqlite_queue_claims_each_chunk_once(self, tmp_path):
+        path = tmp_path / "queue.sqlite"
+        first = SqliteChunkQueue(path, self.CHUNKS)
+        second = SqliteChunkQueue(path, self.CHUNKS)  # idempotent re-init
+        claimed = [first.claim(0), second.claim(1), first.claim(0),
+                   second.claim(1)]
+        assert [c for c in claimed if c is not None] == self.CHUNKS
+        assert first.claim(0) is None
+        assert second.claims() == {0: 0, 1: 1, 2: 0}
+        first.close()
+        second.close()
+
+    def test_sqlite_queue_prefers_contiguous_chunk(self, tmp_path):
+        queue = SqliteChunkQueue(tmp_path / "queue.sqlite", self.CHUNKS)
+        assert queue.claim(0) == WorkSegment(0, 2)
+        assert queue.claim(0, preferred_start=2) == WorkSegment(2, 4)
+        queue.close()
+
+    def test_sqlite_queue_surfaces_non_lock_errors_and_stays_usable(
+            self, tmp_path):
+        import sqlite3
+        queue = SqliteChunkQueue(tmp_path / "queue.sqlite", self.CHUNKS)
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            queue._execute_transaction(
+                lambda conn: conn.execute("SELECT * FROM missing"))
+        # The failure rolled back cleanly: the next claim still works.
+        assert queue.claim(0) == WorkSegment(0, 2)
+        queue.close()
+
+    def test_sqlite_queue_concurrent_claims_are_disjoint(self, tmp_path):
+        chunks = [WorkSegment(i, i + 1) for i in range(24)]
+        path = tmp_path / "queue.sqlite"
+        SqliteChunkQueue(path, chunks).close()
+        claimed: list[list[WorkSegment]] = [[] for _ in range(4)]
+
+        def worker(pid: int) -> None:
+            queue = SqliteChunkQueue(path, chunks)
+            while True:
+                chunk = queue.claim(pid)
+                if chunk is None:
+                    break
+                claimed[pid].append(chunk)
+                time.sleep(0.001)
+            queue.close()
+
+        threads = [threading.Thread(target=worker, args=(pid,))
+                   for pid in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        merged = sorted((chunk.start for claims in claimed
+                         for chunk in claims))
+        assert merged == list(range(24))
+
+
+class TestInitPlans:
+    def make_scheduler(self, tmp_path, checkpoints, total=8, strict=False,
+                       mode="static"):
+        store = make_store(tmp_path, {"train": checkpoints},
+                           loop_blocks=["train"])
+        return ReplayScheduler(store, total, 2, mode=mode, strict=strict)
+
+    def test_weak_with_exact_boundary_restores_only(self, tmp_path):
+        scheduler = self.make_scheduler(tmp_path, [0, 1, 2, 3])
+        plan = scheduler.init_plan(4, None, strong=False)
+        assert plan == InitPlan(3, range(4, 4))
+        assert plan.indices() == [3]
+
+    def test_weak_with_gap_recomputes_forward(self, tmp_path):
+        # Checkpoints at 0 and 1 only; a segment starting at 4 must restore
+        # 1 and recompute 2..3 — not silently run from iteration 1's state.
+        scheduler = self.make_scheduler(tmp_path, [0, 1])
+        plan = scheduler.init_plan(4, None, strong=False)
+        assert plan == InitPlan(1, range(2, 4))
+        assert plan.indices() == [1, 2, 3]
+
+    def test_weak_without_any_checkpoint_recomputes_from_scratch(
+            self, tmp_path):
+        scheduler = self.make_scheduler(tmp_path, [])
+        with pytest.warns(UserWarning, match="no usable checkpoint"):
+            plan = scheduler.init_plan(4, None, strong=False)
+        assert plan == InitPlan(None, range(0, 4))
+
+    def test_weak_without_any_checkpoint_raises_when_strict(self, tmp_path):
+        scheduler = self.make_scheduler(tmp_path, [], strict=True)
+        with pytest.raises(ReplayError, match="no usable checkpoint"):
+            scheduler.init_plan(4, None, strong=False)
+
+    def test_strong_recomputes_whole_prefix(self, tmp_path):
+        scheduler = self.make_scheduler(tmp_path, [0, 1, 2])
+        assert scheduler.init_plan(4, None,
+                                   strong=True) == InitPlan(None, range(0, 4))
+
+    def test_contiguous_resume_needs_no_init(self, tmp_path):
+        scheduler = self.make_scheduler(tmp_path, [0, 1, 2, 3])
+        assert len(scheduler.init_plan(4, 4, strong=False)) == 0
+
+    def test_resume_past_checkpoints_recomputes_from_current_state(
+            self, tmp_path):
+        # State is at iteration 3 (chunk [0,3) done); the best checkpoint is
+        # at 1 — recomputing 3..4 forward beats rewinding to 1.
+        scheduler = self.make_scheduler(tmp_path, [0, 1])
+        plan = scheduler.init_plan(5, 3, strong=False)
+        assert plan == InitPlan(None, range(3, 5))
+
+    def test_segment_start_zero_needs_no_init(self, tmp_path):
+        scheduler = self.make_scheduler(tmp_path, [0, 1])
+        assert len(scheduler.init_plan(0, None, strong=False)) == 0
+        assert len(scheduler.init_plan(0, None, strong=True)) == 0
+
+
+class TestSchedulerFacade:
+    def test_uniform_mode_matches_paper_split(self, tmp_path):
+        store = make_store(tmp_path, {"train": [0, 2]},
+                           loop_blocks=["train"])
+        scheduler = ReplayScheduler(store, 8, 2, mode="uniform")
+        assert list(scheduler.worker_segments(0)) == [WorkSegment(0, 4)]
+        assert list(scheduler.worker_segments(1)) == [WorkSegment(4, 8)]
+
+    def test_static_mode_aligns_boundaries(self, tmp_path):
+        store = make_store(tmp_path, {"train": [0, 1, 2, 4, 5, 6]},
+                           loop_blocks=["train"])
+        scheduler = ReplayScheduler(store, 8, 2, mode="static")
+        (first,) = scheduler.worker_segments(0)
+        (second,) = scheduler.worker_segments(1)
+        assert first.stop == second.start
+        assert second.start - 1 in {0, 1, 2, 4, 5, 6}
+        assert len(first) + len(second) == 8
+
+    def test_dynamic_single_worker_drains_every_chunk(self, tmp_path):
+        store = make_store(tmp_path, {"train": list(range(8))},
+                           loop_blocks=["train"])
+        scheduler = ReplayScheduler(store, 8, 1, mode="dynamic", chunk_size=3)
+        segments = list(scheduler.worker_segments(0))
+        assert len(segments) > 1
+        assert covered(segments) == list(range(8))
+
+    def test_dynamic_multi_worker_without_queue_falls_back_static(
+            self, tmp_path):
+        store = make_store(tmp_path, {"train": list(range(8))},
+                           loop_blocks=["train"])
+        scheduler = ReplayScheduler(store, 8, 2, mode="dynamic")
+        both = (list(scheduler.worker_segments(0))
+                + list(scheduler.worker_segments(1)))
+        assert sorted(covered(both)) == list(range(8))
+
+    def test_dynamic_workers_share_a_queue(self, tmp_path):
+        store = make_store(tmp_path, {"train": list(range(12))},
+                           loop_blocks=["train"])
+        queue_path = tmp_path / "queue.sqlite"
+        schedulers = [
+            ReplayScheduler(store, 12, 2, mode="dynamic", chunk_size=2,
+                            queue_path=queue_path)
+            for _ in range(2)]
+        claimed = [list(schedulers[0].worker_segments(0)),
+                   list(schedulers[1].worker_segments(1))]
+        assert sorted(covered(claimed[0] + claimed[1])) == list(range(12))
+        # Worker 0 drained the whole queue first, so worker 1 got nothing —
+        # or they interleaved; either way nothing was claimed twice.
+        assert len(covered(claimed[0])) + len(covered(claimed[1])) == 12
+
+    def test_invalid_configuration_rejected(self, tmp_path):
+        store = make_store(tmp_path, {})
+        with pytest.raises(ReplayError):
+            ReplayScheduler(store, 8, 2, mode="surprise")
+        with pytest.raises(ReplayError):
+            ReplayScheduler(store, -1, 2)
+        with pytest.raises(ReplayError):
+            ReplayScheduler(store, 8, 0)
+        scheduler = ReplayScheduler(store, 8, 2)
+        with pytest.raises(ReplayError):
+            list(scheduler.worker_segments(5))
+
+    def test_config_knob_validation(self, tmp_path):
+        with pytest.raises(repro.ConfigError):
+            FlorConfig(home=tmp_path, replay_scheduler="nope")
+        with pytest.raises(repro.ConfigError):
+            FlorConfig(home=tmp_path, replay_chunk_size=0)

@@ -73,6 +73,9 @@ class TestConformance:
         store.put("eval", 1, make_snapshots())
         assert store.executions("train") == [0, 2, 4]
         assert store.executions("missing") == []
+        # The scheduler-facing alias answers the same question.
+        assert store.list_executions("train") == [0, 2, 4]
+        assert store.list_executions("missing") == []
         assert store.latest_execution_at_or_before("train", 3) == 2
         assert store.latest_execution_at_or_before("train", 4) == 4
         assert store.latest_execution_at_or_before("missing", 4) is None
