@@ -22,13 +22,18 @@ parallel replay.  This package implements the full system:
 """
 
 from . import analysis, api, record, replay, storage, torchlike
-from .api import (RecordResult, ReplayResult, log, loop, record_script,
+from .api import (QueryResult, RecordResult, ReplayResult, RunCatalog,
+                  RunEntry, WorkerResult, log, loop, record_script,
                   record_session, record_source, replay_script,
-                  replay_session, skipblock)
+                  replay_session, run_parallel_replay, skipblock)
+# NOTE: binds the name ``query`` to the entry-point *function*, shadowing
+# the ``repro.query`` subpackage attribute (like ``datetime.datetime``).
+# ``from repro.query.planner import ...`` still resolves the modules.
+from .api import query
 from .config import FlorConfig, get_config, reset_config, set_config
 from .exceptions import (CheckpointNotFoundError, ConfigError, FlorError,
-                         InstrumentationError, RecordError, ReplayAnomalyError,
-                         ReplayError, SerializationError,
+                         InstrumentationError, QueryError, RecordError,
+                         ReplayAnomalyError, ReplayError, SerializationError,
                          SideEffectAnalysisError, SimulationError,
                          StorageError, WorkloadError)
 from .modes import InitStrategy, Mode, Phase
@@ -41,12 +46,14 @@ __all__ = [
     "analysis", "api", "record", "replay", "storage", "torchlike",
     "log", "loop", "skipblock",
     "record_session", "replay_session", "record_script", "record_source",
-    "replay_script", "RecordResult", "ReplayResult",
+    "replay_script", "run_parallel_replay",
+    "RecordResult", "ReplayResult", "WorkerResult",
+    "query", "QueryResult", "RunCatalog", "RunEntry",
     "FlorConfig", "get_config", "set_config", "reset_config",
     "Mode", "Phase", "InitStrategy",
     "Session", "get_active_session",
     "FlorError", "RecordError", "ReplayError", "ReplayAnomalyError",
     "CheckpointNotFoundError", "InstrumentationError",
     "SideEffectAnalysisError", "StorageError", "SerializationError",
-    "ConfigError", "SimulationError", "WorkloadError",
+    "ConfigError", "QueryError", "SimulationError", "WorkloadError",
 ]

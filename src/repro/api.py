@@ -31,8 +31,12 @@ from typing import Iterable, Iterator
 
 from .config import FlorConfig, get_config, set_config
 from .modes import InitStrategy, Mode
+from .query.api import query
+from .query.catalog import RunCatalog, RunEntry
+from .query.dataframe import QueryResult
 from .record.skipblock import UNDEFINED
 from .record.recorder import RecordResult, record_script, record_source
+from .replay.parallel import WorkerResult, run_parallel_replay
 from .replay.replayer import ReplayResult, replay_script
 from .session import Session, get_active_session
 from .utils.naming import new_run_id
@@ -41,7 +45,8 @@ __all__ = [
     "log", "loop", "skipblock", "it", "UNDEFINED",
     "record_session", "replay_session",
     "record_script", "record_source", "replay_script",
-    "RecordResult", "ReplayResult",
+    "run_parallel_replay", "RecordResult", "ReplayResult", "WorkerResult",
+    "query", "QueryResult", "RunCatalog", "RunEntry",
     "get_config", "set_config", "FlorConfig",
 ]
 

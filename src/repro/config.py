@@ -50,6 +50,9 @@ DEFAULT_REPLAY_SCHEDULER = "static"
 #: Default target iterations per dynamic-replay work-queue chunk.
 DEFAULT_REPLAY_CHUNK_SIZE = 4
 
+#: Default process-pool size for hindsight-query replay jobs.
+DEFAULT_QUERY_WORKERS = 2
+
 
 @dataclass(frozen=True)
 class FlorConfig:
@@ -119,6 +122,21 @@ class FlorConfig:
         Target iterations per work-queue chunk in ``"dynamic"`` scheduling.
         Sparse checkpointing can force larger chunks (chunks always start
         at restorable iterations).
+    query_workers:
+        Process-pool size for the hindsight query engine's batched replay
+        jobs.  Jobs from *different* runs (and disjoint spans of the same
+        run) execute concurrently, so one multi-run query saturates
+        ``query_workers`` processes.
+    query_memoize:
+        When True (the default), values computed by query-driven replay are
+        written back through the run's storage backend, so repeated and
+        overlapping queries are served from storage instead of recompute.
+    query_planner:
+        ``"cost"`` (the default) resolves each requested value to the
+        cheapest source — already-logged read, memoized read, or a
+        checkpoint-aligned replay span — using the recorded per-iteration
+        timing stats.  ``"replay_all"`` forces a full replay of every
+        queried run (the ablation baseline the benchmark compares against).
     """
 
     home: Path = field(default_factory=lambda: DEFAULT_HOME)
@@ -137,72 +155,67 @@ class FlorConfig:
     manifest_batch_size: int = DEFAULT_MANIFEST_BATCH_SIZE
     replay_scheduler: str = DEFAULT_REPLAY_SCHEDULER
     replay_chunk_size: int = DEFAULT_REPLAY_CHUNK_SIZE
+    query_workers: int = DEFAULT_QUERY_WORKERS
+    query_memoize: bool = True
+    query_planner: str = "cost"
 
     _VALID_MATERIALIZERS = ("fork", "thread", "ipc_queue", "sequential",
                             "shared_memory", "spool")
     _VALID_BACKENDS = ("local", "memory", "sharded")
     _VALID_SPOOL_MODES = ("thread", "process")
     _VALID_REPLAY_SCHEDULERS = ("uniform", "static", "dynamic")
+    _VALID_QUERY_PLANNERS = ("cost", "replay_all")
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "home", Path(self.home).expanduser())
+        self.validate()
+
+    def validate(self) -> "FlorConfig":
+        """Check every knob and raise :class:`ConfigError` on the first bad one.
+
+        All validation lives here (not scattered across the record/replay
+        machinery), so a typo'd enum value like ``replay_scheduler="statik"``
+        fails at construction with a message naming the knob and its valid
+        values — instead of deep inside a replay worker.  Returns ``self``
+        so callers can chain ``FlorConfig(...).validate()``.
+        """
         if self.epsilon <= 0 or self.epsilon >= 1:
             raise ConfigError(
-                f"epsilon must be in (0, 1), got {self.epsilon!r}"
-            )
+                f"epsilon must be in (0, 1), got {self.epsilon!r}")
         if self.scaling_factor <= 0:
             raise ConfigError(
-                f"scaling_factor must be positive, got {self.scaling_factor!r}"
-            )
-        if self.fork_batch_size < 1:
-            raise ConfigError(
-                f"fork_batch_size must be >= 1, got {self.fork_batch_size!r}"
-            )
-        if self.background_materialization not in self._VALID_MATERIALIZERS:
-            raise ConfigError(
-                "background_materialization must be one of "
-                f"{self._VALID_MATERIALIZERS}, got "
-                f"{self.background_materialization!r}"
-            )
-        if self.storage_backend not in self._VALID_BACKENDS:
-            raise ConfigError(
-                f"storage_backend must be one of {self._VALID_BACKENDS}, "
-                f"got {self.storage_backend!r}"
-            )
-        if self.storage_shards < 1:
-            raise ConfigError(
-                f"storage_shards must be >= 1, got {self.storage_shards!r}"
-            )
-        if self.spool_workers < 1:
-            raise ConfigError(
-                f"spool_workers must be >= 1, got {self.spool_workers!r}"
-            )
-        if self.spool_queue_size < 1:
-            raise ConfigError(
-                f"spool_queue_size must be >= 1, got "
-                f"{self.spool_queue_size!r}"
-            )
-        if self.spool_mode not in self._VALID_SPOOL_MODES:
-            raise ConfigError(
-                f"spool_mode must be one of {self._VALID_SPOOL_MODES}, "
-                f"got {self.spool_mode!r}"
-            )
-        if self.manifest_batch_size < 1:
-            raise ConfigError(
-                f"manifest_batch_size must be >= 1, got "
-                f"{self.manifest_batch_size!r}"
-            )
-        if self.replay_scheduler not in self._VALID_REPLAY_SCHEDULERS:
-            raise ConfigError(
-                f"replay_scheduler must be one of "
-                f"{self._VALID_REPLAY_SCHEDULERS}, got "
-                f"{self.replay_scheduler!r}"
-            )
-        if self.replay_chunk_size < 1:
-            raise ConfigError(
-                f"replay_chunk_size must be >= 1, got "
-                f"{self.replay_chunk_size!r}"
-            )
-        object.__setattr__(self, "home", Path(self.home).expanduser())
+                f"scaling_factor must be positive, got {self.scaling_factor!r}")
+        self._check_choice("background_materialization",
+                           self.background_materialization,
+                           self._VALID_MATERIALIZERS)
+        self._check_choice("storage_backend", self.storage_backend,
+                           self._VALID_BACKENDS)
+        self._check_choice("spool_mode", self.spool_mode,
+                           self._VALID_SPOOL_MODES)
+        self._check_choice("replay_scheduler", self.replay_scheduler,
+                           self._VALID_REPLAY_SCHEDULERS)
+        self._check_choice("query_planner", self.query_planner,
+                           self._VALID_QUERY_PLANNERS)
+        self._check_at_least_one("fork_batch_size", self.fork_batch_size)
+        self._check_at_least_one("storage_shards", self.storage_shards)
+        self._check_at_least_one("spool_workers", self.spool_workers)
+        self._check_at_least_one("spool_queue_size", self.spool_queue_size)
+        self._check_at_least_one("manifest_batch_size",
+                                 self.manifest_batch_size)
+        self._check_at_least_one("replay_chunk_size", self.replay_chunk_size)
+        self._check_at_least_one("query_workers", self.query_workers)
+        return self
+
+    @staticmethod
+    def _check_choice(name: str, value, valid: tuple) -> None:
+        if value not in valid:
+            raise ConfigError(f"{name} must be one of {valid}, got {value!r}")
+
+    @staticmethod
+    def _check_at_least_one(name: str, value) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ConfigError(f"{name} must be an integer >= 1, "
+                              f"got {value!r}")
 
     def with_overrides(self, **kwargs) -> "FlorConfig":
         """Return a copy of this configuration with ``kwargs`` replaced."""

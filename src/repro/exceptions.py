@@ -77,6 +77,15 @@ class ConfigError(FlorError):
     """Raised for invalid configuration values (e.g. negative tolerance)."""
 
 
+class QueryError(FlorError):
+    """Raised when a hindsight query cannot be planned or executed.
+
+    Covers an empty run selection, a value that can be neither read nor
+    recomputed (no probe source provided), and replay-job failures inside
+    the query executor.
+    """
+
+
 class SimulationError(FlorError):
     """Raised by the paper-scale evaluation simulator for invalid setups."""
 

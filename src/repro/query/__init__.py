@@ -1,0 +1,33 @@
+"""The hindsight query engine: ask for values across past training runs.
+
+The paper's end goal is not replay for its own sake but *hindsight
+queries*: a model developer asks for values from past runs ("``loss`` and
+``grad_norm`` for epochs 10-50 across my last 8 runs") and the system
+computes them as cheaply as possible.  This package is the layer above
+record/replay/storage that answers such queries:
+
+* :mod:`repro.query.catalog` — the multi-run catalog indexing every
+  recorded execution across storage backends,
+* :mod:`repro.query.planner` — the cost-based planner resolving each
+  requested value to its cheapest source (logged read, memoized read, or a
+  checkpoint-aligned replay span),
+* :mod:`repro.query.executor` — batched replay-job execution, parallel
+  across runs and spans,
+* :mod:`repro.query.memo` — the memoization cache writing replayed values
+  back through the storage backend,
+* :mod:`repro.query.dataframe` — the columnar query result,
+* :mod:`repro.query.api` — the ``repro.query(...)`` entry point.
+"""
+
+from .api import query
+from .catalog import RunCatalog, RunEntry
+from .dataframe import QueryResult, QueryRow, QueryStats, ReplayJobRecord
+from .memo import MemoCache
+from .planner import QueryPlan, ReplaySpan, RunPlan, plan_run, plan_spans
+
+__all__ = [
+    "query", "RunCatalog", "RunEntry",
+    "QueryResult", "QueryRow", "QueryStats", "ReplayJobRecord",
+    "MemoCache", "QueryPlan", "ReplaySpan", "RunPlan",
+    "plan_run", "plan_spans",
+]

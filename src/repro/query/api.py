@@ -1,0 +1,271 @@
+"""The declarative hindsight query entry point: ``repro.query(...)``.
+
+One call answers "fetch these values at these iterations across these
+runs" as cheaply as the system can::
+
+    import repro
+
+    result = repro.query(values=["loss", "grad_norm"],
+                         runs=None,                  # every cataloged run
+                         iterations=slice(10, 50),
+                         source="train_with_probes.py")
+    result.pivot("grad_norm")       # {run_id: {iteration: value}}
+    result.stats.summary()          # where every cell came from
+
+The pipeline: the :class:`~repro.query.catalog.RunCatalog` selects runs,
+the cost-based :mod:`~repro.query.planner` resolves each cell to logged /
+memoized / replay, the :mod:`~repro.query.executor` runs the coalesced
+replay spans on one process pool across runs, and the
+:class:`~repro.query.memo.MemoCache` writes every replayed value back
+through the storage backend so the next query skips the recompute.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..analysis.instrument import BlockSpec, instrument_source
+from ..config import FlorConfig, get_config
+from ..exceptions import QueryError
+from ..record.logger import LogRecord, read_log
+from ..record.recorder import ORIGINAL_SOURCE_NAME
+from ..replay.probe import detect_probed_blocks
+from ..replay.scheduler import load_iteration_costs
+from ..storage.checkpoint_store import CheckpointStore
+from .catalog import RunCatalog, RunEntry
+from .dataframe import QueryResult, QueryRow, QueryStats
+from .executor import execute_span_jobs
+from .memo import MemoCache, source_digest
+from .planner import QueryPlan, balance_spans, plan_run
+
+__all__ = ["query"]
+
+
+def query(values: str | Sequence[str],
+          runs: str | Iterable[str] | None = None,
+          iterations: int | slice | Iterable[int] | None = None,
+          source: str | Path | None = None,
+          workload: str | None = None,
+          config: FlorConfig | None = None,
+          workers: int | None = None,
+          memoize: bool | None = None,
+          catalog: RunCatalog | None = None) -> QueryResult:
+    """Fetch ``values`` at ``iterations`` across ``runs``, cheapest-first.
+
+    Parameters
+    ----------
+    values:
+        Value name or names (the first argument of ``flor.log``).
+    runs:
+        Run id(s), an id prefix, or None for every cataloged run under the
+        configured Flor home.
+    iterations:
+        Main-loop iterations to fetch: an index, a ``slice`` (applied to
+        each run's recorded range), an iterable of indices, or None for
+        every recorded iteration.
+    source:
+        The probe source (script text or path) containing the hindsight
+        logging statements that compute never-logged values.  Without it,
+        only record-time logs and prior memoized replays can answer; cells
+        needing recompute are reported missing rather than replayed (a
+        verbatim replay of the recorded script cannot produce new values).
+    workload:
+        Restrict to runs recorded under this workload name.
+    workers:
+        Process-pool size for replay jobs (default
+        ``FlorConfig.query_workers``).
+    memoize:
+        Write replayed values back to storage (default
+        ``FlorConfig.query_memoize``).
+    catalog:
+        Reuse an already-open :class:`RunCatalog` (skips the home scan).
+    """
+    started = time.perf_counter()
+    config = config or get_config()
+    names = (values,) if isinstance(values, str) else tuple(values)
+    if not names:
+        raise QueryError("query needs at least one value name")
+    should_memoize = config.query_memoize if memoize is None else memoize
+    processes = config.query_workers if workers is None else workers
+
+    catalog = catalog or RunCatalog.open(config)
+    entries = catalog.select(runs, workload=workload)
+    if not entries:
+        raise QueryError(
+            f"no runs match runs={runs!r} workload={workload!r} under "
+            f"{config.home} ({len(catalog)} run(s) cataloged)")
+
+    source_text = _resolve_source_text(source)
+    plan = QueryPlan()
+    memos: dict[str, MemoCache] = {}
+    sources_by_run: dict[str, str] = {}
+    probed_by_run: dict[str, tuple[str, ...]] = {}
+    aligned_by_run: dict[str, Sequence[int]] = {}
+    costs_by_run: dict[str, object] = {}
+    instrumented_cache: dict[str, str] = {}
+
+    for entry in entries:
+        run_dir = Path(entry.run_dir)
+        store = CheckpointStore(run_dir,
+                                compress=config.compress_checkpoints,
+                                backend=config.storage_backend,
+                                num_shards=config.storage_shards)
+        record_source_text = _load_recorded_source(store)
+        replay_source_text = (source_text if source_text is not None
+                              else record_source_text)
+        replay_possible = (
+            replay_source_text is not None
+            and record_source_text is not None
+            and source_digest(replay_source_text)
+            != source_digest(record_source_text))
+
+        digest = source_digest(replay_source_text or "")
+        memo = MemoCache(store, digest)
+        memos[entry.run_id] = memo
+
+        wanted = _normalize_iterations(iterations, entry.main_loop_total)
+        record_index = _record_index(run_dir, names)
+        costs = load_iteration_costs(store,
+                                     scaling_factor=config.scaling_factor)
+        run_plan = plan_run(entry, names, wanted,
+                            record_index=record_index,
+                            memo_index=memo.load(),
+                            costs=costs,
+                            replay_possible=replay_possible,
+                            mode=config.query_planner)
+        plan.runs.append(run_plan)
+        aligned_by_run[entry.run_id] = entry.aligned_iterations
+        costs_by_run[entry.run_id] = costs
+
+        if run_plan.spans:
+            if replay_source_text not in instrumented_cache:
+                instrumented_cache[replay_source_text] = instrument_source(
+                    replay_source_text).instrumented_source
+            sources_by_run[entry.run_id] = \
+                instrumented_cache[replay_source_text]
+            probed_by_run[entry.run_id] = tuple(sorted(
+                _probed_blocks(entry, store, record_source_text,
+                               replay_source_text)))
+        # Job workers open their own connections; release this one so the
+        # pool can fork/spawn around a quiesced store.
+        store.close()
+
+    planner_seconds = time.perf_counter() - started
+
+    jobs = balance_spans(plan.span_jobs, aligned_by_run, costs_by_run,
+                         target_jobs=processes)
+    outcome = execute_span_jobs(jobs, sources_by_run, probed_by_run,
+                                config, processes=processes)
+
+    rows: list[QueryRow] = []
+    stats = QueryStats(runs=len(entries), values=names,
+                       requested_cells=sum(
+                           len(run_plan.names) * len(
+                               run_plan.wanted_iterations)
+                           for run_plan in plan.runs),
+                       replay_jobs=outcome.job_records,
+                       planner_seconds=planner_seconds,
+                       replay_seconds=outcome.replay_seconds)
+
+    for run_plan in plan.runs:
+        run_id = run_plan.run_id
+        resolved: dict[tuple[str, int], QueryRow] = {}
+        for resolution in run_plan.resolutions:
+            resolved[(resolution.name, resolution.iteration)] = QueryRow(
+                run_id=run_id, iteration=resolution.iteration,
+                name=resolution.name, value=resolution.value,
+                source=resolution.source)
+            if resolution.source == "logged":
+                stats.resolved_logged += 1
+            else:
+                stats.resolved_memo += 1
+
+        replayed = outcome.records_by_run.get(run_id, [])
+        replay_index = _replay_index(replayed)
+        for name, iteration in run_plan.unresolved_cells:
+            if (name, iteration) in replay_index:
+                resolved[(name, iteration)] = QueryRow(
+                    run_id=run_id, iteration=iteration, name=name,
+                    value=replay_index[(name, iteration)], source="replay")
+                stats.resolved_replay += 1
+            else:
+                stats.missing_cells += 1
+
+        if should_memoize and replayed:
+            stats.memo_cells_written += \
+                memos[run_id].write_back(replayed)
+        memos[run_id].store.close()
+
+        for iteration in run_plan.wanted_iterations:
+            for name in names:
+                row = resolved.get((name, iteration))
+                if row is not None:
+                    rows.append(row)
+
+    stats.total_seconds = time.perf_counter() - started
+    return QueryResult(rows=rows, stats=stats)
+
+
+# ------------------------------------------------------------------------- #
+# Helpers
+# ------------------------------------------------------------------------- #
+def _resolve_source_text(source: str | Path | None) -> str | None:
+    """Accept probe source as text or as a path (mirrors replay_script)."""
+    if source is None:
+        return None
+    if isinstance(source, Path) or (isinstance(source, str)
+                                    and "\n" not in source
+                                    and Path(source).exists()):
+        return Path(source).read_text(encoding="utf-8")
+    return str(source)
+
+
+def _load_recorded_source(store: CheckpointStore) -> str | None:
+    try:
+        return store.load_source(ORIGINAL_SOURCE_NAME)
+    except Exception:
+        return None
+
+
+def _normalize_iterations(iterations, total: int) -> tuple[int, ...]:
+    """Resolve the ``iterations`` argument against one run's range."""
+    full = range(max(0, total))
+    if iterations is None:
+        return tuple(full)
+    if isinstance(iterations, int):
+        return (iterations,) if iterations in full else ()
+    if isinstance(iterations, slice):
+        return tuple(full[iterations])
+    return tuple(sorted({index for index in iterations if index in full}))
+
+
+def _record_index(run_dir: Path,
+                  names: tuple[str, ...]) -> dict[tuple[str, int], object]:
+    """``(name, iteration) -> value`` from record.log (last write wins)."""
+    index: dict[tuple[str, int], object] = {}
+    for record in read_log(run_dir / "record.log"):
+        if record.name in names and record.iteration is not None:
+            index[(record.name, record.iteration)] = record.value
+    return index
+
+
+def _replay_index(records: list[LogRecord]) -> dict[tuple[str, int], object]:
+    index: dict[tuple[str, int], object] = {}
+    for record in records:
+        if record.iteration is not None:
+            index[(record.name, record.iteration)] = record.value
+    return index
+
+
+def _probed_blocks(entry: RunEntry, store: CheckpointStore,
+                   record_source_text: str | None,
+                   replay_source_text: str | None) -> set[str]:
+    if not record_source_text or not replay_source_text:
+        return set()
+    stored = {block_id: BlockSpec.from_dict(spec)
+              for block_id, spec in
+              (store.get_metadata("blocks") or {}).items()}
+    return detect_probed_blocks(record_source_text, replay_source_text,
+                                stored)

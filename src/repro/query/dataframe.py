@@ -1,0 +1,142 @@
+"""Columnar results of hindsight queries.
+
+A query answers in cells — ``(run, iteration, name) -> value`` — and the
+natural shapes to consume them in are a flat row list (feed it to pandas,
+csv, or a plotting loop) and pivoted dictionaries (compare runs at a
+glance).  :class:`QueryResult` provides both, plus :class:`QueryStats`:
+the resolution accounting (how many cells came from logs, memo, replay)
+and the replay-job ledger that makes the planner's work inspectable and
+testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["QueryRow", "ReplayJobRecord", "QueryStats", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryRow:
+    """One resolved cell."""
+
+    run_id: str
+    iteration: int
+    name: str
+    value: object
+    #: Where the value came from: ``"logged"`` | ``"memo"`` | ``"replay"``.
+    source: str
+
+
+@dataclass(frozen=True)
+class ReplayJobRecord:
+    """One replay job the planner scheduled (the accounting trail)."""
+
+    run_id: str
+    start: int
+    stop: int
+    restore_index: int | None
+    estimated_seconds: float
+    wall_seconds: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return max(0, self.stop - self.start)
+
+
+@dataclass
+class QueryStats:
+    """Resolution and execution accounting of one query."""
+
+    runs: int = 0
+    values: tuple[str, ...] = ()
+    requested_cells: int = 0
+    resolved_logged: int = 0
+    resolved_memo: int = 0
+    resolved_replay: int = 0
+    missing_cells: int = 0
+    replay_jobs: list[ReplayJobRecord] = field(default_factory=list)
+    memo_cells_written: int = 0
+    planner_seconds: float = 0.0
+    replay_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def replay_job_count(self) -> int:
+        return len(self.replay_jobs)
+
+    @property
+    def replayed_iterations(self) -> int:
+        return sum(job.iterations for job in self.replay_jobs)
+
+    def summary(self) -> str:
+        return (f"{self.requested_cells} cells over {self.runs} run(s): "
+                f"{self.resolved_logged} logged, {self.resolved_memo} "
+                f"memoized, {self.resolved_replay} replayed via "
+                f"{self.replay_job_count} job(s) "
+                f"({self.replayed_iterations} iterations), "
+                f"{self.missing_cells} missing; "
+                f"{self.total_seconds:.3f}s total")
+
+
+class QueryResult:
+    """The answer to one hindsight query: rows plus accounting."""
+
+    def __init__(self, rows: list[QueryRow], stats: QueryStats):
+        self.rows = rows
+        self.stats = stats
+
+    # ------------------------------------------------------------------ #
+    # Row access
+    # ------------------------------------------------------------------ #
+    def values(self, name: str, run_id: str | None = None) -> list:
+        """Values of ``name`` in (run, iteration) order."""
+        return [row.value for row in self.rows
+                if row.name == name
+                and (run_id is None or row.run_id == run_id)]
+
+    def pivot(self, name: str) -> dict[str, dict[int, object]]:
+        """``{run_id: {iteration: value}}`` for one value name."""
+        table: dict[str, dict[int, object]] = {}
+        for row in self.rows:
+            if row.name == name:
+                table.setdefault(row.run_id, {})[row.iteration] = row.value
+        return table
+
+    def by_iteration(self, name: str) -> dict[int, dict[str, object]]:
+        """``{iteration: {run_id: value}}`` — compare runs epoch by epoch."""
+        table: dict[int, dict[str, object]] = {}
+        for row in self.rows:
+            if row.name == name:
+                table.setdefault(row.iteration, {})[row.run_id] = row.value
+        return table
+
+    def to_records(self) -> list[dict]:
+        """Plain dict rows (pandas ``DataFrame(result.to_records())``)."""
+        return [{"run_id": row.run_id, "iteration": row.iteration,
+                 "name": row.name, "value": row.value, "source": row.source}
+                for row in self.rows]
+
+    def runs(self) -> list[str]:
+        seen: list[str] = []
+        for row in self.rows:
+            if row.run_id not in seen:
+                seen.append(row.run_id)
+        return seen
+
+    def names(self) -> list[str]:
+        seen: list[str] = []
+        for row in self.rows:
+            if row.name not in seen:
+                seen.append(row.name)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[QueryRow]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.stats.summary()})"

@@ -1,0 +1,104 @@
+"""Batched replay-job execution for the hindsight query engine.
+
+The planner hands over span jobs — ``(run_id, ReplaySpan)`` pairs,
+possibly spanning many runs — and this module turns them into
+:class:`~repro.replay.parallel.ReplayJobSpec` sampling replays executed on
+one process pool (``FlorConfig.query_workers``), so a multi-run query is
+parallel *across* runs and across disjoint spans of the same run, not just
+within one run's replay.  Each job restores its own aligned checkpoint and
+replays forward; jobs share nothing but the read-only checkpoint stores.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..config import FlorConfig
+from ..exceptions import QueryError
+from ..record.logger import LogRecord, iteration_order_key
+from ..replay.parallel import ReplayJobSpec, run_replay_jobs
+from .dataframe import ReplayJobRecord
+from .planner import ReplaySpan
+
+__all__ = ["ExecutionOutcome", "execute_span_jobs"]
+
+
+@dataclass
+class ExecutionOutcome:
+    """What a batch of replay jobs produced."""
+
+    #: Replayed log records per run, in iteration order.
+    records_by_run: dict[str, list[LogRecord]] = field(default_factory=dict)
+    #: One ledger row per job, with measured wall seconds.
+    job_records: list[ReplayJobRecord] = field(default_factory=list)
+    replay_seconds: float = 0.0
+
+
+def execute_span_jobs(jobs: list[tuple[str, ReplaySpan]],
+                      sources_by_run: dict[str, str],
+                      probed_by_run: dict[str, tuple[str, ...]],
+                      config: FlorConfig,
+                      processes: int | None = None) -> ExecutionOutcome:
+    """Run every span job and collect replayed records per run.
+
+    ``sources_by_run`` maps run ids to the *instrumented* probe source;
+    ``probed_by_run`` to the per-run probed block ids (probe detection
+    diffs against each run's own recorded source, so they can differ
+    across runs in one query).  A failed job raises :class:`QueryError`
+    carrying the worker traceback.
+    """
+    outcome = ExecutionOutcome()
+    if not jobs:
+        return outcome
+
+    # pid/num_workers only keep concurrent jobs of one run from sharing a
+    # replay-log filename; sampling replay does not partition by them.
+    per_run_total: dict[str, int] = {}
+    for run_id, _span in jobs:
+        per_run_total[run_id] = per_run_total.get(run_id, 0) + 1
+    per_run_next: dict[str, int] = {}
+    specs: list[ReplayJobSpec] = []
+    for run_id, span in jobs:
+        pid = per_run_next.get(run_id, 0)
+        per_run_next[run_id] = pid + 1
+        specs.append(ReplayJobSpec(
+            run_id=run_id,
+            instrumented_source=sources_by_run[run_id],
+            probed_blocks=tuple(probed_by_run.get(run_id, ())),
+            sample_iterations=tuple(span.iterations()),
+            pid=pid,
+            num_workers=per_run_total[run_id],
+        ))
+
+    start = time.perf_counter()
+    results = run_replay_jobs(specs, config,
+                              processes=(processes
+                                         if processes is not None
+                                         else config.query_workers))
+    outcome.replay_seconds = time.perf_counter() - start
+
+    failures = [(spec, result) for spec, result in zip(specs, results)
+                if not result.succeeded]
+    if failures:
+        details = "\n".join(
+            f"run {spec.run_id} span [{spec.sample_iterations[0]}, "
+            f"{spec.sample_iterations[-1] + 1}):\n{result.error}"
+            for spec, result in failures)
+        raise QueryError(
+            f"{len(failures)} hindsight replay job(s) failed:\n{details}")
+
+    for (run_id, span), result in zip(jobs, results):
+        outcome.records_by_run.setdefault(run_id, []).extend(
+            result.log_records)
+        outcome.job_records.append(ReplayJobRecord(
+            run_id=run_id,
+            start=span.start,
+            stop=span.stop,
+            restore_index=span.restore_index,
+            estimated_seconds=span.estimated_seconds,
+            wall_seconds=result.wall_seconds,
+        ))
+    for records in outcome.records_by_run.values():
+        records.sort(key=iteration_order_key)
+    return outcome

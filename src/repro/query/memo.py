@@ -1,0 +1,120 @@
+"""Cross-query replay memoization: write replayed values back to storage.
+
+Replay is the expensive resolution path, so its output is never thrown
+away: every value a query-driven replay produces (requested or not — spans
+log everything they pass over) is written back through the run's storage
+backend.  A repeated or overlapping query then resolves those cells as
+``memo`` reads and schedules zero replay jobs.
+
+Entries are keyed by the digest of the *probe source* that produced them:
+hindsight values are a function of the replayed script, so a different
+probe source (say, a changed ``grad_norm`` definition) must miss rather
+than serve stale values.  The full digest is stored inside the entry and
+verified on load, so the shortened key cannot alias across sources.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from ..record.logger import LogRecord
+from ..storage.checkpoint_store import CheckpointStore
+
+__all__ = ["MEMO_KEY_PREFIX", "MemoCache", "source_digest"]
+
+#: Store-metadata key namespace of memo entries (one entry per probe
+#: source); enumerable via ``CheckpointStore.metadata_keys(MEMO_KEY_PREFIX)``.
+MEMO_KEY_PREFIX = "memo:"
+
+#: Entry layout version.
+MEMO_SCHEMA_VERSION = 1
+
+
+def source_digest(source_text: str) -> str:
+    """Stable digest of a probe source.
+
+    Line endings, trailing whitespace and blank lines are normalized away:
+    none of them change what a replay computes, and the query planner uses
+    digest (in)equality to decide whether a probe source can produce new
+    values at all — a blank-line-only edit must not schedule replay jobs
+    that cannot log anything.
+    """
+    normalized = "\n".join(line.rstrip()
+                           for line in source_text.splitlines()
+                           if line.strip())
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()
+
+
+class MemoCache:
+    """Memoized hindsight values of one run, for one probe source."""
+
+    def __init__(self, store: CheckpointStore, digest: str):
+        self.store = store
+        self.digest = digest
+        self.key = MEMO_KEY_PREFIX + digest[:16]
+        self._values: dict[str, dict[int, object]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def load(self) -> dict[str, dict[int, object]]:
+        """The memoized ``{name: {iteration: value}}`` view (cached)."""
+        if self._values is None:
+            payload = self.store.get_metadata(self.key)
+            if (not isinstance(payload, dict)
+                    or payload.get("source_digest") != self.digest):
+                # Absent, from an older schema, or a shortened-key collision
+                # with a different probe source: treat as empty.
+                self._values = {}
+            else:
+                self._values = {
+                    name: {int(iteration): value
+                           for iteration, value in per_name.items()}
+                    for name, per_name in (payload.get("values") or {}).items()
+                }
+        return self._values
+
+    def names(self) -> list[str]:
+        return sorted(self.load())
+
+    def cell_count(self) -> int:
+        return sum(len(per_name) for per_name in self.load().values())
+
+    # ------------------------------------------------------------------ #
+    # Write-back
+    # ------------------------------------------------------------------ #
+    def write_back(self, records: Iterable[LogRecord]) -> int:
+        """Merge replayed log records in; returns the number of new cells.
+
+        Only main-loop records (``iteration`` set) are memoizable — they
+        are the cells queries address.  Values are already JSON-normalized
+        by the log manager, so they round-trip through the backend's
+        metadata plane unchanged.
+        """
+        values = self.load()
+        added = 0
+        for record in records:
+            if record.iteration is None:
+                continue
+            per_name = values.setdefault(record.name, {})
+            if record.iteration not in per_name:
+                added += 1
+            per_name[record.iteration] = record.value
+        if added:
+            self.store.set_metadata(self.key, {
+                "schema_version": MEMO_SCHEMA_VERSION,
+                "source_digest": self.digest,
+                "values": {name: {str(iteration): value
+                                  for iteration, value in per_name.items()}
+                           for name, per_name in values.items()},
+            })
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def keys(store: CheckpointStore) -> list[str]:
+        """Every memo entry key persisted for ``store``'s run."""
+        return store.metadata_keys(MEMO_KEY_PREFIX)

@@ -76,6 +76,9 @@ def record_source(source: str, name: str | None = None,
     session.store.save_source(ORIGINAL_SOURCE_NAME, source)
     session.store.save_source(INSTRUMENTED_SOURCE_NAME,
                               instrumentation.instrumented_source)
+    # The workload name groups runs of the same experiment in the multi-run
+    # catalog ("my last 8 cifar runs"), independent of the unique run id.
+    session.store.set_metadata("workload", name or "script")
 
     exec_globals = {"__name__": "__main__", "__file__": ORIGINAL_SOURCE_NAME}
     if script_globals:

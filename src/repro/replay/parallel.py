@@ -35,7 +35,8 @@ from ..modes import InitStrategy, Mode
 from ..record.logger import LogRecord, read_log
 from ..session import Session, get_active_session
 
-__all__ = ["WorkerResult", "run_worker", "run_parallel_replay"]
+__all__ = ["WorkerResult", "ReplayJobSpec", "run_worker",
+           "run_parallel_replay", "run_replay_jobs"]
 
 
 @dataclass
@@ -81,6 +82,26 @@ def run_worker(run_id: str, instrumented_source: str, config: FlorConfig,
         iterations=list(session.iterations_run),
         log_records=list(session.logs.records),
     )
+
+
+@dataclass(frozen=True)
+class ReplayJobSpec:
+    """One batched hindsight-query replay job.
+
+    A job replays one contiguous iteration span of one run as a sampling
+    replay (``sample_iterations``), so the hindsight query engine can put
+    spans of *different* runs — and disjoint spans of the same run — on one
+    process pool.  ``pid``/``num_workers`` only disambiguate the per-worker
+    replay log filename between concurrent jobs of the same run; sampling
+    replay does not partition by them.
+    """
+
+    run_id: str
+    instrumented_source: str
+    probed_blocks: tuple[str, ...]
+    sample_iterations: tuple[int, ...]
+    pid: int = 0
+    num_workers: int = 1
 
 
 def _worker_entry(args: tuple) -> dict:
@@ -195,3 +216,78 @@ def run_parallel_replay(run_id: str, instrumented_source: str,
             error=summary["error"],
         ))
     return results
+
+
+# --------------------------------------------------------------------------- #
+# Batched replay jobs (the hindsight query engine's execution primitive)
+# --------------------------------------------------------------------------- #
+def _job_entry(args: tuple) -> dict:
+    """Pool entry for one :class:`ReplayJobSpec`; returns a picklable summary.
+
+    Log records travel back through the pool as plain tuples (their values
+    are JSON-normalized by the log manager) instead of being re-read from
+    per-worker log files, so concurrent jobs of the same run cannot race on
+    a shared log path.
+    """
+    spec, config = args
+    from .. import session as session_module
+    session_module._ACTIVE_SESSION = None
+    result = run_worker(spec.run_id, spec.instrumented_source, config,
+                        spec.pid, spec.num_workers, InitStrategy.WEAK,
+                        set(spec.probed_blocks),
+                        sample_iterations=list(spec.sample_iterations))
+    return {
+        "pid": result.pid,
+        "wall_seconds": result.wall_seconds,
+        "iterations": result.iterations,
+        "log_records": [(r.name, r.value, r.iteration, r.sequence)
+                        for r in result.log_records],
+        "error": result.error,
+    }
+
+
+def _summary_to_result(summary: dict) -> WorkerResult:
+    return WorkerResult(
+        pid=summary["pid"],
+        wall_seconds=summary["wall_seconds"],
+        iterations=summary["iterations"],
+        log_records=[LogRecord(name=name, value=value, iteration=iteration,
+                               sequence=sequence)
+                     for name, value, iteration, sequence
+                     in summary["log_records"]],
+        error=summary["error"],
+    )
+
+
+def run_replay_jobs(jobs: list[ReplayJobSpec], config: FlorConfig,
+                    processes: int = 1) -> list[WorkerResult]:
+    """Execute a batch of query replay jobs; results align with ``jobs``.
+
+    Jobs are independent sampling replays (each restores its own aligned
+    checkpoint), so the batch runs on one process pool of ``processes``
+    workers regardless of how many distinct runs it spans — this is how a
+    multi-run hindsight query parallelizes across runs.  With one job or
+    ``processes <= 1`` the batch runs in the calling process instead (no
+    pool spin-up for a cheap query).  Errors are reported per job in
+    ``WorkerResult.error``; callers decide whether to raise.
+    """
+    specs = list(jobs)
+    if not specs:
+        return []
+    # The in-process fast path needs this process session-free: run_worker
+    # activates its own replay session, which a live session (a query
+    # issued inside a record_session) would reject.  With a session active,
+    # even a single job goes through the pool, whose children clear the
+    # inherited registration and whose setup quiesces the parent's store.
+    if (processes <= 1 or len(specs) == 1) and get_active_session() is None:
+        return [run_worker(spec.run_id, spec.instrumented_source, config,
+                           spec.pid, spec.num_workers, InitStrategy.WEAK,
+                           set(spec.probed_blocks),
+                           sample_iterations=list(spec.sample_iterations))
+                for spec in specs]
+    start_method = "fork" if hasattr(os, "fork") else "spawn"
+    start_method = _quiesce_parent_session(start_method)
+    ctx = mp.get_context(start_method)
+    with ctx.Pool(processes=max(1, min(processes, len(specs)))) as pool:
+        summaries = pool.map(_job_entry, [(spec, config) for spec in specs])
+    return [_summary_to_result(summary) for summary in summaries]

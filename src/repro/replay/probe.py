@@ -40,11 +40,22 @@ class SourceDiff:
 
 
 def diff_sources(record_source: str, replay_source: str) -> SourceDiff:
-    """Compute the line-level diff between the two source versions."""
+    """Compute the line-level diff between the two source versions.
+
+    Lines are compared with trailing whitespace stripped: CRLF-vs-LF
+    round-trips (an editor or VCS normalizing line endings between record
+    and replay) and trailing-space-only edits change no Python semantics,
+    so they must not mark every block probed.  Leading whitespace is
+    significant (indentation) and is compared verbatim.  Insertion
+    *content* is reported from the original replay lines so indentation
+    checks downstream see the real text.
+    """
     record_lines = record_source.splitlines()
     replay_lines = replay_source.splitlines()
-    matcher = difflib.SequenceMatcher(a=record_lines, b=replay_lines,
-                                      autojunk=False)
+    matcher = difflib.SequenceMatcher(
+        a=[line.rstrip() for line in record_lines],
+        b=[line.rstrip() for line in replay_lines],
+        autojunk=False)
     diff = SourceDiff()
     for tag, i1, i2, j1, j2 in matcher.get_opcodes():
         if tag == "equal":
@@ -87,6 +98,9 @@ def detect_probed_blocks(record_source: str, replay_source: str,
         header_indent = _indentation(record_lines[spec.start_line - 1]) \
             if spec.start_line <= len(record_lines) else 0
         for point, inserted in diff.insertions:
+            if not any(line.strip() for line in inserted):
+                # Blank-line-only insertions change no semantics.
+                continue
             # Strictly inside the body: unambiguous.
             if spec.start_line < point <= spec.end_line:
                 probed.add(block_id)

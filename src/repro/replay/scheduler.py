@@ -44,6 +44,7 @@ from __future__ import annotations
 import sqlite3
 import time
 import warnings
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
@@ -59,8 +60,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 __all__ = [
     "SCHEDULER_MODES", "MAIN_LOOP_INDEX_LIMIT", "InitPlan", "IterationCosts",
     "aligned_checkpoints", "candidate_starts", "load_iteration_costs",
-    "plan_static_segments", "plan_chunks", "InProcessChunkQueue",
-    "SqliteChunkQueue", "ReplayScheduler",
+    "nearest_aligned_at_or_before", "plan_static_segments", "plan_chunks",
+    "InProcessChunkQueue", "SqliteChunkQueue", "ReplayScheduler",
 ]
 
 #: Scheduling modes accepted by ``FlorConfig.replay_scheduler``.
@@ -126,6 +127,15 @@ class IterationCosts:
         """Estimated seconds to re-execute iteration ``index``."""
         return max(self.per_iteration.get(index, self.mean_compute_seconds),
                    1e-9)
+
+    def span_compute_seconds(self, start: int, stop: int) -> float:
+        """Estimated seconds to re-execute iterations ``[start, stop)``.
+
+        The hindsight query planner prices replay spans and restore-vs-
+        bridge decisions with this sum.
+        """
+        return sum(self.compute(index) for index in range(start,
+                                                          max(start, stop)))
 
     def replay_cost(self, index: int, restorable: bool,
                     probed: bool = False) -> float:
@@ -202,6 +212,18 @@ def aligned_checkpoints(store: "CheckpointStore", total: int,
         if not aligned:
             return []
     return sorted(aligned or ())
+
+
+def nearest_aligned_at_or_before(aligned: Sequence[int],
+                                 index: int) -> int | None:
+    """Largest aligned iteration ``<= index``, or None.
+
+    ``aligned`` must be sorted ascending (as :func:`aligned_checkpoints`
+    returns it).  Shared by init planning and the hindsight query planner:
+    both need the exact-restorable iteration closest below a target.
+    """
+    position = bisect_right(aligned, index)
+    return aligned[position - 1] if position else None
 
 
 def candidate_starts(total: int, aligned: Sequence[int]) -> list[int]:
@@ -618,8 +640,7 @@ class ReplayScheduler:
                 f"state {resume_from}")
         if strong:
             return InitPlan(None, range(resume_from or 0, start))
-        restore = max((index for index in self.aligned if index <= start - 1),
-                      default=None)
+        restore = nearest_aligned_at_or_before(self.aligned, start - 1)
         if resume_from is not None and (restore is None
                                         or restore < resume_from):
             # Current state is already past every usable checkpoint;

@@ -348,6 +348,10 @@ class Session:
                                     sorted(self._loop_block_ids))
             self.store.put_metadata("iteration_stats",
                                     self.adaptive.iteration_stats())
+            # Catalog-facing metadata: which value names this run logged, so
+            # the hindsight query planner can resolve logged values without
+            # scanning record.log for every cataloged run.
+            self.store.set_metadata("logged_values", self.logs.names())
             materializer_meta = {
                 "strategy": self.materializer.name,
                 "submitted": self.materializer.stats.submitted,
@@ -372,6 +376,7 @@ class Session:
                 "platform": platform.platform(),
                 "python": platform.python_version(),
                 "user": _safe_user(),
+                "started_at": self._started_at,
                 "wall_seconds": time.time() - self._started_at,
             })
         self.store.flush()

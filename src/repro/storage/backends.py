@@ -150,6 +150,18 @@ class StorageBackend:
     def all_metadata_json(self) -> dict[str, str]:
         raise NotImplementedError
 
+    def metadata_keys(self, prefix: str = "") -> list[str]:
+        """Sorted metadata keys, optionally restricted to a prefix.
+
+        The hindsight query engine namespaces its write-back entries under
+        prefixed keys (``memo:<digest>``); listing by prefix lets it
+        enumerate memoized value sets without decoding every value.  The
+        default implementation filters :meth:`all_metadata_json`; SQLite
+        backends override it with an index-only scan.
+        """
+        return sorted(key for key in self.all_metadata_json()
+                      if key.startswith(prefix))
+
     # -- lifecycle --------------------------------------------------------
     def flush(self) -> None:
         """Make every accepted write durable."""
@@ -333,6 +345,15 @@ class LocalSQLiteBackend(StorageBackend):
         rows = self._query("SELECT key, value FROM run_metadata")
         return {key: value for key, value in rows}
 
+    def metadata_keys(self, prefix=""):
+        # LIKE with an escaped prefix would need ESCAPE gymnastics for keys
+        # containing % or _; a range scan on the primary key is simpler and
+        # just as index-friendly.
+        rows = self._query(
+            "SELECT key FROM run_metadata WHERE key >= ? ORDER BY key",
+            (prefix,))
+        return [row[0] for row in rows if row[0].startswith(prefix)]
+
     # -- lifecycle --------------------------------------------------------
     def flush(self):
         with self._lock:
@@ -462,6 +483,11 @@ class InMemoryBackend(StorageBackend):
         with self._lock:
             return dict(self._metadata)
 
+    def metadata_keys(self, prefix=""):
+        with self._lock:
+            return sorted(key for key in self._metadata
+                          if key.startswith(prefix))
+
 
 class ShardedSQLiteBackend(StorageBackend):
     """Partitions checkpoints across per-shard SQLite manifests.
@@ -571,6 +597,9 @@ class ShardedSQLiteBackend(StorageBackend):
 
     def all_metadata_json(self):
         return self.shards[0].all_metadata_json()
+
+    def metadata_keys(self, prefix=""):
+        return self.shards[0].metadata_keys(prefix)
 
     # -- lifecycle --------------------------------------------------------
     def flush(self):

@@ -73,6 +73,14 @@ class CheckpointStore:
         return {key: json.loads(value)
                 for key, value in self.backend.all_metadata_json().items()}
 
+    def metadata_keys(self, prefix: str = "") -> list[str]:
+        """Sorted metadata keys starting with ``prefix``.
+
+        The query engine's memo cache namespaces write-back entries under
+        prefixed keys and enumerates them through this scan.
+        """
+        return self.backend.metadata_keys(prefix)
+
     # ------------------------------------------------------------------ #
     # Source snapshots (needed for probe detection on replay)
     # ------------------------------------------------------------------ #

@@ -1,0 +1,255 @@
+"""End-to-end tests of the hindsight query engine (the PR's acceptance bar).
+
+Three runs are recorded with *sparse* checkpoints (a deterministic
+sparsified Joint Invariant, as in the parallel-replay suite); one
+multi-run query then asks for a value the record phase never logged.  The
+planner must replay only the uncovered segments (asserted through the
+replay-job ledger), the results must match a full sequential replay, and
+an identical second query must be served from the memo cache — zero
+replay jobs, at least 5x faster.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from contextlib import contextmanager
+from dataclasses import replace as dataclass_replace
+
+import pytest
+
+import repro
+from repro.exceptions import QueryError
+from repro.query.catalog import RunCatalog
+from repro.query.memo import MemoCache
+from repro.record.adaptive import AdaptiveController
+from repro.record.recorder import record_source
+from repro.replay.replayer import replay_script
+from repro.storage.checkpoint_store import CheckpointStore
+
+EPOCHS = 8
+
+#: Per-epoch device wait: keeps cold-query replay genuinely more expensive
+#: than the memo read path the 5x assertion compares against.
+ITER_SECONDS = 0.02
+
+TRAINING_SCRIPT = textwrap.dedent(f"""
+    import time
+
+    import numpy as np
+    from repro import api as flor
+
+    rng = np.random.default_rng(3)
+    state = rng.standard_normal(512).astype('float32')
+
+    for epoch in range({EPOCHS}):
+        for _step in range(1):
+            time.sleep({ITER_SECONDS})
+            state = np.roll(state, 1) * 0.999 + float(epoch + 1) * 1e-3
+        flor.log("train_loss", float(abs(state).mean()))
+""")
+
+#: The hindsight probe: ``state_sum`` was never logged at record time.
+PROBE_SCRIPT = TRAINING_SCRIPT.replace(
+    'flor.log("train_loss", float(abs(state).mean()))',
+    'flor.log("train_loss", float(abs(state).mean()))\n'
+    '    flor.log("state_sum", float(state.sum()))')
+
+
+@contextmanager
+def materialize_only(period: int, offset: int = 0):
+    """Deterministically sparsify the Joint Invariant (CI-stable)."""
+    original = AdaptiveController.should_materialize
+
+    def sparse(self, block_id, compute_seconds, payload_nbytes):
+        decision = original(self, block_id, compute_seconds, payload_nbytes)
+        index = self.block(block_id).executions - 1
+        keep = period > 0 and index % period == offset
+        return dataclass_replace(decision, materialize=keep,
+                                 reason=f"test sparsifier period={period}")
+
+    AdaptiveController.should_materialize = sparse
+    try:
+        yield
+    finally:
+        AdaptiveController.should_materialize = original
+
+
+@pytest.fixture()
+def three_sparse_runs(flor_config):
+    """Three recorded runs with checkpoints only at epochs 0, 3 and 6."""
+    run_ids = []
+    with materialize_only(period=3):
+        for index in range(3):
+            recorded = record_source(TRAINING_SCRIPT, name=f"hq{index}",
+                                     config=flor_config)
+            assert recorded.checkpoint_count == 3  # epochs 0, 3, 6
+            run_ids.append(recorded.run_id)
+    return run_ids
+
+
+class TestHindsightQueryEndToEnd:
+    """The acceptance scenario, step by step."""
+
+    def test_cold_query_replays_only_uncovered_segments_then_memo_serves(
+            self, flor_config, three_sparse_runs):
+        run_ids = three_sparse_runs
+        wanted = slice(4, EPOCHS)  # epochs 4..7; nearest checkpoint is 3
+
+        cold = repro.query(values=["train_loss", "state_sum"],
+                           runs=run_ids, iterations=wanted,
+                           source=PROBE_SCRIPT, config=flor_config,
+                           workers=2)
+
+        # -- replay-job accounting: only the uncovered segment replays ---- #
+        # train_loss is already logged (free); state_sum needs recompute of
+        # epochs 4..7, reachable exactly from the checkpoint at epoch 3.
+        assert cold.stats.replay_job_count == 3  # one span per run
+        for job in cold.stats.replay_jobs:
+            assert (job.start, job.stop) == (4, EPOCHS)
+            assert job.restore_index == 3
+        assert cold.stats.replayed_iterations == 3 * (EPOCHS - 4)
+        assert cold.stats.resolved_logged == 3 * (EPOCHS - 4)  # train_loss
+        assert cold.stats.resolved_replay == 3 * (EPOCHS - 4)  # state_sum
+        assert cold.stats.missing_cells == 0
+
+        # -- results match a full sequential replay ----------------------- #
+        for run_id in run_ids:
+            sequential = replay_script(run_id, new_source=PROBE_SCRIPT,
+                                       num_workers=1, config=flor_config)
+            expected = sequential.values("state_sum")[4:EPOCHS]
+            assert cold.values("state_sum", run_id) == \
+                pytest.approx(expected)
+            expected_loss = sequential.values("train_loss")[4:EPOCHS]
+            assert cold.values("train_loss", run_id) == \
+                pytest.approx(expected_loss)
+
+        # -- the write-back landed in each run's storage backend ---------- #
+        for run_id in run_ids:
+            store = CheckpointStore(flor_config.run_dir(run_id))
+            assert len(MemoCache.keys(store)) == 1
+            store.close()
+        assert cold.stats.memo_cells_written > 0
+
+        # -- identical second query: zero jobs, >= 5x faster -------------- #
+        warm = repro.query(values=["train_loss", "state_sum"],
+                           runs=run_ids, iterations=wanted,
+                           source=PROBE_SCRIPT, config=flor_config,
+                           workers=2)
+        assert warm.stats.replay_job_count == 0
+        assert warm.stats.resolved_replay == 0
+        assert warm.stats.resolved_memo == 3 * (EPOCHS - 4)
+        # Identical cells and values; only the source column moves from
+        # "replay" to "memo".
+        strip = lambda records: [  # noqa: E731
+            {key: value for key, value in record.items() if key != "source"}
+            for record in records]
+        assert strip(warm.to_records()) == strip(cold.to_records())
+        assert warm.stats.total_seconds * 5 <= cold.stats.total_seconds, (
+            f"memoized re-query not >=5x faster: cold="
+            f"{cold.stats.total_seconds:.3f}s warm="
+            f"{warm.stats.total_seconds:.3f}s")
+
+    def test_overlapping_query_replays_only_the_new_tail(
+            self, flor_config, three_sparse_runs):
+        run_ids = three_sparse_runs
+        first = repro.query(values="state_sum", runs=run_ids,
+                            iterations=slice(4, 7), source=PROBE_SCRIPT,
+                            config=flor_config, workers=1)
+        assert first.stats.replay_job_count == 3
+        # Epochs 4-6 are now memoized; only epoch 7 still needs replay,
+        # and epoch 6 has a checkpoint, so each new span is one restore
+        # plus a single recomputed iteration.
+        second = repro.query(values="state_sum", runs=run_ids,
+                             iterations=slice(4, EPOCHS),
+                             source=PROBE_SCRIPT, config=flor_config,
+                             workers=1)
+        assert second.stats.resolved_memo == 3 * 3
+        assert second.stats.resolved_replay == 3 * 1
+        for job in second.stats.replay_jobs:
+            assert (job.start, job.stop) == (7, EPOCHS)
+            assert job.restore_index == 6
+
+    def test_logged_values_never_schedule_replay(self, flor_config,
+                                                 three_sparse_runs):
+        result = repro.query(values="train_loss", runs=three_sparse_runs,
+                             config=flor_config)
+        assert result.stats.replay_job_count == 0
+        assert result.stats.resolved_logged == 3 * EPOCHS
+        assert len(result.rows) == 3 * EPOCHS
+
+    def test_unlogged_value_without_probe_source_is_missing_not_replayed(
+            self, flor_config, three_sparse_runs):
+        result = repro.query(values="state_sum", runs=three_sparse_runs,
+                             config=flor_config)
+        assert result.stats.replay_job_count == 0
+        assert result.stats.missing_cells == 3 * EPOCHS
+        assert result.rows == []
+
+    def test_blank_line_only_source_schedules_no_jobs(self, flor_config,
+                                                      three_sparse_runs):
+        """A probe source that differs only in blank lines cannot log
+        anything new — the planner must not schedule replay jobs for it."""
+        cosmetic = TRAINING_SCRIPT.replace(
+            "        state = np.roll",
+            "\n        state = np.roll") + "\n\n"
+        result = repro.query(values="state_sum", runs=three_sparse_runs,
+                             source=cosmetic, config=flor_config)
+        assert result.stats.replay_job_count == 0
+        assert result.stats.missing_cells == 3 * EPOCHS
+
+    def test_query_with_single_job_inside_live_record_session(
+            self, flor_config, three_sparse_runs):
+        """A query issued while a Flor session is active must route even a
+        single replay job through the worker pool — the in-process path
+        cannot activate a second session."""
+        from repro.modes import Mode
+        from repro.session import Session
+        parent = Session("query-parent", Mode.RECORD, config=flor_config)
+        with parent:
+            result = repro.query(values="state_sum",
+                                 runs=three_sparse_runs[:1],
+                                 iterations=slice(4, 6),
+                                 source=PROBE_SCRIPT, config=flor_config,
+                                 workers=1)
+        assert result.stats.replay_job_count == 1
+        assert result.stats.missing_cells == 0
+        assert len(result.values("state_sum")) == 2
+
+    def test_query_all_runs_via_catalog_default(self, flor_config,
+                                                three_sparse_runs):
+        result = repro.query(values="train_loss", config=flor_config)
+        assert result.runs() == three_sparse_runs  # recording order
+
+    def test_empty_selection_raises(self, flor_config):
+        with pytest.raises(QueryError, match="no runs match"):
+            repro.query(values="loss", config=flor_config)
+
+    def test_reused_catalog_skips_rescan(self, flor_config,
+                                         three_sparse_runs):
+        catalog = RunCatalog.open(flor_config)
+        result = repro.query(values="train_loss", config=flor_config,
+                             catalog=catalog)
+        assert result.stats.runs == 3
+
+
+class TestQueryResultShapes:
+    def test_pivot_and_by_iteration(self, flor_config, three_sparse_runs):
+        result = repro.query(values="train_loss", runs=three_sparse_runs,
+                             iterations=slice(0, 2), config=flor_config)
+        pivot = result.pivot("train_loss")
+        assert set(pivot) == set(three_sparse_runs)
+        assert set(pivot[three_sparse_runs[0]]) == {0, 1}
+        by_iteration = result.by_iteration("train_loss")
+        assert set(by_iteration) == {0, 1}
+        assert set(by_iteration[0]) == set(three_sparse_runs)
+
+    def test_to_records_rows_are_plain_dicts(self, flor_config,
+                                             three_sparse_runs):
+        result = repro.query(values="train_loss",
+                             runs=three_sparse_runs[:1],
+                             iterations=0, config=flor_config)
+        [record] = result.to_records()
+        assert record["run_id"] == three_sparse_runs[0]
+        assert record["iteration"] == 0
+        assert record["name"] == "train_loss"
+        assert record["source"] == "logged"

@@ -1,0 +1,140 @@
+"""Tests for the multi-run catalog (indexing, persistence, selection)."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.catalog import (CATALOG_METADATA_KEY, RunCatalog, RunEntry,
+                                 looks_like_run_dir)
+from repro.record.recorder import record_source
+from repro.storage.checkpoint_store import CheckpointStore
+
+EPOCHS = 4
+
+SCRIPT = textwrap.dedent(f"""
+    import numpy as np
+    from repro import api as flor
+
+    state = np.zeros(8, dtype='float32')
+    for epoch in range({EPOCHS}):
+        for _step in range(1):
+            state = state + 1.0
+        flor.log("loss", float(state.sum()))
+""")
+
+
+def record_run(config, name: str):
+    return record_source(SCRIPT, name=name, config=config)
+
+
+class TestCatalogIndexing:
+    def test_entries_describe_recorded_runs(self, flor_config):
+        recorded = record_run(flor_config, "alpha")
+        record_run(flor_config, "beta")
+        catalog = RunCatalog.open(flor_config)
+        assert len(catalog) == 2
+        entry = catalog.get(recorded.run_id)
+        assert entry is not None
+        assert entry.workload == "alpha"
+        assert entry.main_loop_total == EPOCHS
+        assert entry.loop_blocks == ("skipblock_0",)
+        assert entry.logged_values == ("loss",)
+        assert entry.checkpoint_count == recorded.checkpoint_count
+        assert set(entry.aligned_iterations) <= set(range(EPOCHS))
+        assert 0.0 < entry.checkpoint_density <= 1.0
+        assert entry.started_at > 0
+        # The catalog digest uses the memo cache's normalization, so the
+        # two are directly comparable.
+        from repro.query.memo import source_digest
+        assert entry.source_digest == source_digest(SCRIPT)
+
+    def test_non_run_directories_are_ignored(self, flor_config, tmp_path):
+        record_run(flor_config, "alpha")
+        (flor_config.home / "not-a-run").mkdir(parents=True)
+        (flor_config.home / "stray.txt").write_text("x", encoding="utf-8")
+        assert not looks_like_run_dir(flor_config.home / "not-a-run")
+        assert len(RunCatalog.open(flor_config)) == 1
+
+    def test_empty_home_yields_empty_catalog(self, flor_config):
+        assert len(RunCatalog.open(flor_config)) == 0
+
+
+class TestCatalogPersistence:
+    def test_entry_is_persisted_into_the_runs_store(self, flor_config):
+        recorded = record_run(flor_config, "alpha")
+        RunCatalog.open(flor_config)
+        store = CheckpointStore(flor_config.run_dir(recorded.run_id))
+        persisted = store.get_metadata(CATALOG_METADATA_KEY)
+        assert persisted is not None
+        assert RunEntry.from_dict(persisted).run_id == recorded.run_id
+
+    def test_fresh_entry_is_served_without_rebuild(self, flor_config):
+        recorded = record_run(flor_config, "alpha")
+        RunCatalog.open(flor_config)
+        # Tamper with a field the rebuild would recompute: if the second
+        # open serves the tampered value, it used the persisted entry.
+        store = CheckpointStore(flor_config.run_dir(recorded.run_id))
+        persisted = store.get_metadata(CATALOG_METADATA_KEY)
+        persisted["workload"] = "tampered"
+        store.set_metadata(CATALOG_METADATA_KEY, persisted)
+        store.close()
+        catalog = RunCatalog.open(flor_config)
+        assert catalog.get(recorded.run_id).workload == "tampered"
+
+    def test_stale_entry_is_rebuilt(self, flor_config):
+        recorded = record_run(flor_config, "alpha")
+        RunCatalog.open(flor_config)
+        store = CheckpointStore(flor_config.run_dir(recorded.run_id))
+        persisted = store.get_metadata(CATALOG_METADATA_KEY)
+        persisted["workload"] = "tampered"
+        persisted["checkpoint_count"] = persisted["checkpoint_count"] + 99
+        store.set_metadata(CATALOG_METADATA_KEY, persisted)
+        store.close()
+        catalog = RunCatalog.open(flor_config)
+        assert catalog.get(recorded.run_id).workload == "alpha"
+
+    def test_old_schema_version_is_rebuilt(self, flor_config):
+        recorded = record_run(flor_config, "alpha")
+        RunCatalog.open(flor_config)
+        store = CheckpointStore(flor_config.run_dir(recorded.run_id))
+        persisted = store.get_metadata(CATALOG_METADATA_KEY)
+        persisted["schema_version"] = 0
+        persisted["workload"] = "tampered"
+        store.set_metadata(CATALOG_METADATA_KEY, persisted)
+        store.close()
+        assert RunCatalog.open(flor_config).get(
+            recorded.run_id).workload == "alpha"
+
+
+class TestCatalogSelection:
+    def test_select_by_id_list_prefix_and_workload(self, flor_config):
+        first = record_run(flor_config, "alpha")
+        second = record_run(flor_config, "beta")
+        catalog = RunCatalog.open(flor_config)
+        assert [e.run_id for e in catalog.select([second.run_id])] == \
+            [second.run_id]
+        assert [e.run_id for e in catalog.select("alpha")] == [first.run_id]
+        assert [e.run_id for e in catalog.select(workload="beta")] == \
+            [second.run_id]
+        assert len(catalog.select()) == 2
+
+    def test_select_orders_by_recording_time(self, flor_config):
+        ids = [record_run(flor_config, f"run{k}").run_id for k in range(3)]
+        catalog = RunCatalog.open(flor_config)
+        assert [entry.run_id for entry in catalog.select()] == ids
+        assert [entry.run_id for entry in catalog.latest(2)] == ids[-2:]
+
+    def test_select_values_filter_keeps_answerable_runs(self, flor_config):
+        record_run(flor_config, "alpha")
+        catalog = RunCatalog.open(flor_config)
+        assert len(catalog.select(values=["loss"])) == 1
+        assert catalog.select(values=["loss", "never_logged"]) == []
+
+    def test_unknown_run_id_raises(self, flor_config):
+        record_run(flor_config, "alpha")
+        catalog = RunCatalog.open(flor_config)
+        with pytest.raises(QueryError, match="not in catalog"):
+            catalog.select(["missing-run"])

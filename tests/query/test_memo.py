@@ -1,0 +1,85 @@
+"""Unit tests for the cross-query replay memoization cache."""
+
+from __future__ import annotations
+
+from repro.query.memo import MEMO_KEY_PREFIX, MemoCache, source_digest
+from repro.record.logger import LogRecord
+from repro.storage.checkpoint_store import CheckpointStore
+
+
+def records(name: str = "grad", values: dict | None = None):
+    return [LogRecord(name=name, value=value, iteration=iteration)
+            for iteration, value in (values or {1: 0.5, 2: 0.25}).items()]
+
+
+class TestSourceDigest:
+    def test_stable_across_line_endings_and_trailing_space(self):
+        assert source_digest("a = 1\nb = 2\n") == \
+            source_digest("a = 1  \r\nb = 2\r\n")
+
+    def test_stable_across_blank_line_only_edits(self):
+        # Blank lines change nothing a replay computes; equal digests keep
+        # the planner from scheduling replay jobs for a blank-line edit.
+        assert source_digest("a = 1\nb = 2\n") == \
+            source_digest("a = 1\n\n\nb = 2\n\n")
+
+    def test_differs_for_different_code(self):
+        assert source_digest("a = 1\n") != source_digest("a = 2\n")
+
+
+class TestMemoCache:
+    def test_write_back_then_reload(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run")
+        digest = source_digest("probe-source")
+        assert MemoCache(store, digest).write_back(records()) == 2
+        fresh = MemoCache(store, digest)
+        assert fresh.load() == {"grad": {1: 0.5, 2: 0.25}}
+        assert fresh.cell_count() == 2
+        assert fresh.names() == ["grad"]
+
+    def test_rewrite_of_same_cells_adds_nothing(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run")
+        memo = MemoCache(store, source_digest("s"))
+        assert memo.write_back(records()) == 2
+        assert MemoCache(store, memo.digest).write_back(records()) == 0
+
+    def test_overlapping_write_back_adds_only_new_cells(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run")
+        digest = source_digest("s")
+        MemoCache(store, digest).write_back(records(values={1: 0.5}))
+        added = MemoCache(store, digest).write_back(
+            records(values={1: 0.5, 3: 0.1}))
+        assert added == 1
+        assert MemoCache(store, digest).load()["grad"] == {1: 0.5, 3: 0.1}
+
+    def test_outside_loop_records_are_not_memoized(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run")
+        memo = MemoCache(store, source_digest("s"))
+        assert memo.write_back([LogRecord("setup", 1, iteration=None)]) == 0
+        assert memo.load() == {}
+
+    def test_entries_are_isolated_per_probe_source(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run")
+        MemoCache(store, source_digest("probe-A")).write_back(records())
+        other = MemoCache(store, source_digest("probe-B"))
+        assert other.load() == {}
+
+    def test_short_key_collision_verified_by_full_digest(self, tmp_path):
+        # A different probe source that (hypothetically) shares the first
+        # 16 digest characters must not serve the stale entry: the full
+        # digest stored inside the payload is verified on load.
+        store = CheckpointStore(tmp_path / "run")
+        victim = MemoCache(store, "a" * 64)
+        victim.write_back(records())
+        imposter = MemoCache(store, "a" * 16 + "b" * 48)
+        assert imposter.key == victim.key
+        assert imposter.load() == {}
+
+    def test_keys_enumerates_memo_entries_only(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run")
+        store.set_metadata("run_id", "r")
+        MemoCache(store, source_digest("A")).write_back(records())
+        MemoCache(store, source_digest("B")).write_back(records())
+        keys = MemoCache.keys(store)
+        assert len(keys) == 2
+        assert all(key.startswith(MEMO_KEY_PREFIX) for key in keys)

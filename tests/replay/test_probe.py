@@ -105,3 +105,91 @@ class TestDetectProbedBlocks:
         record = "a\nb\nc\nd\ne\nf\n"
         replay = "a\nb\nc\nNEW\nd\ne\nf\n"
         assert detect_probed_blocks(record, replay, blocks) == {"b"}
+
+
+class TestDiffEdgeCases:
+    """Diff corner cases: EOF insertion, CRLF, whitespace-only, multi-insert."""
+
+    # The inner loop's body ends on the last line of the file, so an
+    # end-of-file insertion lands exactly on the "last statement of the
+    # body vs first statement after the loop" boundary.
+    EOF_SOURCE = ("loader = list(range(4))\n"
+                  "for epoch in range(3):\n"
+                  "    for batch in loader:\n"
+                  "        loss = step(batch)\n")
+
+    def test_insertion_at_end_of_file_inside_body_probes(self):
+        blocks = blocks_for(self.EOF_SOURCE)
+        replay = self.EOF_SOURCE + "        probe(loss)\n"
+        assert detect_probed_blocks(self.EOF_SOURCE, replay, blocks) == {
+            "skipblock_0"}
+
+    def test_insertion_at_end_of_file_outside_body_does_not_probe(self):
+        blocks = blocks_for(self.EOF_SOURCE)
+        replay = self.EOF_SOURCE + "after_training()\n"
+        assert detect_probed_blocks(self.EOF_SOURCE, replay, blocks) == set()
+
+    def test_crlf_replay_of_lf_record_is_identical(self):
+        replay = RECORD_SOURCE.replace("\n", "\r\n")
+        assert diff_sources(RECORD_SOURCE, replay).is_identical
+        blocks = blocks_for(RECORD_SOURCE)
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == set()
+
+    def test_crlf_does_not_mask_a_real_probe(self):
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace(
+            "        loss = step(net, optimizer, batch)",
+            "        loss = step(net, optimizer, batch)\n"
+            "        probe(loss)").replace("\n", "\r\n")
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == {
+            "skipblock_0"}
+
+    def test_trailing_whitespace_only_change_does_not_probe(self):
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace(
+            "        loss = step(net, optimizer, batch)",
+            "        loss = step(net, optimizer, batch)   ")
+        assert diff_sources(RECORD_SOURCE, replay).is_identical
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == set()
+
+    def test_blank_line_insertion_inside_body_does_not_probe(self):
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace(
+            "        loss = step(net, optimizer, batch)",
+            "        loss = step(net, optimizer, batch)\n")
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == set()
+
+    def test_indentation_change_still_probes(self):
+        """Leading whitespace is semantics; only trailing is normalized."""
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace(
+            "        loss = step(net, optimizer, batch)",
+            "            loss = step(net, optimizer, batch)")
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == {
+            "skipblock_0"}
+
+    def test_multi_line_insertion_at_same_record_line(self):
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace(
+            "        loss = step(net, optimizer, batch)",
+            "        loss = step(net, optimizer, batch)\n"
+            "        probe_a(loss)\n"
+            "        probe_b(loss)")
+        diff = diff_sources(RECORD_SOURCE, replay)
+        assert len(diff.insertions) == 1
+        point, lines = diff.insertions[0]
+        assert len(lines) == 2
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == {
+            "skipblock_0"}
+
+    def test_mixed_indent_insertion_at_loop_boundary_probes(self):
+        """Several lines inserted at the boundary: one body-indented line
+        among them is enough to mark the block probed."""
+        blocks = blocks_for(RECORD_SOURCE)
+        replay = RECORD_SOURCE.replace(
+            "        loss = step(net, optimizer, batch)",
+            "        loss = step(net, optimizer, batch)\n"
+            "        probe(loss)\n"
+            "    after_inner(net)")
+        assert detect_probed_blocks(RECORD_SOURCE, replay, blocks) == {
+            "skipblock_0"}

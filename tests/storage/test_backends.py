@@ -113,6 +113,14 @@ class TestConformance:
         assert store.get_metadata("missing", "default") == "default"
         assert set(store.all_metadata()) == {"epochs", "blocks"}
 
+    def test_metadata_keys_prefix_scan(self, store):
+        store.set_metadata("memo:aaa", {"v": 1})
+        store.set_metadata("memo:bbb", {"v": 2})
+        store.set_metadata("run_id", "r")
+        assert store.metadata_keys("memo:") == ["memo:aaa", "memo:bbb"]
+        assert store.metadata_keys() == ["memo:aaa", "memo:bbb", "run_id"]
+        assert store.metadata_keys("zzz") == []
+
     def test_reopen_preserves_contents(self, store, tmp_path, backend_name):
         store.put("train", 0, make_snapshots(5.0))
         store.set_metadata("run_id", "abc")

@@ -33,6 +33,43 @@ class TestConfig:
         with pytest.raises(ConfigError):
             FlorConfig(background_materialization="plasma9000")
 
+    def test_validate_names_the_knob_and_its_choices(self):
+        with pytest.raises(ConfigError,
+                           match=r"replay_scheduler must be one of"):
+            FlorConfig(replay_scheduler="statik")
+        with pytest.raises(ConfigError,
+                           match=r"background_materialization must be one of"):
+            FlorConfig(background_materialization="plasma9000")
+        with pytest.raises(ConfigError, match=r"spool_mode must be one of"):
+            FlorConfig(spool_mode="fiber")
+        with pytest.raises(ConfigError,
+                           match=r"storage_backend must be one of"):
+            FlorConfig(storage_backend="s3")
+        with pytest.raises(ConfigError,
+                           match=r"query_planner must be one of"):
+            FlorConfig(query_planner="magic")
+
+    def test_validate_rejects_non_positive_counts(self):
+        for knob in ("storage_shards", "spool_workers", "spool_queue_size",
+                     "manifest_batch_size", "replay_chunk_size",
+                     "query_workers", "fork_batch_size"):
+            with pytest.raises(ConfigError, match=rf"{knob} must be"):
+                FlorConfig(**{knob: 0})
+
+    def test_validate_rejects_non_integer_counts(self):
+        with pytest.raises(ConfigError, match="query_workers must be"):
+            FlorConfig(query_workers=2.5)
+
+    def test_validate_returns_self_for_chaining(self):
+        config = FlorConfig()
+        assert config.validate() is config
+
+    def test_query_knob_defaults(self):
+        config = FlorConfig()
+        assert config.query_workers >= 1
+        assert config.query_memoize is True
+        assert config.query_planner == "cost"
+
     def test_with_overrides_returns_new_instance(self, tmp_path):
         config = FlorConfig(home=tmp_path)
         other = config.with_overrides(epsilon=0.1)
