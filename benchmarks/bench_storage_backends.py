@@ -19,6 +19,10 @@ Two sections:
 * ``live_imgn`` — the Figure 11 default workload (miniature ImgN) recorded
   end-to-end under the sequential and spool strategies (report-only:
   live training timings are noisy at miniature scale).
+* ``dedup`` — the content-addressed lifecycle acceptance number: the same
+  deterministic workload recorded twice under one home must land almost
+  entirely on existing blobs (physical bytes after the re-run < 1.1x the
+  single-run footprint), with the achieved dedup ratio reported.
 
 Run with::
 
@@ -141,22 +145,63 @@ def run_live_imgn_comparison(home: Path) -> dict:
     return results
 
 
+def run_dedup_comparison(home: Path) -> dict:
+    """Record one deterministic workload twice; measure blob-plane reuse."""
+    from repro.record.recorder import record_source
+    from repro.storage.lifecycle import measure_storage
+
+    script = (
+        "import numpy as np\n"
+        "from repro import api as flor\n"
+        "\n"
+        "rng = np.random.default_rng(0)\n"
+        "weights = rng.standard_normal(200_000).astype('float32')\n"
+        "for epoch in range(6):\n"
+        "    for step in range(3):\n"
+        "        weights = np.tanh(weights * 1.001)\n"
+        "    flor.log('checksum', float(weights.sum()))\n")
+    config = FlorConfig(home=home, adaptive_checkpointing=False)
+    repro.set_config(config)
+    try:
+        record_source(script, name="dedup-first", config=config)
+        after_first = measure_storage(home)
+        record_source(script, name="dedup-rerun", config=config)
+        after_second = measure_storage(home)
+    finally:
+        repro.reset_config()
+    return {
+        "checkpoints_per_run": after_first.checkpoints,
+        "stored_nbytes_single_run": after_first.physical_nbytes,
+        "stored_nbytes_after_rerun": after_second.physical_nbytes,
+        "logical_nbytes_after_rerun": after_second.logical_nbytes,
+        "rerun_stored_ratio": round(
+            after_second.physical_nbytes / max(1, after_first.physical_nbytes),
+            4),
+        "dedup_ratio": round(after_second.dedup_ratio, 4),
+    }
+
+
 def run_benchmark(home: Path) -> dict:
     pipeline = run_pipeline_comparison(home / "pipeline")
     live = run_live_imgn_comparison(home / "live")
+    dedup = run_dedup_comparison(home / "dedup")
     sync_wall = pipeline["sequential_local"]["wall_seconds"]
     spool_wall = pipeline["spool_local"]["wall_seconds"]
     results = {
         "benchmark": "bench_storage_backends",
         "description": "record-phase wall time: sync vs async spool vs "
-                       "sharded, plus live Fig-11 ImgN record",
+                       "sharded, plus live Fig-11 ImgN record and the "
+                       "identical-rerun dedup ratio",
         "platform": platform.platform(),
         "python": platform.python_version(),
         "pipeline": pipeline,
         "live_imgn": live,
+        "dedup": dedup,
         "summary": {
             "async_speedup_vs_sync": round(sync_wall / spool_wall, 3),
             "async_reduces_record_wall_time": spool_wall < sync_wall,
+            "dedup_rerun_stored_ratio": dedup["rerun_stored_ratio"],
+            "dedup_rerun_under_1_1x": dedup["rerun_stored_ratio"] < 1.1,
         },
     }
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n", "utf-8")
@@ -184,6 +229,16 @@ def test_async_spool_beats_synchronous_record(tmp_path):
     # And the hot path itself must be near-free relative to sync.
     assert (pipeline["spool_local"]["main_thread_seconds"]
             < pipeline["sequential_local"]["main_thread_seconds"])
+
+    # Lifecycle acceptance: re-recording an identical workload must land
+    # on existing blobs — stored bytes stay under 1.1x the single run.
+    dedup = results["dedup"]
+    print(f"Dedup: single-run {dedup['stored_nbytes_single_run']} B, "
+          f"after identical re-run {dedup['stored_nbytes_after_rerun']} B "
+          f"(ratio {dedup['rerun_stored_ratio']}x, "
+          f"dedup ratio {dedup['dedup_ratio']})")
+    assert dedup["rerun_stored_ratio"] < 1.1, dedup
+    assert dedup["dedup_ratio"] > 1.5, dedup
 
 
 if __name__ == "__main__":

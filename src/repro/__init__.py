@@ -22,10 +22,12 @@ parallel replay.  This package implements the full system:
 """
 
 from . import analysis, api, record, replay, storage, torchlike
-from .api import (QueryResult, RecordResult, ReplayResult, RunCatalog,
-                  RunEntry, WorkerResult, log, loop, record_script,
-                  record_session, record_source, replay_script,
-                  replay_session, run_parallel_replay, skipblock)
+from .api import (GCReport, PruneReport, QueryResult, RecordResult,
+                  ReplayResult, RetentionPolicy, RunCatalog, RunEntry,
+                  StorageStats, WorkerResult, gc, log, loop, prune,
+                  record_script, record_session, record_source,
+                  replay_script, replay_session, run_parallel_replay,
+                  skipblock, storage_stats)
 # NOTE: binds the name ``query`` to the entry-point *function*, shadowing
 # the ``repro.query`` subpackage attribute (like ``datetime.datetime``).
 # ``from repro.query.planner import ...`` still resolves the modules.
@@ -49,6 +51,8 @@ __all__ = [
     "replay_script", "run_parallel_replay",
     "RecordResult", "ReplayResult", "WorkerResult",
     "query", "QueryResult", "RunCatalog", "RunEntry",
+    "gc", "prune", "storage_stats",
+    "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",
     "FlorConfig", "get_config", "set_config", "reset_config",
     "Mode", "Phase", "InitStrategy",
     "Session", "get_active_session",

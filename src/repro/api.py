@@ -39,6 +39,11 @@ from .record.recorder import RecordResult, record_script, record_source
 from .replay.parallel import WorkerResult, run_parallel_replay
 from .replay.replayer import ReplayResult, replay_script
 from .session import Session, get_active_session
+from .storage.lifecycle import (DEFAULT_GC_GRACE_SECONDS, GCReport,
+                                PruneReport, RetentionPolicy, StorageStats,
+                                collect_garbage, measure_storage,
+                                prune_store)
+from .storage.checkpoint_store import CheckpointStore
 from .utils.naming import new_run_id
 
 __all__ = [
@@ -47,6 +52,8 @@ __all__ = [
     "record_script", "record_source", "replay_script",
     "run_parallel_replay", "RecordResult", "ReplayResult", "WorkerResult",
     "query", "QueryResult", "RunCatalog", "RunEntry",
+    "gc", "prune", "storage_stats",
+    "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",
     "get_config", "set_config", "FlorConfig",
 ]
 
@@ -106,6 +113,79 @@ def skipblock(block_id: str):
     if session is None:
         return _PassthroughSkipBlock(block_id)
     return session.skipblock(block_id)
+
+
+# ---------------------------------------------------------------------- #
+# Storage lifecycle
+# ---------------------------------------------------------------------- #
+def gc(config: FlorConfig | None = None, *, grace_seconds: float = 0.0,
+       dry_run: bool = False) -> GCReport:
+    """Sweep unreferenced checkpoint payload blobs under the Flor home.
+
+    Mark-and-sweep over the home's shared content-addressed object
+    store: the referenced digest set is re-derived from every run's
+    manifest at call time, so an interrupted or concurrent sweep can
+    strand an orphan for the next pass but never delete a payload any
+    run still references.  ``dry_run`` reports what would be swept.
+    """
+    config = config or get_config()
+    return collect_garbage(config.home, grace_seconds=grace_seconds,
+                           dry_run=dry_run)
+
+
+def prune(run_id: str, policy: RetentionPolicy | None = None,
+          config: FlorConfig | None = None, *,
+          collect: bool = True) -> PruneReport:
+    """Apply a retention policy to one recorded run, then (optionally) GC.
+
+    ``policy`` defaults to the configured ``retention_policy``.  Manifest
+    rows are deleted first (one backend transaction); shared payload
+    blobs are released by the follow-up GC pass once no run references
+    them.  Replay of the pruned run stays correct — the scheduler bridges
+    from the surviving checkpoints.
+    """
+    config = config or get_config()
+    policy = policy if policy is not None else config.retention_policy
+    if policy is None:
+        from .exceptions import ConfigError
+        raise ConfigError(
+            "prune() needs a RetentionPolicy: pass one explicitly or set "
+            "FlorConfig.retention_policy")
+    run_dir = config.run_dir(run_id)
+    # Opening a CheckpointStore creates the directory; guard against a
+    # typo'd run id silently materializing an empty junk run.
+    from .storage.backends import registered_memory_backends
+    registered = {backend.root_dir for backend
+                  in registered_memory_backends(config.home)
+                  if backend.root_dir is not None}
+    if not run_dir.is_dir() and run_dir not in registered:
+        from .exceptions import StorageError
+        raise StorageError(
+            f"no recorded run {run_id!r} under {config.home}")
+    store = CheckpointStore.for_config(run_dir, config)
+    try:
+        report = prune_store(store, policy)
+    finally:
+        store.close()
+    if collect:
+        # Automatic follow-up sweep: keep the shared-home grace (another
+        # session may have written blobs it has not yet indexed) but
+        # reclaim what this prune just released immediately via hints.
+        collect_garbage(config.home,
+                        grace_seconds=DEFAULT_GC_GRACE_SECONDS,
+                        release_hints=report.released_digests)
+    return report
+
+
+def storage_stats(config: FlorConfig | None = None) -> StorageStats:
+    """Logical vs physical storage footprint of the Flor home.
+
+    ``logical_nbytes`` is what every manifest row claims to store;
+    ``physical_nbytes`` is what the deduplicated object store actually
+    holds; ``dedup_ratio`` is their quotient.
+    """
+    config = config or get_config()
+    return measure_storage(config.home)
 
 
 # ---------------------------------------------------------------------- #

@@ -15,7 +15,8 @@ import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-from .exceptions import ConfigError
+from .exceptions import ConfigError, StorageError
+from .storage.lifecycle import RetentionPolicy
 
 #: Overhead tolerance used throughout the paper's evaluation: 6.67% (1/15).
 DEFAULT_EPSILON = 1.0 / 15.0
@@ -137,6 +138,22 @@ class FlorConfig:
         checkpoint-aligned replay span — using the recorded per-iteration
         timing stats.  ``"replay_all"`` forces a full replay of every
         queried run (the ablation baseline the benchmark compares against).
+    dedup:
+        Content-address checkpoint payloads (the default): one physical
+        blob per payload digest in the home-shared object store, so
+        identical checkpoints across executions and across runs cost one
+        copy.  ``False`` keeps the legacy one-file-per-execution layout.
+        Reads follow the manifest's recorded locations, so either setting
+        replays runs recorded under the other.
+    gc_interval:
+        Seconds between background lifecycle passes (retention prune +
+        payload GC) on the async spool's workers during record.  ``None``
+        (the default) disables background passes; session close and
+        ``repro.gc()`` still run them.
+    retention_policy:
+        A :class:`~repro.storage.lifecycle.RetentionPolicy` applied to
+        each recording run (on background passes when ``gc_interval`` is
+        set, and at session close).  ``None`` keeps every checkpoint.
     """
 
     home: Path = field(default_factory=lambda: DEFAULT_HOME)
@@ -158,6 +175,9 @@ class FlorConfig:
     query_workers: int = DEFAULT_QUERY_WORKERS
     query_memoize: bool = True
     query_planner: str = "cost"
+    dedup: bool = True
+    gc_interval: float | None = None
+    retention_policy: RetentionPolicy | None = None
 
     _VALID_MATERIALIZERS = ("fork", "thread", "ipc_queue", "sequential",
                             "shared_memory", "spool")
@@ -204,6 +224,33 @@ class FlorConfig:
                                  self.manifest_batch_size)
         self._check_at_least_one("replay_chunk_size", self.replay_chunk_size)
         self._check_at_least_one("query_workers", self.query_workers)
+        if not isinstance(self.dedup, bool):
+            raise ConfigError(f"dedup must be a bool, got {self.dedup!r}")
+        if self.gc_interval is not None and (
+                not isinstance(self.gc_interval, (int, float))
+                or isinstance(self.gc_interval, bool)
+                or self.gc_interval <= 0):
+            raise ConfigError(
+                f"gc_interval must be a positive number of seconds or "
+                f"None, got {self.gc_interval!r}")
+        if self.gc_interval is not None and \
+                self.background_materialization != "spool":
+            # Background lifecycle passes ride on the spool's batched
+            # manifest commits; with any other materializer the interval
+            # would silently never fire.
+            raise ConfigError(
+                "gc_interval requires background_materialization='spool' "
+                f"(got {self.background_materialization!r}); drop "
+                "gc_interval to run lifecycle passes at session close only")
+        if self.retention_policy is not None:
+            if not isinstance(self.retention_policy, RetentionPolicy):
+                raise ConfigError(
+                    f"retention_policy must be a RetentionPolicy or None, "
+                    f"got {type(self.retention_policy).__name__}")
+            try:
+                self.retention_policy.validate()
+            except StorageError as exc:
+                raise ConfigError(f"retention_policy invalid: {exc}") from exc
         return self
 
     @staticmethod

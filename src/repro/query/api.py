@@ -108,10 +108,7 @@ def query(values: str | Sequence[str],
 
     for entry in entries:
         run_dir = Path(entry.run_dir)
-        store = CheckpointStore(run_dir,
-                                compress=config.compress_checkpoints,
-                                backend=config.storage_backend,
-                                num_shards=config.storage_shards)
+        store = CheckpointStore.for_config(run_dir, config)
         record_source_text = _load_recorded_source(store)
         replay_source_text = (source_text if source_text is not None
                               else record_source_text)

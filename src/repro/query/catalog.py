@@ -15,7 +15,7 @@ indexes.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -24,6 +24,8 @@ from ..record.logger import read_log
 from ..replay.scheduler import aligned_checkpoints
 from ..storage.backends import SHARD_MANIFEST_NAME
 from ..storage.checkpoint_store import CheckpointStore
+from ..storage.lifecycle import (DEFAULT_GC_GRACE_SECONDS, PruneReport,
+                                 collect_garbage, retire_run)
 from .memo import source_digest
 
 __all__ = ["CATALOG_METADATA_KEY", "CATALOG_SCHEMA_VERSION", "RunEntry",
@@ -33,8 +35,8 @@ __all__ = ["CATALOG_METADATA_KEY", "CATALOG_SCHEMA_VERSION", "RunEntry",
 CATALOG_METADATA_KEY = "catalog_entry"
 
 #: Bumped whenever :class:`RunEntry` gains or changes fields; a persisted
-#: entry with an older version is rebuilt on open.
-CATALOG_SCHEMA_VERSION = 1
+#: entry with an older version is rebuilt on open.  v2 added ``retired``.
+CATALOG_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -56,6 +58,10 @@ class RunEntry:
     logged_values: tuple[str, ...]
     execution_index_scheme: int
     source_digest: str
+    #: True once the run's checkpoints were released through
+    #: :meth:`RunCatalog.retire` — logged values and metadata remain
+    #: queryable, but nothing is replayable from checkpoints any more.
+    retired: bool = False
 
     @property
     def checkpoint_density(self) -> float:
@@ -85,6 +91,7 @@ class RunEntry:
             logged_values=tuple(payload["logged_values"]),
             execution_index_scheme=int(payload["execution_index_scheme"]),
             source_digest=payload["source_digest"],
+            retired=bool(payload.get("retired", False)),
         )
 
 
@@ -173,10 +180,7 @@ class RunCatalog:
         return self
 
     def _load_or_build(self, run_dir: Path) -> RunEntry | None:
-        store = CheckpointStore(run_dir,
-                                compress=self.config.compress_checkpoints,
-                                backend=self.config.storage_backend,
-                                num_shards=self.config.storage_shards)
+        store = CheckpointStore.for_config(run_dir, self.config)
         try:
             persisted = store.get_metadata(CATALOG_METADATA_KEY)
             if persisted is not None and self._fresh(persisted, store):
@@ -197,6 +201,41 @@ class RunCatalog:
                 store.checkpoint_count()
         except (KeyError, TypeError, ValueError):
             return False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def retire(self, run_id: str, *, collect: bool = True) -> PruneReport:
+        """Release a run's checkpoint payloads but keep its catalog entry.
+
+        The manifest rows are deleted (manifest-first), the entry is
+        re-persisted with ``retired=True`` and its checkpoint fields
+        zeroed — workload, logged values and timing stay queryable — and
+        a GC pass (``collect=True``) then reclaims every payload blob no
+        surviving run references.
+        """
+        entry = self.entries.get(run_id)
+        if entry is None:
+            from ..exceptions import QueryError
+            raise QueryError(
+                f"run {run_id!r} not in catalog; cataloged runs: "
+                f"{', '.join(sorted(self.entries)) or '-'}")
+        store = CheckpointStore.for_config(Path(entry.run_dir), self.config)
+        try:
+            report = retire_run(store)
+            updated = replace(entry, checkpoint_count=0,
+                              aligned_iterations=(), retired=True)
+            store.set_metadata(CATALOG_METADATA_KEY, updated.to_dict())
+        finally:
+            store.close()
+        if collect:
+            # Grace protects concurrently recording sessions' in-flight
+            # blobs; what this retirement released sweeps via hints.
+            collect_garbage(self.config.home,
+                            grace_seconds=DEFAULT_GC_GRACE_SECONDS,
+                            release_hints=report.released_digests)
+        self.entries[run_id] = updated
+        return report
 
     # ------------------------------------------------------------------ #
     # Selection

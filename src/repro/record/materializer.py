@@ -436,11 +436,13 @@ class SpoolMaterializer(Materializer):
 
     def __init__(self, store: CheckpointStore, workers: int = 2,
                  queue_size: int = 64, batch_size: int = 16,
-                 mode: str = "thread", on_complete=None):
+                 mode: str = "thread", on_complete=None,
+                 on_batch_commit=None):
         super().__init__(store)
         self.spool = AsyncSpool(store, workers=workers,
                                 queue_size=queue_size, batch_size=batch_size,
-                                mode=mode, on_complete=on_complete)
+                                mode=mode, on_complete=on_complete,
+                                on_batch_commit=on_batch_commit)
 
     def submit(self, block_id, execution_index, snapshots):
         main_thread_seconds, estimate = self.spool.submit(

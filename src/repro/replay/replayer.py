@@ -99,9 +99,7 @@ def replay_script(run_id: str, new_source: str | Path | None = None,
     # The store sniffs an existing layout (shards.json, in-memory registry)
     # before falling back to the configured backend, so a sharded or
     # in-memory run replays without backend-matching configuration.
-    store = CheckpointStore(run_dir, compress=config.compress_checkpoints,
-                            backend=config.storage_backend,
-                            num_shards=config.storage_shards)
+    store = CheckpointStore.for_config(run_dir, config)
 
     record_source_text = store.load_source(ORIGINAL_SOURCE_NAME)
     if new_source is None:

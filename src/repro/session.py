@@ -84,10 +84,7 @@ class Session:
 
         self.run_dir: Path = self.config.run_dir(run_id)
         self.run_dir.mkdir(parents=True, exist_ok=True)
-        self.store = CheckpointStore(self.run_dir,
-                                     compress=self.config.compress_checkpoints,
-                                     backend=self.config.storage_backend,
-                                     num_shards=self.config.storage_shards)
+        self.store = CheckpointStore.for_config(self.run_dir, self.config)
 
         if self.mode is Mode.RECORD:
             log_path = self.run_dir / "record.log"
@@ -101,12 +98,27 @@ class Session:
             epsilon=self.config.epsilon,
             scaling_factor=self.config.scaling_factor,
             enabled=self.config.adaptive_checkpointing)
+        # Storage lifecycle: retention + payload GC, run on the spool's
+        # background workers (gc_interval) and at session close.
+        self.lifecycle = None
+        if self.mode is Mode.RECORD and (
+                self.config.retention_policy is not None
+                or self.config.gc_interval is not None):
+            from .storage.lifecycle import LifecycleManager
+            self.lifecycle = LifecycleManager(
+                self.store, policy=self.config.retention_policy,
+                gc_interval=self.config.gc_interval)
+
         materializer_kwargs = {}
         if self.config.background_materialization == "spool":
             # Feed real background materialization timings back into the
             # adaptive controller's throughput model (Section 5.3.2).
             materializer_kwargs["on_complete"] = (
                 self.adaptive.observe_background_materialization)
+            if self.lifecycle is not None and \
+                    self.config.gc_interval is not None:
+                materializer_kwargs["on_batch_commit"] = (
+                    self.lifecycle.on_manifest_commit)
         self.materializer: Materializer = create_materializer(
             self.config.background_materialization, self.store,
             config=self.config, **materializer_kwargs)
@@ -379,6 +391,16 @@ class Session:
                 "started_at": self._started_at,
                 "wall_seconds": time.time() - self._started_at,
             })
+            if self.lifecycle is not None:
+                # The spool has flushed (materializer.close above), so
+                # nothing of *ours* is in flight.  The manager's default
+                # grace still applies — the object store is shared, and a
+                # concurrently recording session may have written blobs
+                # it has not yet indexed — while whatever our own prunes
+                # released sweeps immediately via release hints.
+                self.lifecycle.run_once()
+                self.store.set_metadata("lifecycle",
+                                        self.lifecycle.summary())
         self.store.flush()
 
     # ------------------------------------------------------------------ #

@@ -20,12 +20,19 @@ owns everything that happens to them afterwards:
   materialization pipeline (worker pool, batched manifest commits,
   backpressure, a ``flush()`` barrier), plus the paper's EBS-to-S3
   transfer sim.
+* :mod:`~repro.storage.objectstore` — the content-addressed payload plane:
+  one blob per payload digest, shared by every run under a Flor home, so
+  identical checkpoints (across executions *and* runs) dedup to one copy.
+* :mod:`~repro.storage.lifecycle` — retention policies, manifest-first
+  pruning, mark-and-sweep payload GC (inline, at close, or on the spool's
+  background workers), and the home's storage-footprint accounting.
 * :mod:`~repro.storage.costs` — the cloud pricing model behind the paper's
   storage-cost tables.
 
 The durability contract threaded through all of it: payloads are written
-before their manifest rows commit, so the manifest never references a
-missing payload.
+before their manifest rows commit, and deleted only after no manifest row
+references them — so the manifest never references a missing payload, in
+either direction of the lifecycle.
 """
 
 from .backends import (BACKEND_NAMES, InMemoryBackend, LocalSQLiteBackend,
@@ -34,6 +41,12 @@ from .checkpoint_store import CheckpointRecord, CheckpointStore
 from .compression import CompressionResult, compress, compression_ratio, decompress
 from .costs import (GiB, INSTANCE_PRICES, InstanceType, S3_PRICE_PER_GB_MONTH,
                     compute_cost, gb, storage_cost_per_month)
+from .lifecycle import (GCReport, LifecycleManager, PruneReport,
+                        RetentionPolicy, StorageStats, collect_garbage,
+                        measure_storage, plan_retention, prune_store,
+                        retire_run)
+from .objectstore import (FileObjectStore, MemoryObjectStore,
+                          ObjectStoreStats, PayloadObjectStore)
 from .serializer import (SerializedCheckpoint, ValueSnapshot,
                          deserialize_checkpoint, restore_value,
                          serialize_checkpoint, snapshot_value)
@@ -43,6 +56,11 @@ __all__ = [
     "CheckpointStore", "CheckpointRecord",
     "StorageBackend", "LocalSQLiteBackend", "InMemoryBackend",
     "ShardedSQLiteBackend", "resolve_backend", "BACKEND_NAMES",
+    "PayloadObjectStore", "FileObjectStore", "MemoryObjectStore",
+    "ObjectStoreStats",
+    "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",
+    "LifecycleManager", "plan_retention", "prune_store", "retire_run",
+    "collect_garbage", "measure_storage",
     "ValueSnapshot", "SerializedCheckpoint", "snapshot_value", "restore_value",
     "serialize_checkpoint", "deserialize_checkpoint",
     "compress", "decompress", "compression_ratio", "CompressionResult",

@@ -32,6 +32,12 @@ filesystem directly.  Three implementations ship:
 The durability contract every backend honours: a payload is written
 *before* its manifest row is committed, so the manifest never references a
 missing payload (crash-mid-spool leaves at most orphaned payload files).
+
+When dedup is enabled (the default), the payload plane is routed through a
+content-addressed object store shared by every run under the same Flor
+home (see :mod:`repro.storage.objectstore`): one blob per payload digest,
+with reference counts *derived* from the manifest rows, and the lifecycle
+layer's GC sweeping blobs no manifest references any more.
 """
 
 from __future__ import annotations
@@ -40,17 +46,21 @@ import json
 import os
 import sqlite3
 import threading
+from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
 from ..exceptions import StorageError
-from ..utils.hashing import stable_hash
+from ..utils.hashing import digest_bytes, stable_hash
+from .objectstore import (FileObjectStore, MemoryObjectStore,
+                          PayloadObjectStore, default_objects_dir)
 
 __all__ = [
     "BACKEND_NAMES", "DEFAULT_NUM_SHARDS", "CheckpointRecord",
     "StorageBackend", "LocalSQLiteBackend", "InMemoryBackend",
     "ShardedSQLiteBackend", "resolve_backend",
+    "registered_memory_backends",
 ]
 
 #: Backend names accepted by the configuration layer.
@@ -77,6 +87,10 @@ class CheckpointRecord:
     serialize_seconds: float
     write_seconds: float
     created_at: float
+    #: Content address of the stored payload when it lives in the shared
+    #: object store; empty for legacy per-execution payload files (pre-dedup
+    #: runs and ``dedup=False`` stores), which GC leaves untouched.
+    payload_digest: str = ""
 
 
 class StorageBackend:
@@ -86,12 +100,30 @@ class StorageBackend:
 
     # -- payload plane ----------------------------------------------------
     def write_payload(self, block_id: str, execution_index: int,
-                      payload: bytes) -> str:
-        """Durably store one payload and return its location string."""
+                      payload: bytes, *, digest: str | None = None) -> str:
+        """Durably store one payload and return its location string.
+
+        ``digest`` is the payload's content hash when the caller already
+        computed it (the store and spool hash every payload for the
+        manifest anyway); dedup-enabled backends use it as the content
+        address instead of hashing a second time.
+        """
         raise NotImplementedError
 
     def read_payload(self, location: str) -> bytes:
         raise NotImplementedError
+
+    def discard_payload(self, location: str) -> int:
+        """Delete one *legacy* (per-execution) payload; returns bytes freed.
+
+        Content-addressed blobs are never deleted through this — they may
+        be shared — only by the lifecycle GC once unreferenced.
+        """
+        return 0
+
+    def object_store(self) -> PayloadObjectStore | None:
+        """The content-addressed store payloads dedup into (None = legacy)."""
+        return None
 
     # -- manifest plane ---------------------------------------------------
     def index(self, record: CheckpointRecord) -> None:
@@ -100,6 +132,28 @@ class StorageBackend:
 
     def index_many(self, records: Sequence[CheckpointRecord]) -> None:
         """Commit a batch of manifest rows in one transaction."""
+        raise NotImplementedError
+
+    def delete_many(self, keys: Sequence[tuple[str, int]]
+                    ) -> list[CheckpointRecord]:
+        """Delete manifest rows by ``(block_id, execution_index)`` key.
+
+        Returns the rows that existed and were deleted.  This is the
+        *manifest-first* half of retention: rows disappear in one
+        transaction, and only afterwards may payloads be discarded
+        (legacy files by the caller, shared blobs by GC) — so a crash
+        anywhere in between leaves orphaned payloads, never dangling rows.
+        """
+        raise NotImplementedError
+
+    def referenced_digests(self) -> dict[str, int]:
+        """``payload_digest -> manifest row count`` (the derived refcounts).
+
+        Derived from the manifest rather than stored, so it is
+        transactionally consistent with the rows by construction; the
+        lifecycle GC unions these across every run under a home before
+        sweeping the shared object store.
+        """
         raise NotImplementedError
 
     def lookup(self, block_id: str, execution_index: int
@@ -181,6 +235,7 @@ CREATE TABLE IF NOT EXISTS checkpoints (
     serialize_seconds REAL NOT NULL,
     write_seconds    REAL NOT NULL,
     created_at       REAL NOT NULL,
+    payload_digest   TEXT NOT NULL DEFAULT '',
     PRIMARY KEY (block_id, execution_index)
 );
 CREATE TABLE IF NOT EXISTS run_metadata (
@@ -192,24 +247,27 @@ CREATE INDEX IF NOT EXISTS idx_checkpoints_block ON checkpoints (block_id);
 
 _UPSERT = (
     "INSERT INTO checkpoints (block_id, execution_index, path, raw_nbytes, "
-    "stored_nbytes, digest, serialize_seconds, write_seconds, created_at) "
-    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?) "
+    "stored_nbytes, digest, serialize_seconds, write_seconds, created_at, "
+    "payload_digest) "
+    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
     "ON CONFLICT(block_id, execution_index) DO UPDATE SET "
     "path=excluded.path, raw_nbytes=excluded.raw_nbytes, "
     "stored_nbytes=excluded.stored_nbytes, digest=excluded.digest, "
     "serialize_seconds=excluded.serialize_seconds, "
-    "write_seconds=excluded.write_seconds, created_at=excluded.created_at")
+    "write_seconds=excluded.write_seconds, created_at=excluded.created_at, "
+    "payload_digest=excluded.payload_digest")
 
 _RECORD_COLUMNS = ("block_id, execution_index, path, raw_nbytes, "
                    "stored_nbytes, digest, serialize_seconds, write_seconds, "
-                   "created_at")
+                   "created_at, payload_digest")
 
 
 def _row_to_record(row) -> CheckpointRecord:
     return CheckpointRecord(
         block_id=row[0], execution_index=row[1], path=Path(row[2]),
         raw_nbytes=row[3], stored_nbytes=row[4], digest=row[5],
-        serialize_seconds=row[6], write_seconds=row[7], created_at=row[8])
+        serialize_seconds=row[6], write_seconds=row[7], created_at=row[8],
+        payload_digest=row[9])
 
 
 def sanitize_block_id(block_id: str) -> str:
@@ -231,17 +289,41 @@ class LocalSQLiteBackend(StorageBackend):
 
     name = "local"
 
-    def __init__(self, root_dir: str | Path):
+    def __init__(self, root_dir: str | Path,
+                 object_store: PayloadObjectStore | None = None,
+                 dedup: bool = True):
         self.root_dir = Path(root_dir)
         self.checkpoint_dir = self.root_dir / "checkpoints"
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        # Payloads dedup into the object store shared by every run under
+        # the same home (= the run dir's parent), so identical checkpoints
+        # across runs cost one blob.  ``dedup=False`` keeps the legacy
+        # one-file-per-execution layout.
+        if object_store is not None:
+            self._objects: PayloadObjectStore | None = object_store
+        elif dedup:
+            self._objects = FileObjectStore.for_dir(
+                default_objects_dir(self.root_dir.parent))
+        else:
+            self._objects = None
         self._db_path = self.root_dir / "manifest.sqlite"
         self._lock = threading.RLock()
         self._conn: sqlite3.Connection | None = None
         self._conn_pid: int | None = None
         with self._lock:
-            self._connection().executescript(_SCHEMA)
-            self._connection().commit()
+            conn = self._connection()
+            conn.executescript(_SCHEMA)
+            self._migrate(conn)
+            conn.commit()
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """Bring a pre-dedup manifest up to the current schema in place."""
+        columns = {row[1] for row in
+                   conn.execute("PRAGMA table_info(checkpoints)")}
+        if "payload_digest" not in columns:
+            conn.execute("ALTER TABLE checkpoints ADD COLUMN "
+                         "payload_digest TEXT NOT NULL DEFAULT ''")
 
     def _connection(self) -> sqlite3.Connection:
         """The process-wide connection, (re)opened lazily and after fork."""
@@ -265,7 +347,10 @@ class LocalSQLiteBackend(StorageBackend):
         return (self.checkpoint_dir / sanitize_block_id(block_id)
                 / f"{execution_index}.ckpt")
 
-    def write_payload(self, block_id, execution_index, payload):
+    def write_payload(self, block_id, execution_index, payload, *,
+                      digest=None):
+        if self._objects is not None:
+            return self._objects.put(digest or digest_bytes(payload), payload)
         path = self.payload_location(block_id, execution_index)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(payload)
@@ -274,17 +359,69 @@ class LocalSQLiteBackend(StorageBackend):
     def read_payload(self, location):
         return Path(location).read_bytes()
 
+    def discard_payload(self, location):
+        path = Path(location)
+        try:
+            path.relative_to(self.checkpoint_dir)
+        except ValueError:
+            # Not a legacy per-execution file of this backend (it is a
+            # shared content-addressed blob, or another run's file) —
+            # only GC may remove those.
+            return 0
+        try:
+            nbytes = path.stat().st_size
+            path.unlink()
+            return nbytes
+        except FileNotFoundError:
+            return 0
+
+    def object_store(self):
+        return self._objects
+
     # -- manifest plane ---------------------------------------------------
     def index_many(self, records):
         if not records:
             return
         rows = [(r.block_id, r.execution_index, str(r.path), r.raw_nbytes,
                  r.stored_nbytes, r.digest, r.serialize_seconds,
-                 r.write_seconds, r.created_at) for r in records]
+                 r.write_seconds, r.created_at, r.payload_digest)
+                for r in records]
         with self._lock:
             conn = self._connection()
             with conn:  # one transaction for the whole batch
                 conn.executemany(_UPSERT, rows)
+
+    # Keys per chunked row-value query (SQLite's default parameter limit
+    # is 999; two parameters per key).
+    _DELETE_CHUNK = 450
+
+    def delete_many(self, keys):
+        if not keys:
+            return []
+        keys = [tuple(key) for key in keys]
+        deleted: list[CheckpointRecord] = []
+        with self._lock:
+            conn = self._connection()
+            with conn:  # one transaction: rows vanish together or not at all
+                for start in range(0, len(keys), self._DELETE_CHUNK):
+                    chunk = keys[start:start + self._DELETE_CHUNK]
+                    placeholders = ", ".join(["(?, ?)"] * len(chunk))
+                    flat = [value for key in chunk for value in key]
+                    rows = conn.execute(
+                        f"SELECT {_RECORD_COLUMNS} FROM checkpoints WHERE "
+                        f"(block_id, execution_index) IN "
+                        f"(VALUES {placeholders})", flat).fetchall()
+                    deleted.extend(_row_to_record(row) for row in rows)
+                conn.executemany(
+                    "DELETE FROM checkpoints WHERE block_id = ? "
+                    "AND execution_index = ?", keys)
+        return deleted
+
+    def referenced_digests(self):
+        rows = self._query(
+            "SELECT payload_digest, COUNT(*) FROM checkpoints "
+            "WHERE payload_digest != '' GROUP BY payload_digest")
+        return {digest: int(count) for digest, count in rows}
 
     def lookup(self, block_id, execution_index):
         rows = self._query(
@@ -390,21 +527,40 @@ class InMemoryBackend(StorageBackend):
 
     name = "memory"
 
-    def __init__(self, root_dir: str | Path | None = None):
+    def __init__(self, root_dir: str | Path | None = None,
+                 object_store: PayloadObjectStore | None = None,
+                 dedup: bool = True):
         self.root_dir = Path(root_dir) if root_dir is not None else None
+        if object_store is not None:
+            self._objects: PayloadObjectStore | None = object_store
+        elif dedup:
+            # Shared per home (run dir's parent) so in-memory runs under
+            # one home dedup against each other; a dirless backend gets a
+            # private store.
+            self._objects = (MemoryObjectStore.for_dir(self.root_dir.parent)
+                             if self.root_dir is not None
+                             else MemoryObjectStore())
+        else:
+            self._objects = None
         self._lock = threading.RLock()
         self._rows: dict[tuple[str, int], CheckpointRecord] = {}
         self._payloads: dict[str, bytes] = {}
         self._metadata: dict[str, str] = {}
 
     @classmethod
-    def for_dir(cls, root_dir: str | Path) -> "InMemoryBackend":
-        """Attach to (or create) the registered backend for ``root_dir``."""
+    def for_dir(cls, root_dir: str | Path,
+                dedup: bool = True) -> "InMemoryBackend":
+        """Attach to (or create) the registered backend for ``root_dir``.
+
+        ``dedup`` only matters on first creation; reattachment keeps the
+        layout the run was recorded under (mirroring how on-disk layout
+        sniffing wins over a reopening caller's configuration).
+        """
         key = _registry_key(root_dir)
         with _MEMORY_REGISTRY_LOCK:
             backend = _MEMORY_REGISTRY.get(key)
             if backend is None:
-                backend = _MEMORY_REGISTRY[key] = cls(root_dir)
+                backend = _MEMORY_REGISTRY[key] = cls(root_dir, dedup=dedup)
             return backend
 
     @classmethod
@@ -414,7 +570,10 @@ class InMemoryBackend(StorageBackend):
             _MEMORY_REGISTRY.pop(_registry_key(root_dir), None)
 
     # -- payload plane ----------------------------------------------------
-    def write_payload(self, block_id, execution_index, payload):
+    def write_payload(self, block_id, execution_index, payload, *,
+                      digest=None):
+        if self._objects is not None:
+            return self._objects.put(digest or digest_bytes(payload), payload)
         # No "//" in the scheme: locations round-trip through pathlib, which
         # collapses duplicate slashes.
         location = f"mem:{sanitize_block_id(block_id)}/{execution_index}"
@@ -423,6 +582,13 @@ class InMemoryBackend(StorageBackend):
         return location
 
     def read_payload(self, location):
+        object_digest = MemoryObjectStore.digest_of_location(location)
+        if object_digest is not None:
+            if self._objects is None:
+                raise StorageError(
+                    f"content-addressed location {location!r} on a "
+                    "dedup-disabled in-memory backend")
+            return self._objects.get(object_digest)
         with self._lock:
             try:
                 return self._payloads[str(location)]
@@ -430,11 +596,37 @@ class InMemoryBackend(StorageBackend):
                 raise StorageError(
                     f"no in-memory payload at {location!r}") from None
 
+    def discard_payload(self, location):
+        if MemoryObjectStore.digest_of_location(location) is not None:
+            return 0  # shared blob: only GC may remove it
+        with self._lock:
+            blob = self._payloads.pop(str(location), None)
+        return len(blob) if blob is not None else 0
+
+    def object_store(self):
+        return self._objects
+
     # -- manifest plane ---------------------------------------------------
     def index_many(self, records):
         with self._lock:
             for record in records:
                 self._rows[(record.block_id, record.execution_index)] = record
+
+    def delete_many(self, keys):
+        deleted: list[CheckpointRecord] = []
+        with self._lock:
+            for key in keys:
+                record = self._rows.pop(tuple(key), None)
+                if record is not None:
+                    deleted.append(record)
+        return deleted
+
+    def referenced_digests(self):
+        with self._lock:
+            counts = Counter(record.payload_digest
+                             for record in self._rows.values()
+                             if record.payload_digest)
+        return dict(counts)
 
     def lookup(self, block_id, execution_index):
         with self._lock:
@@ -505,11 +697,22 @@ class ShardedSQLiteBackend(StorageBackend):
     name = "sharded"
 
     def __init__(self, root_dir: str | Path,
-                 num_shards: int = DEFAULT_NUM_SHARDS):
+                 num_shards: int = DEFAULT_NUM_SHARDS,
+                 object_store: PayloadObjectStore | None = None,
+                 dedup: bool = True):
         self.root_dir = Path(root_dir)
         self.num_shards = self._load_or_init_manifest(int(num_shards))
+        # One object store for the whole run (and home): shard routing is
+        # a manifest-plane concern, dedup is a payload-plane one — an
+        # identical payload must collapse to one blob no matter which
+        # shard its manifest row lands in.
+        if object_store is None and dedup:
+            object_store = FileObjectStore.for_dir(
+                default_objects_dir(self.root_dir.parent))
+        self._objects = object_store
         self.shards = [
-            LocalSQLiteBackend(self.root_dir / "shards" / f"shard-{k:02d}")
+            LocalSQLiteBackend(self.root_dir / "shards" / f"shard-{k:02d}",
+                               object_store=object_store, dedup=dedup)
             for k in range(self.num_shards)]
 
     def _load_or_init_manifest(self, requested: int) -> int:
@@ -537,12 +740,23 @@ class ShardedSQLiteBackend(StorageBackend):
         return self.shards[self.shard_for(block_id)]
 
     # -- payload plane ----------------------------------------------------
-    def write_payload(self, block_id, execution_index, payload):
+    def write_payload(self, block_id, execution_index, payload, *,
+                      digest=None):
         return self._shard(block_id).write_payload(
-            block_id, execution_index, payload)
+            block_id, execution_index, payload, digest=digest)
 
     def read_payload(self, location):
         return Path(location).read_bytes()
+
+    def discard_payload(self, location):
+        for shard in self.shards:
+            freed = shard.discard_payload(location)
+            if freed:
+                return freed
+        return 0
+
+    def object_store(self):
+        return self._objects
 
     # -- manifest plane ---------------------------------------------------
     def index_many(self, records):
@@ -552,6 +766,22 @@ class ShardedSQLiteBackend(StorageBackend):
                                 []).append(record)
         for shard_index, batch in by_shard.items():
             self.shards[shard_index].index_many(batch)
+
+    def delete_many(self, keys):
+        by_shard: dict[int, list[tuple[str, int]]] = {}
+        for block_id, execution_index in keys:
+            by_shard.setdefault(self.shard_for(block_id),
+                                []).append((block_id, execution_index))
+        deleted: list[CheckpointRecord] = []
+        for shard_index, batch in by_shard.items():
+            deleted.extend(self.shards[shard_index].delete_many(batch))
+        return deleted
+
+    def referenced_digests(self):
+        merged: Counter = Counter()
+        for shard in self.shards:
+            merged.update(shard.referenced_digests())
+        return dict(merged)
 
     def lookup(self, block_id, execution_index):
         return self._shard(block_id).lookup(block_id, execution_index)
@@ -611,9 +841,24 @@ class ShardedSQLiteBackend(StorageBackend):
             shard.close()
 
 
+def registered_memory_backends(home: str | Path) -> list[InMemoryBackend]:
+    """Registered in-memory backends whose run dir sits under ``home``.
+
+    The lifecycle GC's view of in-memory runs: their manifests exist only
+    in this registry, so the mark phase must include them alongside the
+    on-disk run dirs it scans.
+    """
+    home_key = str(Path(home).expanduser().resolve())
+    with _MEMORY_REGISTRY_LOCK:
+        items = list(_MEMORY_REGISTRY.items())
+    return [backend for key, backend in items
+            if str(Path(key).parent) == home_key]
+
+
 def resolve_backend(run_dir: str | Path,
                     backend: "StorageBackend | str | None" = None,
-                    *, num_shards: int | None = None) -> StorageBackend:
+                    *, num_shards: int | None = None,
+                    dedup: bool = True) -> StorageBackend:
     """Resolve a backend for ``run_dir``.
 
     An explicit :class:`StorageBackend` instance wins.  Otherwise an
@@ -621,27 +866,30 @@ def resolve_backend(run_dir: str | Path,
     the run as sharded (with its recorded shard count) and an in-memory
     registration reattaches it in-process — so replaying a run never
     requires the caller to know how it was recorded.  Absent both, the
-    named backend (default ``"local"``) is created.
+    named backend (default ``"local"``) is created.  ``dedup`` routes new
+    payload writes through the home-shared content-addressed object store
+    (reads always follow the manifest's recorded locations, so either
+    setting reads either layout).
     """
     if isinstance(backend, StorageBackend):
         return backend
     run_dir = Path(run_dir)
     shards = num_shards or DEFAULT_NUM_SHARDS
     if (run_dir / SHARD_MANIFEST_NAME).exists():
-        return ShardedSQLiteBackend(run_dir, num_shards=shards)
+        return ShardedSQLiteBackend(run_dir, num_shards=shards, dedup=dedup)
     if (run_dir / "manifest.sqlite").exists():
         # An existing local run wins over any requested name: replaying a
         # recorded run must work regardless of the caller's configuration.
-        return LocalSQLiteBackend(run_dir)
+        return LocalSQLiteBackend(run_dir, dedup=dedup)
     registered = _MEMORY_REGISTRY.get(_registry_key(run_dir))
     if registered is not None and backend in (None, "local", "memory"):
         return registered
     if backend == "memory":
-        return InMemoryBackend.for_dir(run_dir)
+        return InMemoryBackend.for_dir(run_dir, dedup=dedup)
     if backend == "sharded":
-        return ShardedSQLiteBackend(run_dir, num_shards=shards)
+        return ShardedSQLiteBackend(run_dir, num_shards=shards, dedup=dedup)
     if backend in (None, "local"):
-        return LocalSQLiteBackend(run_dir)
+        return LocalSQLiteBackend(run_dir, dedup=dedup)
     raise StorageError(
         f"unknown storage backend {backend!r}; known backends: "
         f"{', '.join(BACKEND_NAMES)}")

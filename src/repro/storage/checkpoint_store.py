@@ -43,14 +43,27 @@ class CheckpointStore:
 
     def __init__(self, run_dir: str | Path, compress: bool = True,
                  backend: StorageBackend | str | None = None,
-                 num_shards: int | None = None):
+                 num_shards: int | None = None, dedup: bool = True):
         self.run_dir = Path(run_dir)
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.source_dir = self.run_dir / "source"
         self.source_dir.mkdir(parents=True, exist_ok=True)
         self.compress = compress
         self.backend: StorageBackend = resolve_backend(
-            self.run_dir, backend, num_shards=num_shards)
+            self.run_dir, backend, num_shards=num_shards, dedup=dedup)
+
+    @classmethod
+    def for_config(cls, run_dir: str | Path, config) -> "CheckpointStore":
+        """Open a store with every storage knob taken from a FlorConfig.
+
+        The one place the config-to-store kwarg mapping lives — sessions,
+        the catalog, the query engine and the lifecycle API all open
+        stores through it, so a new storage knob propagates everywhere at
+        once.
+        """
+        return cls(run_dir, compress=config.compress_checkpoints,
+                   backend=config.storage_backend,
+                   num_shards=config.storage_shards, dedup=config.dedup)
 
     # ------------------------------------------------------------------ #
     # Run metadata
@@ -133,9 +146,12 @@ class CheckpointStore:
             payload = compression.compress(payload).data
         stored_nbytes = len(payload)
 
+        # One hash serves both planes: the manifest's integrity digest and
+        # (when the backend dedups) the payload's content address.
+        digest = digest_bytes(payload)
         start = time.perf_counter()
         location = self.backend.write_payload(block_id, execution_index,
-                                              payload)
+                                              payload, digest=digest)
         write_seconds = time.perf_counter() - start
 
         return CheckpointRecord(
@@ -144,10 +160,12 @@ class CheckpointStore:
             path=Path(location),
             raw_nbytes=raw_nbytes,
             stored_nbytes=stored_nbytes,
-            digest=digest_bytes(payload),
+            digest=digest,
             serialize_seconds=serialized.serialize_seconds,
             write_seconds=write_seconds,
             created_at=time.time(),
+            payload_digest=(digest if self.backend.object_store() is not None
+                            else ""),
         )
 
     def index_records(self, records: list[CheckpointRecord]) -> None:
@@ -201,6 +219,35 @@ class CheckpointStore:
 
     def records(self) -> list[CheckpointRecord]:
         return self.backend.records()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle: retention, garbage collection, footprint
+    # ------------------------------------------------------------------ #
+    def prune(self, policy, *, now: float | None = None):
+        """Apply a :class:`~repro.storage.lifecycle.RetentionPolicy`.
+
+        Manifest rows the policy rejects are deleted in one backend
+        transaction (manifest-first); legacy per-execution payload files
+        go with them, while shared content-addressed blobs wait for
+        :meth:`gc` to confirm nothing else references them.
+        """
+        from .lifecycle import prune_store  # lazy: lifecycle imports us
+        return prune_store(self, policy, now=now)
+
+    def gc(self, *, grace_seconds: float = 0.0, dry_run: bool = False):
+        """Sweep unreferenced payload blobs across this store's home.
+
+        The mark phase spans *every* run under the home (blobs are shared
+        across runs), so this is safe to call from any one store.
+        """
+        from .lifecycle import collect_garbage
+        return collect_garbage(self.run_dir.parent,
+                               grace_seconds=grace_seconds, dry_run=dry_run)
+
+    def storage_stats(self):
+        """Logical vs physical footprint of this store's home."""
+        from .lifecycle import measure_storage
+        return measure_storage(self.run_dir.parent)
 
     # ------------------------------------------------------------------ #
     # Aggregates (feed the storage-cost model)

@@ -30,8 +30,14 @@ class CompressionResult:
 
 
 def compress(data: bytes, level: int = 6) -> CompressionResult:
-    """Gzip-compress ``data`` and report both sizes."""
-    compressed = gzip.compress(data, compresslevel=level)
+    """Gzip-compress ``data`` and report both sizes.
+
+    ``mtime=0`` pins the gzip header timestamp: without it the compressed
+    bytes of identical payloads differ run to run, which would defeat
+    content-addressed dedup and make payload digests unstable across
+    processes.
+    """
+    compressed = gzip.compress(data, compresslevel=level, mtime=0)
     return CompressionResult(data=compressed, raw_nbytes=len(data),
                              compressed_nbytes=len(compressed))
 

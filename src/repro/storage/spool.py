@@ -103,6 +103,10 @@ class AsyncSpool:
         as each checkpoint finishes in the background — the adaptive
         controller uses it to refine its materialization-throughput model
         from *real* background timings.
+    on_batch_commit:
+        Optional zero-argument callback fired (on the committing worker,
+        outside the buffer lock) after each batched manifest commit —
+        the lifecycle manager's hook for periodic background GC.
     """
 
     _STOP = object()
@@ -110,7 +114,8 @@ class AsyncSpool:
     def __init__(self, store: "CheckpointStore", *, workers: int = 2,
                  queue_size: int = 64, batch_size: int = 16,
                  mode: str = "thread",
-                 on_complete: Callable[[str, float, int], None] | None = None):
+                 on_complete: Callable[[str, float, int], None] | None = None,
+                 on_batch_commit: Callable[[], None] | None = None):
         if workers < 1:
             raise StorageError(f"spool workers must be >= 1, got {workers}")
         if queue_size < 1:
@@ -129,6 +134,7 @@ class AsyncSpool:
         self.mode = mode
         self.stats = AsyncSpoolStats()
         self._on_complete = on_complete
+        self._on_batch_commit = on_batch_commit
         self._stats_lock = threading.Lock()
         self._buffer: list[CheckpointRecord] = []
         self._buffer_lock = threading.Lock()
@@ -248,16 +254,20 @@ class AsyncSpool:
     def _persist(self, block_id: str, execution_index: int, payload: bytes,
                  raw_nbytes: int, serialize_seconds: float,
                  started: float) -> None:
+        digest = digest_bytes(payload)
         write_start = time.perf_counter()
         location = self.store.backend.write_payload(block_id, execution_index,
-                                                    payload)
+                                                    payload, digest=digest)
         write_seconds = time.perf_counter() - write_start
         record = CheckpointRecord(
             block_id=block_id, execution_index=execution_index,
             path=Path(location), raw_nbytes=raw_nbytes,
-            stored_nbytes=len(payload), digest=digest_bytes(payload),
+            stored_nbytes=len(payload), digest=digest,
             serialize_seconds=serialize_seconds, write_seconds=write_seconds,
-            created_at=time.time())
+            created_at=time.time(),
+            payload_digest=(digest
+                            if self.store.backend.object_store() is not None
+                            else ""))
         spool_seconds = time.perf_counter() - started
         with self._stats_lock:
             self.stats.completed += 1
@@ -273,19 +283,30 @@ class AsyncSpool:
                     self.stats.errors.append(f"on_complete callback: {exc}")
 
     def _buffer_record(self, record: CheckpointRecord) -> None:
+        batch: list[CheckpointRecord] | None = None
         with self._buffer_lock:
             self._buffer.append(record)
-            if len(self._buffer) < self.batch_size:
-                return
-            batch, self._buffer = self._buffer, []
+            if len(self._buffer) >= self.batch_size:
+                batch, self._buffer = self._buffer, []
+        # Commit outside the buffer lock so other workers keep buffering
+        # (and the post-commit lifecycle hook never stalls them).  The
+        # flush() barrier still covers this: the worker's task_done /
+        # pending-decrement happens after _persist returns.
+        if batch:
             self._commit(batch)
 
     def _commit(self, batch: list[CheckpointRecord]) -> None:
-        """Commit one batch of manifest rows (caller holds the buffer lock)."""
+        """Commit one batch of manifest rows in one backend transaction."""
         self.store.backend.index_many(batch)
         with self._stats_lock:
             self.stats.manifest_commits += 1
             self.stats.indexed += len(batch)
+        if self._on_batch_commit is not None:
+            try:
+                self._on_batch_commit()
+            except Exception as exc:  # pragma: no cover - callback bug guard
+                with self._stats_lock:
+                    self.stats.errors.append(f"on_batch_commit callback: {exc}")
 
     # ------------------------------------------------------------------ #
     # Barriers
@@ -298,9 +319,9 @@ class AsyncSpool:
             with self._pending_cond:
                 self._pending_cond.wait_for(lambda: self._pending == 0)
         with self._buffer_lock:
-            if self._buffer:
-                batch, self._buffer = self._buffer, []
-                self._commit(batch)
+            batch, self._buffer = self._buffer, []
+        if batch:
+            self._commit(batch)
 
     def close(self) -> None:
         """Flush, then stop the worker pool.  Idempotent."""

@@ -7,11 +7,20 @@ afterwards so tests cannot leak state into each other.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 import repro
 from repro.config import FlorConfig
+
+# Make shared test helpers (tests/faultutils.py) importable from test
+# modules in subdirectories (pytest only inserts each test file's own dir).
+_TESTS_DIR = str(Path(__file__).parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 
 @pytest.fixture()

@@ -1,0 +1,133 @@
+"""Reusable fault-injection helpers for crash-consistency tests.
+
+The storage layer's crash-safety story is an *ordering* claim: payloads
+are written before the manifest rows that reference them, and deleted
+only after no manifest row references them.  These helpers simulate a
+process dying at the worst possible instant — mid-GC sweep, mid-batch
+manifest commit, between a payload write and its index — by arming a
+method to raise :class:`InjectedCrash` on its N-th call, then let the
+test "reboot" (reopen the store) and assert the two invariants that must
+survive any crash:
+
+* **no dangling manifest rows** — every indexed checkpoint's payload is
+  readable and matches its recorded digest
+  (:func:`assert_manifest_closed`);
+* **no orphaned payloads** — after one GC pass, every blob in the home's
+  object store is referenced by some manifest
+  (:func:`assert_no_orphans`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.storage.lifecycle import collect_garbage, referenced_digest_counts
+from repro.utils.hashing import digest_bytes
+
+__all__ = ["InjectedCrash", "FaultInjector", "crash_calls",
+           "assert_manifest_closed", "assert_no_orphans",
+           "assert_crash_consistent"]
+
+
+class InjectedCrash(Exception):
+    """The simulated process death (raised mid-operation by an armed hook)."""
+
+
+class FaultInjector:
+    """Arms methods on live objects to crash on a chosen call.
+
+    ``inject(obj, "method", on_call=2)`` replaces ``obj.method`` with a
+    wrapper that delegates normally until the 2nd call, which raises
+    :class:`InjectedCrash` — *before* delegating by default (the crash
+    lands at the operation boundary), or after when ``after=True`` (the
+    operation takes effect, then the process "dies" before whatever was
+    supposed to follow).  ``restore()`` puts every patched method back;
+    use :func:`crash_calls` for the context-managed form.
+    """
+
+    def __init__(self):
+        self._patched: list[tuple[object, str, object]] = []
+        self.calls: dict[str, int] = {}
+
+    def inject(self, obj, method_name: str, *, on_call: int = 1,
+               after: bool = False) -> None:
+        original = getattr(obj, method_name)
+        label = f"{type(obj).__name__}.{method_name}"
+        self.calls.setdefault(label, 0)
+
+        def wrapper(*args, **kwargs):
+            self.calls[label] += 1
+            crash_now = self.calls[label] == on_call
+            if crash_now and not after:
+                raise InjectedCrash(f"{label} call #{on_call} (before)")
+            result = original(*args, **kwargs)
+            if crash_now:
+                raise InjectedCrash(f"{label} call #{on_call} (after)")
+            return result
+
+        self._patched.append((obj, method_name, original))
+        setattr(obj, method_name, wrapper)
+
+    def restore(self) -> None:
+        while self._patched:
+            obj, method_name, original = self._patched.pop()
+            setattr(obj, method_name, original)
+
+
+@contextmanager
+def crash_calls(obj, method_name: str, *, on_call: int = 1,
+                after: bool = False):
+    """Context-managed single-method injection (restored on exit)."""
+    injector = FaultInjector()
+    injector.inject(obj, method_name, on_call=on_call, after=after)
+    try:
+        yield injector
+    finally:
+        injector.restore()
+
+
+# --------------------------------------------------------------------------- #
+# Post-crash invariants
+# --------------------------------------------------------------------------- #
+def assert_manifest_closed(store) -> int:
+    """Every manifest row's payload is readable and digest-verified.
+
+    This is the "no dangling manifest entries" half of the recovery
+    contract: whatever a crash interrupted, a reopened store must be able
+    to serve every checkpoint its manifest still claims.  Returns the
+    number of rows verified.
+    """
+    records = store.records()
+    for record in records:
+        payload = store.backend.read_payload(str(record.path))
+        assert digest_bytes(payload) == record.digest, (
+            f"payload at {record.path} does not match the manifest digest "
+            f"for {record.block_id}[{record.execution_index}]")
+    return len(records)
+
+
+def assert_no_orphans(home: str | Path) -> None:
+    """After one GC pass, the object store holds exactly the referenced set.
+
+    This is the "no orphaned payloads" half: a crash may strand blobs,
+    but a single sweep must reclaim every blob no manifest references —
+    and must keep every blob some manifest still does.
+    """
+    home = Path(home)
+    collect_garbage(home, grace_seconds=0.0)
+    referenced = set(referenced_digest_counts(home))
+    from repro.storage.lifecycle import _home_object_stores
+    held: set[str] = set()
+    for objects in _home_object_stores(home):
+        held.update(objects.digests())
+    assert held == referenced, (
+        f"object store out of sync after GC: "
+        f"orphans={sorted(held - referenced)} "
+        f"missing={sorted(referenced - held)}")
+
+
+def assert_crash_consistent(store, home: str | Path) -> None:
+    """Both invariants at once: manifest closed, then object store exact."""
+    assert_manifest_closed(store)
+    assert_no_orphans(home)

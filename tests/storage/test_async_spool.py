@@ -103,9 +103,9 @@ class TestBackpressure:
         gate = threading.Event()
         original = store.backend.write_payload
 
-        def slow_write(block_id, execution_index, payload):
+        def slow_write(block_id, execution_index, payload, **kwargs):
             gate.wait(timeout=10.0)
-            return original(block_id, execution_index, payload)
+            return original(block_id, execution_index, payload, **kwargs)
 
         store.backend.write_payload = slow_write
         try:
@@ -142,10 +142,10 @@ class TestCrashMidSpool:
         store = CheckpointStore(tmp_path / "run")
         original = store.backend.write_payload
 
-        def flaky_write(block_id, execution_index, payload):
+        def flaky_write(block_id, execution_index, payload, **kwargs):
             if execution_index == 2:
                 raise OSError("disk on fire")
-            return original(block_id, execution_index, payload)
+            return original(block_id, execution_index, payload, **kwargs)
 
         store.backend.write_payload = flaky_write
         spool = AsyncSpool(store, workers=2, batch_size=2)
