@@ -22,12 +22,13 @@ parallel replay.  This package implements the full system:
 """
 
 from . import analysis, api, record, replay, storage, torchlike
-from .api import (GCReport, PruneReport, QueryResult, RecordResult,
-                  ReplayResult, RetentionPolicy, RunCatalog, RunEntry,
-                  StorageStats, WorkerResult, gc, log, loop, prune,
-                  record_script, record_session, record_source,
-                  replay_script, replay_session, run_parallel_replay,
-                  skipblock, storage_stats)
+from .api import (DiffResult, DiffStats, GCReport, JobGroup, PruneReport,
+                  QueryResult, RecordResult, ReplayResult, RetentionPolicy,
+                  RunCatalog, RunEntry, StorageStats, ValueDrift,
+                  WorkerResult, diff, gc, log, loop, prune, record_script,
+                  record_session, record_source, replay_script,
+                  replay_session, run_parallel_replay, skipblock,
+                  storage_stats)
 # NOTE: binds the name ``query`` to the entry-point *function*, shadowing
 # the ``repro.query`` subpackage attribute (like ``datetime.datetime``).
 # ``from repro.query.planner import ...`` still resolves the modules.
@@ -50,7 +51,8 @@ __all__ = [
     "record_session", "replay_session", "record_script", "record_source",
     "replay_script", "run_parallel_replay",
     "RecordResult", "ReplayResult", "WorkerResult",
-    "query", "QueryResult", "RunCatalog", "RunEntry",
+    "query", "QueryResult", "RunCatalog", "RunEntry", "JobGroup",
+    "diff", "DiffResult", "DiffStats", "ValueDrift",
     "gc", "prune", "storage_stats",
     "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",
     "FlorConfig", "get_config", "set_config", "reset_config",

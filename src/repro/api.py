@@ -32,8 +32,9 @@ from typing import Iterable, Iterator
 from .config import FlorConfig, get_config, set_config
 from .modes import InitStrategy, Mode
 from .query.api import query
-from .query.catalog import RunCatalog, RunEntry
+from .query.catalog import JobGroup, RunCatalog, RunEntry
 from .query.dataframe import QueryResult
+from .query.diff import DiffResult, DiffStats, ValueDrift, diff
 from .record.skipblock import UNDEFINED
 from .record.recorder import RecordResult, record_script, record_source
 from .replay.parallel import WorkerResult, run_parallel_replay
@@ -51,7 +52,8 @@ __all__ = [
     "record_session", "replay_session",
     "record_script", "record_source", "replay_script",
     "run_parallel_replay", "RecordResult", "ReplayResult", "WorkerResult",
-    "query", "QueryResult", "RunCatalog", "RunEntry",
+    "query", "QueryResult", "RunCatalog", "RunEntry", "JobGroup",
+    "diff", "DiffResult", "DiffStats", "ValueDrift",
     "gc", "prune", "storage_stats",
     "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",
     "get_config", "set_config", "FlorConfig",
@@ -170,10 +172,13 @@ def prune(run_id: str, policy: RetentionPolicy | None = None,
     if collect:
         # Automatic follow-up sweep: keep the shared-home grace (another
         # session may have written blobs it has not yet indexed) but
-        # reclaim what this prune just released immediately via hints.
+        # reclaim what this prune just released immediately via hints —
+        # time-scoped, so a writer re-adding a released digest after the
+        # prune keeps its blob.
         collect_garbage(config.home,
                         grace_seconds=DEFAULT_GC_GRACE_SECONDS,
-                        release_hints=report.released_digests)
+                        release_hints=report.released_digests,
+                        hints_released_at=report.released_at)
     return report
 
 

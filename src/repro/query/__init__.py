@@ -16,17 +16,22 @@ record/replay/storage that answers such queries:
 * :mod:`repro.query.memo` — the memoization cache writing replayed values
   back through the storage backend,
 * :mod:`repro.query.dataframe` — the columnar query result,
-* :mod:`repro.query.api` — the ``repro.query(...)`` entry point.
+* :mod:`repro.query.api` — the ``repro.query(...)`` entry point,
+* :mod:`repro.query.diff` — the cross-run drift diff
+  (``repro.diff(run_a, run_b, values)``): first diverging iteration per
+  value via digest pre-narrowing plus O(log n) probe bisection.
 """
 
 from .api import query
-from .catalog import RunCatalog, RunEntry
+from .catalog import JobGroup, RunCatalog, RunEntry
 from .dataframe import QueryResult, QueryRow, QueryStats, ReplayJobRecord
+from .diff import DiffResult, DiffStats, ValueDrift, diff
 from .memo import MemoCache
 from .planner import QueryPlan, ReplaySpan, RunPlan, plan_run, plan_spans
 
 __all__ = [
-    "query", "RunCatalog", "RunEntry",
+    "query", "RunCatalog", "RunEntry", "JobGroup",
+    "diff", "DiffResult", "DiffStats", "ValueDrift",
     "QueryResult", "QueryRow", "QueryStats", "ReplayJobRecord",
     "MemoCache", "QueryPlan", "ReplaySpan", "RunPlan",
     "plan_run", "plan_spans",

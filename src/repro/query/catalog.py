@@ -26,10 +26,11 @@ from ..storage.backends import SHARD_MANIFEST_NAME
 from ..storage.checkpoint_store import CheckpointStore
 from ..storage.lifecycle import (DEFAULT_GC_GRACE_SECONDS, PruneReport,
                                  collect_garbage, retire_run)
+from ..utils.naming import split_worker_run_id
 from .memo import source_digest
 
 __all__ = ["CATALOG_METADATA_KEY", "CATALOG_SCHEMA_VERSION", "RunEntry",
-           "RunCatalog", "looks_like_run_dir"]
+           "JobGroup", "RunCatalog", "looks_like_run_dir"]
 
 #: Store-metadata key under which a run's catalog entry is persisted.
 CATALOG_METADATA_KEY = "catalog_entry"
@@ -70,6 +71,22 @@ class RunEntry:
             return 0.0
         return len(self.aligned_iterations) / self.main_loop_total
 
+    @property
+    def job_id(self) -> str:
+        """The logical job this run belongs to.
+
+        For a distributed worker run (``<job>@<rank>``) this is the shared
+        job id; for an ordinary run it is the run id itself — every run
+        belongs to exactly one logical job, singleton or not.  Derived from
+        the run id, so no catalog schema bump was needed.
+        """
+        return split_worker_run_id(self.run_id)[0]
+
+    @property
+    def worker_rank(self) -> int | None:
+        """This run's rank within its data-parallel job, or None."""
+        return split_worker_run_id(self.run_id)[1]
+
     def to_dict(self) -> dict:
         payload = asdict(self)
         payload["schema_version"] = CATALOG_SCHEMA_VERSION
@@ -93,6 +110,80 @@ class RunEntry:
             source_digest=payload["source_digest"],
             retired=bool(payload.get("retired", False)),
         )
+
+
+@dataclass(frozen=True)
+class JobGroup:
+    """The merged catalog view of one logical data-parallel job.
+
+    Groups the ``<job_id>@<rank>`` worker runs recorded by one distributed
+    job back into a single queryable unit.  The group is *derived* — it
+    holds the member :class:`RunEntry` objects, ordered by rank, and
+    answers job-level questions (which ranks reported in, what every worker
+    logged) without any job-level state on disk.
+    """
+
+    job_id: str
+    workers: tuple[RunEntry, ...]
+
+    @property
+    def run_ids(self) -> tuple[str, ...]:
+        return tuple(entry.run_id for entry in self.workers)
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return tuple(entry.worker_rank for entry in self.workers
+                     if entry.worker_rank is not None)
+
+    @property
+    def world_size(self) -> int:
+        """Workers the job *should* have: one past the highest rank seen."""
+        ranks = self.ranks
+        return (max(ranks) + 1) if ranks else len(self.workers)
+
+    @property
+    def missing_ranks(self) -> tuple[int, ...]:
+        """Ranks with no cataloged run — workers that died before closing
+        their manifest (or whose record never started)."""
+        present = set(self.ranks)
+        if not present:
+            # A singleton group of ordinary (rank-less) runs has no rank
+            # roster to be missing from.
+            return ()
+        return tuple(rank for rank in range(self.world_size)
+                     if rank not in present)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_ranks
+
+    @property
+    def workload(self) -> str:
+        return self.workers[0].workload if self.workers else ""
+
+    @property
+    def logged_values(self) -> tuple[str, ...]:
+        """Value names every worker logged (answerable job-wide)."""
+        if not self.workers:
+            return ()
+        common = set(self.workers[0].logged_values)
+        for entry in self.workers[1:]:
+            common &= set(entry.logged_values)
+        return tuple(name for name in self.workers[0].logged_values
+                     if name in common)
+
+    @property
+    def checkpoint_count(self) -> int:
+        return sum(entry.checkpoint_count for entry in self.workers)
+
+    def worker(self, rank: int) -> RunEntry | None:
+        for entry in self.workers:
+            if entry.worker_rank == rank:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self.workers)
 
 
 def looks_like_run_dir(path: Path) -> bool:
@@ -230,10 +321,13 @@ class RunCatalog:
             store.close()
         if collect:
             # Grace protects concurrently recording sessions' in-flight
-            # blobs; what this retirement released sweeps via hints.
+            # blobs; what this retirement released sweeps via hints —
+            # time-scoped to the retire instant, so a concurrent writer
+            # re-adding a released digest keeps its blob.
             collect_garbage(self.config.home,
                             grace_seconds=DEFAULT_GC_GRACE_SECONDS,
-                            release_hints=report.released_digests)
+                            release_hints=report.released_digests,
+                            hints_released_at=report.released_at)
         self.entries[run_id] = updated
         return report
 
@@ -285,6 +379,55 @@ class RunCatalog:
         """The most recently recorded ``count`` runs, oldest first."""
         ordered = self.select(workload=workload)
         return ordered[-count:] if count > 0 else []
+
+    # ------------------------------------------------------------------ #
+    # Merged job view (distributed record)
+    # ------------------------------------------------------------------ #
+    def jobs(self, workload: str | None = None) -> list[JobGroup]:
+        """Every logical job under the home, worker runs merged by job id.
+
+        A distributed job's ``<job_id>@<rank>`` runs collapse into one
+        :class:`JobGroup`; an ordinary run is a singleton group whose job
+        id is its run id.  Ordered by the earliest member's recording
+        time, workers ordered by rank within each group.
+        """
+        grouped: dict[str, list[RunEntry]] = {}
+        for entry in self.select(workload=workload):
+            grouped.setdefault(entry.job_id, []).append(entry)
+        groups = [
+            JobGroup(job_id=job_id, workers=tuple(
+                sorted(members,
+                       key=lambda e: (e.worker_rank is None,
+                                      e.worker_rank or 0, e.run_id))))
+            for job_id, members in grouped.items()
+        ]
+        return sorted(groups, key=lambda group: (
+            min(entry.started_at for entry in group.workers),
+            group.job_id))
+
+    def job(self, job_id: str) -> JobGroup:
+        """The merged view of one logical job (exact id or unique prefix)."""
+        grouped: dict[str, list[RunEntry]] = {}
+        for entry in self.entries.values():
+            grouped.setdefault(entry.job_id, []).append(entry)
+        members = grouped.get(job_id)
+        if members is None:
+            matches = [jid for jid in grouped if jid.startswith(job_id)]
+            if len(matches) > 1:
+                from ..exceptions import QueryError
+                raise QueryError(
+                    f"job id prefix {job_id!r} is ambiguous: "
+                    f"{', '.join(sorted(matches))}")
+            if matches:
+                job_id, members = matches[0], grouped[matches[0]]
+        if members is None:
+            from ..exceptions import QueryError
+            raise QueryError(
+                f"job {job_id!r} not in catalog; cataloged jobs: "
+                f"{', '.join(sorted(grouped)) or '-'}")
+        return JobGroup(job_id=job_id, workers=tuple(
+            sorted(members, key=lambda e: (e.worker_rank is None,
+                                           e.worker_rank or 0, e.run_id))))
 
     def __len__(self) -> int:
         return len(self.entries)

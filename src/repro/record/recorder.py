@@ -53,22 +53,31 @@ class RecordResult:
 
 def record_script(script_path: str | Path, name: str | None = None,
                   config: FlorConfig | None = None,
-                  script_globals: dict | None = None) -> RecordResult:
+                  script_globals: dict | None = None,
+                  run_id: str | None = None) -> RecordResult:
     """Record a training script stored on disk."""
     script_path = Path(script_path)
     if not script_path.exists():
         raise RecordError(f"training script not found: {script_path}")
     source = script_path.read_text(encoding="utf-8")
     return record_source(source, name=name or script_path.stem, config=config,
-                         script_globals=script_globals)
+                         script_globals=script_globals, run_id=run_id)
 
 
 def record_source(source: str, name: str | None = None,
                   config: FlorConfig | None = None,
-                  script_globals: dict | None = None) -> RecordResult:
-    """Instrument and record a training script given as source text."""
+                  script_globals: dict | None = None,
+                  run_id: str | None = None) -> RecordResult:
+    """Instrument and record a training script given as source text.
+
+    ``run_id`` overrides the generated identifier.  Distributed recorders
+    use this to record under a worker identity
+    (:func:`~repro.utils.naming.worker_run_id`, ``<job>@<rank>``) so the
+    catalog can group K worker runs back into one logical job; the caller
+    owns uniqueness — recording twice under one id overwrites in place.
+    """
     config = config or get_config()
-    run_id = new_run_id(name)
+    run_id = run_id or new_run_id(name)
     instrumentation = instrument_source(source)
 
     session = Session(run_id=run_id, mode=Mode.RECORD, config=config)

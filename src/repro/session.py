@@ -346,6 +346,14 @@ class Session:
         if self.mode is Mode.RECORD:
             self.store.set_metadata("run_id", self.run_id)
             self.store.set_metadata("mode", self.mode.value)
+            # Distributed record: a worker run id (``<job>@<rank>``) carries
+            # its logical-job membership; persist it so the catalog's merged
+            # job view never has to re-parse ids from directory names.
+            from .utils.naming import split_worker_run_id
+            job_id, rank = split_worker_run_id(self.run_id)
+            if rank is not None:
+                self.store.set_metadata("worker",
+                                        {"job_id": job_id, "rank": rank})
             self.store.set_metadata("execution_index_scheme",
                                     self._index_scheme)
             self.store.set_metadata(

@@ -335,6 +335,13 @@ class LocalSQLiteBackend(StorageBackend):
                                          check_same_thread=False)
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
+            # Shared homes see cross-process contention: a GC pass opens
+            # other runs' manifests to mark references while their owners
+            # commit batches.  busy_timeout makes SQLite retry-wait at
+            # the C level instead of surfacing "database is locked" to a
+            # writer mid-record (the connect-level timeout only covers
+            # acquiring the initial lock, not later lock upgrades).
+            self._conn.execute("PRAGMA busy_timeout=30000")
             self._conn_pid = pid
         return self._conn
 

@@ -145,6 +145,12 @@ class PruneReport:
     #: the follow-up GC pass (sweepable immediately, no grace needed,
     #: because this pruner just observed them go unreferenced-by-it).
     released_digests: list[str] = field(default_factory=list)
+    #: Timestamp taken just before the manifest rows were deleted.  The
+    #: follow-up GC passes it as ``hints_released_at``: a blob placed (or
+    #: dedup-refreshed) *after* this instant was re-added by a concurrent
+    #: writer the prune knew nothing about, so the hint must not bypass
+    #: the grace for it.
+    released_at: float | None = None
 
     def to_dict(self) -> dict:
         return {"examined": self.examined, "pruned": self.pruned,
@@ -333,6 +339,7 @@ def prune_store(store: "CheckpointStore", policy: RetentionPolicy,
     report = PruneReport(examined=store.checkpoint_count())
     plan = plan_retention(store, policy, now=now)
     if plan:
+        report.released_at = time.time()
         _delete_records(store, plan, report)
     report.kept = report.examined - report.pruned
     return report
@@ -347,6 +354,7 @@ def retire_run(store: "CheckpointStore") -> PruneReport:
     queryable.
     """
     report = PruneReport(examined=store.checkpoint_count())
+    report.released_at = time.time()
     _delete_records(store, store.records(), report)
     report.kept = report.examined - report.pruned
     return report
@@ -424,7 +432,8 @@ def referenced_digest_counts(home: str | Path) -> "Counter[str]":
 def collect_garbage(home: str | Path, *, grace_seconds: float = 0.0,
                     dry_run: bool = False,
                     extra_referenced: Iterable[str] = (),
-                    release_hints: Iterable[str] = ()) -> GCReport:
+                    release_hints: Iterable[str] = (),
+                    hints_released_at: float | None = None) -> GCReport:
     """Mark-and-sweep the home's object stores (the payload-last half).
 
     Mark re-derives the referenced digest set from every manifest under
@@ -438,6 +447,16 @@ def collect_garbage(home: str | Path, *, grace_seconds: float = 0.0,
     just pruned are swept without waiting out the grace (referencedness
     still wins: a hinted digest another run references is kept).
     ``dry_run`` reports without deleting.
+
+    ``hints_released_at`` scopes the hints in *time* (pass the prune's
+    :attr:`PruneReport.released_at`): a hinted blob placed — or
+    dedup-refreshed — after that instant was re-added by a concurrent
+    *writer* the pruner knew nothing about, so it falls back to the
+    ordinary grace path instead of being swept out from under the
+    writer's not-yet-committed manifest row.  Without a timestamp the
+    hints are bounded by this pass's mark time, which protects re-adds
+    during the sweep but not ones landing between the prune and the
+    mark.
     """
     home = Path(home)
     report = GCReport(home=str(home), dry_run=dry_run)
@@ -457,29 +476,47 @@ def collect_garbage(home: str | Path, *, grace_seconds: float = 0.0,
     report.referenced_digests = len(referenced)
 
     released = set(release_hints)
+    # Blobs touched after the hint cutoff are not covered by the hints.
+    hint_cutoff = now if hints_released_at is None \
+        else min(hints_released_at, now)
     for objects in _home_object_stores(home):
         held = objects.digests()
         sweepable: list[str] = []
+        hinted_sweepable: list[str] = []
         for digest, nbytes in held.items():
+            hinted = (digest in released
+                      and objects.age_seconds(digest, now)
+                      >= now - hint_cutoff)
             if digest in referenced:
                 report.kept_objects += 1
                 report.kept_nbytes += nbytes
-            elif digest not in released and \
+            elif not hinted and \
                     objects.age_seconds(digest, now) < grace_seconds:
                 report.deferred_objects += 1
                 report.kept_objects += 1
                 report.kept_nbytes += nbytes
+            elif hinted:
+                hinted_sweepable.append(digest)
             else:
                 sweepable.append(digest)
         if dry_run:
-            report.swept_objects += len(sweepable)
-            report.swept_nbytes += sum(held[digest] for digest in sweepable)
+            planned = sweepable + hinted_sweepable
+            report.swept_objects += len(planned)
+            report.swept_nbytes += sum(held[digest] for digest in planned)
         else:
-            # ``not_newer_than=now`` re-checks age at unlink time: a blob
-            # a concurrent writer re-referenced after this pass's mark
+            # ``not_newer_than`` re-checks age at unlink time: a blob a
+            # concurrent writer re-referenced after this pass's mark
             # phase (dedup put -> age refresh -> manifest commit) must
             # survive even though the mark saw it as unreferenced.
+            # Hinted blobs re-check against the *hint cutoff*: a dedup
+            # re-put landing between the prune and this unlink makes the
+            # hint stale for that blob, and the refreshed mtime vetoes
+            # the deletion.
             deleted, freed = objects.delete(sweepable, not_newer_than=now)
+            report.swept_objects += deleted
+            report.swept_nbytes += freed
+            deleted, freed = objects.delete(hinted_sweepable,
+                                            not_newer_than=hint_cutoff)
             report.swept_objects += deleted
             report.swept_nbytes += freed
             if isinstance(objects, FileObjectStore):
@@ -572,13 +609,16 @@ class LifecycleManager:
             # exactly the payload-written / row-not-yet-committed window
             # the grace exists to protect.
             released: list[str] = []
+            released_at: float | None = None
             if self.policy is not None and self.policy.is_active():
                 self.last_prune = prune_store(self.store, self.policy)
                 released = self.last_prune.released_digests
+                released_at = self.last_prune.released_at
             grace = self.grace_seconds if grace_seconds is None \
                 else grace_seconds
             self.last_gc = collect_garbage(self.home, grace_seconds=grace,
-                                           release_hints=released)
+                                           release_hints=released,
+                                           hints_released_at=released_at)
             self.passes += 1
             return self.last_prune, self.last_gc
         finally:

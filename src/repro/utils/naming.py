@@ -33,3 +33,47 @@ def new_run_id(name: str | None = None) -> str:
     suffix = uuid.uuid4().hex[:8]
     prefix = slugify(name) if name else "flor"
     return f"{prefix}-{stamp}-{suffix}"
+
+
+# --------------------------------------------------------------------------- #
+# Worker run identity (distributed record)
+# --------------------------------------------------------------------------- #
+#: Separator between a logical job id and a worker rank in a run id.  ``@``
+#: is filesystem-safe, survives :func:`slugify`'d job ids unchanged, and
+#: cannot appear in a slug, so the split is unambiguous.
+WORKER_SEPARATOR = "@"
+
+_WORKER_RE = re.compile(r"^(?P<job>.+)@(?P<rank>\d+)$")
+
+
+def worker_run_id(job_id: str, rank: int) -> str:
+    """The run id of worker ``rank`` of logical job ``job_id``.
+
+    Data-parallel recorders share one Flor home but each needs its own run
+    directory (own manifest, own record log); ``<job_id>@<rank>`` keeps the
+    per-worker runs grouped under one job for the catalog's merged view.
+
+    >>> worker_run_id("cifr-ddp-20260808", 2)
+    'cifr-ddp-20260808@2'
+    """
+    if rank < 0:
+        raise ValueError(f"worker rank must be >= 0, got {rank}")
+    if WORKER_SEPARATOR in job_id:
+        raise ValueError(
+            f"job id {job_id!r} already contains {WORKER_SEPARATOR!r}; "
+            "nested worker identities are not supported")
+    return f"{job_id}{WORKER_SEPARATOR}{rank}"
+
+
+def split_worker_run_id(run_id: str) -> tuple[str, int | None]:
+    """``(job_id, rank)`` for a worker run id; ``(run_id, None)`` otherwise.
+
+    >>> split_worker_run_id("cifr-ddp@3")
+    ('cifr-ddp', 3)
+    >>> split_worker_run_id("plain-run")
+    ('plain-run', None)
+    """
+    match = _WORKER_RE.match(run_id)
+    if match is None:
+        return run_id, None
+    return match.group("job"), int(match.group("rank"))

@@ -16,9 +16,14 @@ batch loop wrapped in a SkipBlock, and per-epoch metric logging.
   (for the instrumenter) and vanilla baselines (for overhead benchmarks).
 """
 
+from .distributed import (DistributedRecordResult, DistributedWorkerResult,
+                          build_distributed_training_script, record_worker,
+                          run_distributed_record)
 from .models import (MiniJasper, MiniResNet, MiniRNNTranslator, MiniRoBERTa,
                      MiniRoBERTaClassifier, MiniSqueezeNet, build_model_for)
 from .registry import WORKLOADS, WorkloadSpec, get_workload, workload_names
+from .streaming import (DEFAULT_STREAMING_POLICY, StreamingRecordResult,
+                        build_streaming_script, run_streaming_record)
 from .synthetic_data import (synthetic_image_classification,
                              synthetic_language_modeling,
                              synthetic_speech_frames,
@@ -36,4 +41,9 @@ __all__ = [
     "synthetic_translation_pairs",
     "TrainingSetup", "dataset_for", "make_training_setup",
     "build_training_script", "run_vanilla_training",
+    "DistributedWorkerResult", "DistributedRecordResult",
+    "build_distributed_training_script", "record_worker",
+    "run_distributed_record",
+    "StreamingRecordResult", "DEFAULT_STREAMING_POLICY",
+    "build_streaming_script", "run_streaming_record",
 ]

@@ -7,6 +7,7 @@ afterwards so tests cannot leak state into each other.
 
 from __future__ import annotations
 
+import signal
 import sys
 from pathlib import Path
 
@@ -21,6 +22,35 @@ from repro.config import FlorConfig
 _TESTS_DIR = str(Path(__file__).parent)
 if _TESTS_DIR not in sys.path:
     sys.path.insert(0, _TESTS_DIR)
+
+
+#: Default wall-clock budget for ``@pytest.mark.multiproc`` tests.  A hung
+#: worker process would otherwise stall the whole suite on ``join()``; the
+#: alarm turns the hang into a normal test failure (pytest-timeout is not a
+#: dependency, so the guard is hand-rolled on SIGALRM).
+MULTIPROC_TIMEOUT_SECONDS = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("multiproc")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.kwargs.get("timeout", MULTIPROC_TIMEOUT_SECONDS))
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"multiproc test exceeded its {seconds}s timeout "
+            "(a recorder subprocess is likely hung)")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture()

@@ -19,6 +19,9 @@ survive any crash:
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import time
+from collections import Counter
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -27,7 +30,8 @@ from repro.utils.hashing import digest_bytes
 
 __all__ = ["InjectedCrash", "FaultInjector", "crash_calls",
            "assert_manifest_closed", "assert_no_orphans",
-           "assert_crash_consistent"]
+           "assert_crash_consistent", "assert_refcounts_exact",
+           "start_recorder_process", "wait_for_file", "kill_process"]
 
 
 class InjectedCrash(Exception):
@@ -131,3 +135,76 @@ def assert_crash_consistent(store, home: str | Path) -> None:
     """Both invariants at once: manifest closed, then object store exact."""
     assert_manifest_closed(store)
     assert_no_orphans(home)
+
+
+def assert_refcounts_exact(home: str | Path, stores) -> None:
+    """Derived refcounts match an independent count over every manifest.
+
+    ``referenced_digest_counts`` is what GC marks from; this recounts the
+    same quantity the slow way — one pass over every store's manifest
+    rows — and demands digest-for-digest agreement, so a lost manifest
+    row or a double-counted shard shows up as a refcount mismatch.
+    """
+    recounted: "Counter[str]" = Counter()
+    for store in stores:
+        for record in store.records():
+            if record.payload_digest:
+                recounted[record.payload_digest] += 1
+    derived = referenced_digest_counts(Path(home))
+    assert dict(derived) == dict(recounted), (
+        f"derived refcounts disagree with a manifest recount: "
+        f"derived-only={dict(derived - recounted)} "
+        f"recount-only={dict(recounted - derived)}")
+
+
+# --------------------------------------------------------------------------- #
+# Real-process fault injection (kill a recorder worker mid-record)
+# --------------------------------------------------------------------------- #
+def start_recorder_process(job_id: str, rank: int, world_size: int, *,
+                           config, workload_name: str = "cifr",
+                           epochs: int = 2, seed: int = 0) -> mp.Process:
+    """Fork one distributed recorder worker as a real OS process.
+
+    The child runs :func:`repro.workloads.distributed.record_worker` under
+    ``<job_id>@<rank>`` against the config's shared home — the same entry
+    the production pool driver uses — so killing it simulates a worker
+    dying mid-record, not a cooperative exception.
+    """
+    from repro.workloads.distributed import _worker_entry
+
+    ctx = mp.get_context("fork")
+    process = ctx.Process(
+        target=_worker_entry,
+        args=((job_id, rank, world_size, workload_name, epochs, seed,
+               config),),
+        daemon=True)
+    process.start()
+    return process
+
+
+def wait_for_file(path: str | Path, *, min_bytes: int = 1,
+                  timeout: float = 60.0) -> bool:
+    """Poll until ``path`` exists with at least ``min_bytes`` bytes.
+
+    The kill tests use this as the "worker is mid-record" sentinel: once
+    the worker's record log has content, it is past session setup and
+    actively training, so a SIGKILL lands in the middle of checkpoint
+    traffic rather than before any state exists.
+    """
+    path = Path(path)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if path.stat().st_size >= min_bytes:
+                return True
+        except FileNotFoundError:
+            pass
+        time.sleep(0.01)
+    return False
+
+
+def kill_process(process: mp.Process, *, join_timeout: float = 30.0) -> None:
+    """SIGKILL a worker process and reap it (no atexit, no cleanup runs)."""
+    process.kill()
+    process.join(timeout=join_timeout)
+    assert not process.is_alive(), "killed worker did not exit"

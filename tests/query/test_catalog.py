@@ -138,3 +138,51 @@ class TestCatalogSelection:
         catalog = RunCatalog.open(flor_config)
         with pytest.raises(QueryError, match="not in catalog"):
             catalog.select(["missing-run"])
+
+
+class TestJobGrouping:
+    """The merged job view: worker runs grouped back into logical jobs."""
+
+    def record_worker_run(self, config, job_id: str, rank: int):
+        from repro.utils.naming import worker_run_id
+        return record_source(SCRIPT, name="toy", config=config,
+                             run_id=worker_run_id(job_id, rank))
+
+    def test_worker_identity_derived_from_run_id(self, flor_config):
+        self.record_worker_run(flor_config, "jobA", 1)
+        entry = RunCatalog.open(flor_config).get("jobA@1")
+        assert entry.job_id == "jobA"
+        assert entry.worker_rank == 1
+
+    def test_plain_run_is_its_own_singleton_job(self, flor_config):
+        recorded = record_run(flor_config, "solo")
+        entry = RunCatalog.open(flor_config).get(recorded.run_id)
+        assert entry.job_id == recorded.run_id
+        assert entry.worker_rank is None
+        group = RunCatalog.open(flor_config).job(recorded.run_id)
+        assert group.run_ids == (recorded.run_id,)
+        assert group.world_size == 1 and group.complete
+
+    def test_jobs_groups_workers_in_rank_order(self, flor_config):
+        for rank in (2, 0, 1):
+            self.record_worker_run(flor_config, "jobA", rank)
+        record_run(flor_config, "solo")
+        catalog = RunCatalog.open(flor_config)
+        groups = {group.job_id: group for group in catalog.jobs()}
+        assert set(groups) == {"jobA"} | {
+            entry.job_id for entry in catalog.select()
+            if entry.worker_rank is None}
+        job = groups["jobA"]
+        assert job.ranks == (0, 1, 2)
+        assert job.run_ids == ("jobA@0", "jobA@1", "jobA@2")
+        assert len(job) == 3
+
+    def test_job_lookup_by_unique_prefix(self, flor_config):
+        self.record_worker_run(flor_config, "jobAlpha", 0)
+        self.record_worker_run(flor_config, "jobBeta", 0)
+        catalog = RunCatalog.open(flor_config)
+        assert catalog.job("jobA").job_id == "jobAlpha"
+        with pytest.raises(QueryError, match="ambiguous"):
+            catalog.job("job")
+        with pytest.raises(QueryError, match="not in catalog"):
+            catalog.job("nothing")

@@ -414,3 +414,133 @@ for epoch in range(4):
             assert parallel.values("checksum") == record_values
         finally:
             repro.reset_config()
+
+
+# --------------------------------------------------------------------------- #
+# Concurrent writers (the shared-home record-time contract)
+# --------------------------------------------------------------------------- #
+WRITER_ROWS = 6
+
+
+def _record_writer_run(home, backend_name: str, index: int) -> None:
+    """One writer: its own run manifest, the home's shared object store.
+
+    Payload values repeat across writers (``j % 3``) so concurrent puts
+    race on the *same* digests — the dedup-refresh path, not just fresh
+    blob creation.
+    """
+    store = CheckpointStore(home / f"writer-{index}", backend=backend_name,
+                            num_shards=3)
+    try:
+        for j in range(WRITER_ROWS):
+            store.put("train", j, make_snapshots(float(j % 3), size=256))
+    finally:
+        store.close()
+
+
+def _assert_writers_landed(home, backend_name: str, count: int) -> None:
+    from faultutils import (assert_manifest_closed, assert_no_orphans,
+                            assert_refcounts_exact)
+    stores = [CheckpointStore(home / f"writer-{i}", backend=backend_name,
+                              num_shards=3)
+              for i in range(count)]
+    try:
+        for i, store in enumerate(stores):
+            assert store.checkpoint_count() == WRITER_ROWS, \
+                f"writer {i} lost manifest rows"
+            assert store.executions("train") == list(range(WRITER_ROWS))
+            assert_manifest_closed(store)
+        assert_no_orphans(home)
+        assert_refcounts_exact(home, stores)
+    finally:
+        for store in stores:
+            store.close()
+
+
+def _discard_memory_state(home, count: int) -> None:
+    for i in range(count):
+        InMemoryBackend.discard_dir(home / f"writer-{i}")
+    MemoryObjectStore.discard_dir(home)
+
+
+class TestConcurrentWriters:
+    """K writers, one home: no lost manifests, no orphans, exact refcounts."""
+
+    WRITERS = 4
+
+    def test_threaded_writers_share_one_home(self, tmp_path, backend_name):
+        import threading
+        home = tmp_path / "home"
+        errors = []
+
+        def run(index):
+            try:
+                _record_writer_run(home, backend_name, index)
+            except Exception as exc:  # surfaced in the main thread
+                errors.append((index, exc))
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(self.WRITERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        try:
+            _assert_writers_landed(home, backend_name, self.WRITERS)
+        finally:
+            _discard_memory_state(home, self.WRITERS)
+
+    @pytest.mark.multiproc
+    @pytest.mark.parametrize("process_backend", ["local", "sharded"])
+    def test_process_writers_share_one_home(self, tmp_path, process_backend):
+        """Real OS processes — the race the memory backend cannot host."""
+        import multiprocessing as mp
+        home = tmp_path / "home"
+        ctx = mp.get_context("fork")
+        processes = [
+            ctx.Process(target=_record_writer_run,
+                        args=(home, process_backend, i), daemon=True)
+            for i in range(self.WRITERS)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        _assert_writers_landed(home, process_backend, self.WRITERS)
+
+    def test_writers_race_a_garbage_collector(self, tmp_path, backend_name):
+        """GC sweeping mid-record must not eat a writer's in-flight blobs:
+        the grace period covers the payload-before-manifest window."""
+        import threading
+        from repro.storage.lifecycle import collect_garbage
+        home = tmp_path / "home"
+        stop = threading.Event()
+        errors = []
+
+        def run(index):
+            try:
+                _record_writer_run(home, backend_name, index)
+            except Exception as exc:
+                errors.append((index, exc))
+
+        def sweep():
+            while not stop.is_set():
+                collect_garbage(home, grace_seconds=60.0)
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(self.WRITERS)]
+        collector = threading.Thread(target=sweep)
+        collector.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        stop.set()
+        collector.join(timeout=60)
+        assert not errors, errors
+        try:
+            _assert_writers_landed(home, backend_name, self.WRITERS)
+        finally:
+            _discard_memory_state(home, self.WRITERS)

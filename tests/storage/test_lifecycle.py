@@ -247,6 +247,58 @@ class TestPruneAndGC:
         assert measure_storage(home).physical_objects == 1
         assert_manifest_closed(store_b)
 
+    def test_second_writer_readding_pruned_digest_survives_hinted_sweep(
+            self, home):
+        # Regression for the shared-home writer race: run-a prunes a
+        # digest (one-shot release hint), and before the follow-up GC
+        # unlinks it a *second writer* re-adds the same content —
+        # payload written, manifest row not yet committed (the write
+        # ordering).  The hint is time-scoped to the prune instant, so
+        # the refreshed blob must fall back to the grace path and
+        # survive; the stale-released blob nobody re-added still sweeps
+        # immediately.
+        store_a = open_store(home, "local", "run-a")
+        store_b = open_store(home, "local", "run-b")
+        for index in range(3):
+            store_a.put("train", index, make_snapshots(float(index)))
+        report = prune_store(store_a, RetentionPolicy(keep_last_n=1))
+        assert report.released_at is not None
+        assert len(report.released_digests) == 2
+        # Separate the re-add's mtime from released_at by more than the
+        # kernel's coarse file-timestamp granularity (up to ~10ms): file
+        # mtimes lag the fine clock, so a tiny sleep can leave the
+        # refreshed mtime *behind* the prune instant.
+        time.sleep(0.05)
+        pending = store_b.write_payload("train", 0, _serialized(0.0))
+        assert pending.payload_digest in report.released_digests
+
+        gc = collect_garbage(home, grace_seconds=3600,
+                             release_hints=report.released_digests,
+                             hints_released_at=report.released_at)
+        assert gc.swept_objects == 1  # the 1.0 blob: hinted, pre-prune
+        objects = store_b.backend.object_store()
+        assert objects.contains(pending.payload_digest)
+        store_b.index_records([pending])
+        assert_manifest_closed(store_b)
+
+    def test_hinted_unlink_recheck_skips_fresh_readd(self, home):
+        # The mid-sweep half of the same race: the hint classification
+        # happened at mark time, but the unlink re-checks the blob's
+        # mtime against the prune instant — a dedup re-add landing
+        # between mark and unlink survives the in-flight sweep.
+        store = open_store(home, "local", "run-a")
+        record = store.put("train", 0, make_snapshots(1.0))
+        objects = store.backend.object_store()
+        store.backend.delete_many([("train", 0)])  # now unreferenced
+        cutoff = time.time()
+        time.sleep(0.05)  # clear the coarse file-timestamp granularity
+        payload = objects.get(record.payload_digest)
+        objects.put(record.payload_digest, payload)  # refresh: re-add
+        deleted, _ = objects.delete([record.payload_digest],
+                                    not_newer_than=cutoff)
+        assert deleted == 0
+        assert objects.contains(record.payload_digest)
+
     def test_manager_close_pass_reclaims_own_prunes_despite_grace(self, home):
         # The close-time pass keeps the shared-home grace (protecting
         # other sessions' in-flight blobs) yet must still free what this
