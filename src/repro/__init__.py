@@ -22,10 +22,12 @@ parallel replay.  This package implements the full system:
 """
 
 from . import analysis, api, record, replay, storage, torchlike
-from .api import (DiffResult, DiffStats, GCReport, JobGroup, PruneReport,
+from .api import (Diagnostic, DiagnosticReport, DiffResult, DiffStats,
+                  GCReport, JobGroup, ProbeAnalysis, ProbeClass, PruneReport,
                   QueryResult, RecordResult, ReplayResult, RetentionPolicy,
-                  RunCatalog, RunEntry, StorageStats, ValueDrift,
-                  WorkerResult, diff, gc, log, loop, prune, record_script,
+                  RunCatalog, RunEntry, Severity, StorageStats, ValueDrift,
+                  WorkerResult, analyze_probe, diff, gc, lint_path, lint_run,
+                  lint_source, log, loop, prune, record_script,
                   record_session, record_source, replay_script,
                   replay_session, run_parallel_replay, skipblock,
                   storage_stats)
@@ -36,9 +38,10 @@ from .api import query
 from .config import FlorConfig, get_config, reset_config, set_config
 from .exceptions import (CheckpointNotFoundError, ConfigError, FlorError,
                          InstrumentationError, QueryError, RecordError,
-                         ReplayAnomalyError, ReplayError, SerializationError,
-                         SideEffectAnalysisError, SimulationError,
-                         StorageError, WorkloadError)
+                         ReplayAnomalyError, ReplayError,
+                         ReplaySafetyError, ReplaySafetyWarning,
+                         SerializationError, SideEffectAnalysisError,
+                         SimulationError, StorageError, WorkloadError)
 from .modes import InitStrategy, Mode, Phase
 from .session import Session, get_active_session
 
@@ -55,10 +58,14 @@ __all__ = [
     "diff", "DiffResult", "DiffStats", "ValueDrift",
     "gc", "prune", "storage_stats",
     "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",
+    "lint_source", "lint_path", "lint_run",
+    "Diagnostic", "DiagnosticReport", "Severity",
+    "analyze_probe", "ProbeAnalysis", "ProbeClass",
     "FlorConfig", "get_config", "set_config", "reset_config",
     "Mode", "Phase", "InitStrategy",
     "Session", "get_active_session",
     "FlorError", "RecordError", "ReplayError", "ReplayAnomalyError",
+    "ReplaySafetyError", "ReplaySafetyWarning",
     "CheckpointNotFoundError", "InstrumentationError",
     "SideEffectAnalysisError", "StorageError", "SerializationError",
     "ConfigError", "QueryError", "SimulationError", "WorkloadError",

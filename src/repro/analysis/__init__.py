@@ -3,15 +3,29 @@
 The pipeline is: ``rules`` (Table 1) -> ``changeset`` accumulation ->
 ``scope`` filtering of loop-scoped variables -> runtime ``augmentation``
 with library knowledge -> ``instrument`` (SkipBlocks + Flor generator).
+
+On top of that pipeline sits the replay-safety layer: ``diagnostics``
+(the stable RPL-coded finding model), ``determinism`` (nondeterminism and
+effect-hazard lint over recorded scripts), ``purity`` (read/write-set
+classification of hindsight probes), and ``lint`` (orchestration over
+sources, files, and recorded runs).
 """
 
 from .augmentation import (augment_changeset, clear_augmentation_rules,
                            default_rules, register_augmentation_rule)
 from .changeset import Changeset, RuleApplication
+from .determinism import lint_determinism
+from .diagnostics import (CODES, Diagnostic, DiagnosticReport, Severity,
+                          code_title, suppressed_codes)
 from .instrument import (BlockSpec, FLOR_MODULE_ALIAS, InstrumentationResult,
                          instrument_source)
+from .lint import lint_path, lint_run, lint_source
 from .loop_finder import (LoopAnalysis, ScriptAnalysis, analyze_loop,
                           analyze_script, find_loops)
+from .purity import (ProbeAnalysis, ProbeClass, ProbeStatement,
+                     SAFE_BUILTINS, StatementFacts, analyze_probe,
+                     evaluate_pure_logged, extract_probe_statements,
+                     record_changeset_names, statement_facts)
 from .rules import apply_rules_to_statement, build_changeset
 from .scope import bound_names, loop_scoped_names, names_bound_before
 
@@ -25,4 +39,10 @@ __all__ = [
     "clear_augmentation_rules", "default_rules",
     "BlockSpec", "InstrumentationResult", "instrument_source",
     "FLOR_MODULE_ALIAS",
+    "CODES", "Diagnostic", "DiagnosticReport", "Severity", "code_title",
+    "suppressed_codes", "lint_determinism", "lint_source", "lint_path",
+    "lint_run",
+    "ProbeAnalysis", "ProbeClass", "ProbeStatement", "StatementFacts",
+    "SAFE_BUILTINS", "analyze_probe", "evaluate_pure_logged",
+    "extract_probe_statements", "record_changeset_names", "statement_facts",
 ]

@@ -1,0 +1,340 @@
+"""Determinism lint over recorded scripts and probe sources.
+
+Hindsight replay re-executes a stored script from checkpoints and trusts
+that the same epoch produces the same values.  That trust is void when the
+script consults an unseeded RNG, the wall clock, unordered-collection
+iteration order, or spawns threads inside the training loop — all hazards
+that are invisible at record time and only surface as silently-wrong probe
+values at replay time.  This module walks the script AST once and reports
+each hazard as an ``RPL1xx`` :class:`~repro.analysis.diagnostics.Diagnostic`.
+
+The lint is syntactic and import-alias aware: ``import numpy as np`` makes
+``np.random.random()`` canonicalize to ``numpy.random.random`` before rule
+matching, and ``from numpy.random import default_rng`` resolves the bare
+call the same way.  Findings are suppressible per line with ``# noqa`` /
+``# noqa: RPL101`` comments (see :func:`~repro.analysis.diagnostics.
+suppressed_codes`).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .diagnostics import Diagnostic, DiagnosticReport, Severity, \
+    filter_suppressed
+
+__all__ = ["lint_determinism"]
+
+
+# ---------------------------------------------------------------------- #
+# Canonical call-name tables
+# ---------------------------------------------------------------------- #
+#: Global-RNG draw functions: nondeterministic unless a seed call for the
+#: same generator family appears earlier in the script.
+_GLOBAL_RNG_CALLS = {
+    "random.random", "random.randint", "random.randrange", "random.uniform",
+    "random.choice", "random.choices", "random.sample", "random.shuffle",
+    "random.gauss", "random.normalvariate", "random.betavariate",
+    "numpy.random.random", "numpy.random.rand", "numpy.random.randn",
+    "numpy.random.randint", "numpy.random.uniform", "numpy.random.choice",
+    "numpy.random.normal", "numpy.random.permutation",
+    "numpy.random.shuffle", "numpy.random.random_sample",
+    "torch.rand", "torch.randn", "torch.randint", "torch.randperm",
+}
+
+#: Seed calls, keyed by the generator family they pacify.
+_SEED_CALLS = {
+    "random.seed": "random",
+    "numpy.random.seed": "numpy.random",
+    "torch.manual_seed": "torch",
+    "torch.cuda.manual_seed": "torch",
+    "torch.cuda.manual_seed_all": "torch",
+}
+
+_RNG_FAMILY = {}
+for _name in _GLOBAL_RNG_CALLS:
+    for _family in ("numpy.random", "random", "torch"):
+        if _name.startswith(_family + "."):
+            _RNG_FAMILY[_name] = _family
+            break
+
+#: Constructors that yield a fresh generator: nondeterministic only when
+#: called with no positional seed argument.
+_RNG_CONSTRUCTORS = {
+    "random.Random", "numpy.random.default_rng", "numpy.random.RandomState",
+    "numpy.random.Generator",
+}
+
+#: Wall-clock reads.  ``time.sleep`` is deliberately absent: sleeping
+#: changes timing, not values, and recorded test workloads use it to
+#: simulate compute.
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.clock_gettime", "datetime.datetime.now", "datetime.datetime.today",
+    "datetime.datetime.utcnow", "datetime.date.today",
+}
+
+#: Thread/process spawns — hazardous inside loop bodies, where replay
+#: partitions iterations across workers.
+_SPAWN_ROOTS = ("threading.", "multiprocessing.", "concurrent.futures.")
+
+#: Filesystem mutations outside the recorder's own stores.
+_FS_CALLS = {
+    "os.remove", "os.unlink", "os.rename", "os.replace", "os.rmdir",
+    "os.makedirs", "os.mkdir", "shutil.rmtree", "shutil.copy",
+    "shutil.copy2", "shutil.copyfile", "shutil.move",
+}
+_FS_METHODS = {"write_text", "write_bytes", "unlink", "rmdir", "touch"}
+
+#: Network access roots.
+_NET_ROOTS = ("socket.", "urllib.", "requests.", "http.client.")
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _has_write_mode(call: ast.Call) -> bool:
+    """True when an ``open(...)`` call requests a writable mode."""
+    mode_node = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if mode_node is None:
+        return False  # default "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return bool(set(mode_node.value) & _WRITE_MODE_CHARS)
+    return True  # dynamic mode: assume writable
+
+
+class _ImportTable:
+    """Maps local names to canonical dotted module/attribute paths."""
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, str] = {}
+
+    def record(self, node: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else local
+                self._aliases[local] = canonical
+        elif node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def canonical_call_name(self, func: ast.expr) -> str | None:
+        """The canonical dotted name of a call target, or ``None``."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self._aliases.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])
+
+
+class _DeterminismLinter(ast.NodeVisitor):
+    def __init__(self, filename: str, source_lines: list[str]) -> None:
+        self.filename = filename
+        self.source_lines = source_lines
+        self.imports = _ImportTable()
+        self.seeded_families: set[str] = set()
+        self.loop_depth = 0
+        self.diagnostics: list[Diagnostic] = []
+
+    # ------------------------------------------------------------------ #
+    def _source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1].rstrip()
+        return ""
+
+    def _report(self, node: ast.AST, code: str, severity: Severity,
+                message: str, hint: str) -> None:
+        self.diagnostics.append(Diagnostic(
+            code=code, severity=severity, message=message,
+            file=self.filename, line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            end_line=getattr(node, "end_lineno", None),
+            end_col=getattr(node, "end_col_offset", None),
+            hint=hint,
+            source_line=self._source_line(getattr(node, "lineno", 0))))
+
+    # ------------------------------------------------------------------ #
+    # Imports and seeding state
+    # ------------------------------------------------------------------ #
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.record(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.record(node)
+
+    # ------------------------------------------------------------------ #
+    # Loops
+    # ------------------------------------------------------------------ #
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._check_iteration_source(node.iter)
+            self.visit(node.iter)
+            self.visit(node.target)
+        else:
+            self.visit(node.test)
+        self.loop_depth += 1
+        for child in node.body:
+            self.visit(child)
+        self.loop_depth -= 1
+        for child in node.orelse:
+            self.visit(child)
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+
+    def _check_iteration_source(self, iter_node: ast.expr) -> None:
+        if isinstance(iter_node, ast.Set):
+            self._report(iter_node, "RPL103", Severity.WARNING,
+                         "iteration over a set literal has no stable order "
+                         "across processes",
+                         "iterate a sorted() or list-valued collection")
+            return
+        if isinstance(iter_node, ast.Call):
+            name = self.imports.canonical_call_name(iter_node.func)
+            if name in {"set", "frozenset"}:
+                self._report(iter_node, "RPL103", Severity.WARNING,
+                             f"iteration over {name}() has no stable order "
+                             "across processes",
+                             "sort the collection before iterating")
+                return
+        name = self._dotted_name(iter_node)
+        if name == "os.environ":
+            self._report(iter_node, "RPL103", Severity.WARNING,
+                         "iteration over os.environ depends on the ambient "
+                         "environment, which replay does not restore",
+                         "snapshot the variables you need into the script")
+
+    def _dotted_name(self, node: ast.expr) -> str | None:
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------------ #
+    # Calls
+    # ------------------------------------------------------------------ #
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.imports.canonical_call_name(node.func)
+        if name is not None:
+            self._check_call(node, name)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, name: str) -> None:
+        family = _SEED_CALLS.get(name)
+        if family is not None:
+            self.seeded_families.add(family)
+            return
+        if name in _GLOBAL_RNG_CALLS:
+            family = _RNG_FAMILY[name]
+            if family not in self.seeded_families:
+                self._report(
+                    node, "RPL101", Severity.ERROR,
+                    f"{name}() draws from an unseeded global generator; "
+                    "replayed iterations will see different values",
+                    f"call {family}.seed(...) (or manual_seed) before the "
+                    "first draw, or use a seeded Generator instance")
+            return
+        if name in _RNG_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                self._report(
+                    node, "RPL101", Severity.ERROR,
+                    f"{name}() without a seed argument produces a "
+                    "nondeterministic generator",
+                    "pass an explicit integer seed")
+            return
+        if name in _CLOCK_CALLS:
+            severity = (Severity.WARNING if self.loop_depth > 0
+                        else Severity.INFO)
+            where = ("inside a loop body" if self.loop_depth > 0
+                     else "at module level")
+            self._report(
+                node, "RPL102", severity,
+                f"{name}() reads the wall clock {where}; replayed "
+                "iterations observe a different clock",
+                "log the timestamp at record time instead of re-reading it")
+            return
+        if name.startswith(_SPAWN_ROOTS):
+            if self.loop_depth > 0:
+                self._report(
+                    node, "RPL104", Severity.WARNING,
+                    f"{name}() spawns concurrent work inside a loop body; "
+                    "replay partitions iterations across workers and cannot "
+                    "reproduce cross-thread interleavings",
+                    "hoist concurrency out of the training loop")
+            return
+        if name in _FS_CALLS:
+            self._report(
+                node, "RPL105", Severity.WARNING,
+                f"{name}() mutates the filesystem outside the recorder; "
+                "replay re-runs the mutation against current files",
+                "route artifacts through flor.log / checkpointing")
+            return
+        if name == "open" and _has_write_mode(node):
+            self._report(
+                node, "RPL105", Severity.WARNING,
+                "open() with a write mode mutates the filesystem outside "
+                "the recorder; replay re-runs the write",
+                "route artifacts through flor.log / checkpointing")
+            return
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _FS_METHODS and \
+                self._dotted_name(node.func) is None:
+            # Method on a computed object (e.g. Path(...).write_text)
+            self._report(
+                node, "RPL105", Severity.WARNING,
+                f".{node.func.attr}() mutates the filesystem outside the "
+                "recorder; replay re-runs the mutation",
+                "route artifacts through flor.log / checkpointing")
+            return
+        if name.startswith(_NET_ROOTS):
+            self._report(
+                node, "RPL106", Severity.WARNING,
+                f"{name}() performs network access; replayed runs observe "
+                "different remote state",
+                "fetch data before recording and read it from disk")
+
+
+def lint_determinism(source: str,
+                     filename: str = "<script>") -> DiagnosticReport:
+    """Lint ``source`` for nondeterminism and effect hazards.
+
+    Returns a :class:`DiagnosticReport` of ``RPL1xx`` findings with
+    ``# noqa`` suppressions already applied.  Raises nothing on syntax
+    errors — an unparseable script is reported as a single error-severity
+    diagnostic so callers need not special-case it.
+    """
+    source_lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return DiagnosticReport([Diagnostic(
+            code="RPL100", severity=Severity.ERROR,
+            message=f"script does not parse: {exc.msg}",
+            file=filename, line=exc.lineno or 0,
+            col=(exc.offset or 1) - 1,
+            hint="fix the syntax error before linting")])
+    linter = _DeterminismLinter(filename, source_lines)
+    linter.visit(tree)
+    kept = filter_suppressed(linter.diagnostics, source_lines)
+    kept.sort(key=lambda d: (d.line, d.col, d.code))
+    return DiagnosticReport(kept)

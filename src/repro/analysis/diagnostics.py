@@ -1,0 +1,277 @@
+"""The replay-safety diagnostic model.
+
+Every finding of the static analyzers — the determinism lint over recorded
+scripts (:mod:`repro.analysis.determinism`) and the probe purity analysis
+(:mod:`repro.analysis.purity`) — is reported as a :class:`Diagnostic` with a
+stable ``RPL``-prefixed code, a severity, a source location, and a fix hint.
+Stability matters: the CI lint gate diffs diagnostics across commits, error
+messages embed codes users grep for, and per-rule suppression comments
+(``# noqa: RPL101``) name codes, so codes are append-only — a rule may be
+retired but its code is never reused.
+
+Code ranges:
+
+* ``RPL0xx`` — probe replay-safety (purity analysis).
+* ``RPL1xx`` — script determinism and effect hazards (lint rules).
+* ``RPL2xx`` — instrumentation coverage notes (informational).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticReport", "CODES",
+           "code_title", "suppressed_codes"]
+
+
+class Severity(str, enum.Enum):
+    """Diagnostic severity, ordered ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __ge__(self, other: "Severity") -> bool:  # type: ignore[override]
+        return self.rank >= _SEVERITY_RANK[Severity(other)]
+
+    def __lt__(self, other: "Severity") -> bool:  # type: ignore[override]
+        return self.rank < _SEVERITY_RANK[Severity(other)]
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+#: The diagnostic code registry: code -> short title.  Append-only.
+CODES: dict[str, str] = {
+    "RPL001": "probe writes a changeset name",
+    "RPL100": "script does not parse",
+    "RPL101": "unseeded random number generation",
+    "RPL102": "wall-clock read inside a loop body",
+    "RPL103": "iteration over an unordered collection",
+    "RPL104": "thread or process spawn inside a loop body",
+    "RPL105": "filesystem write not routed through the recorder",
+    "RPL106": "network access",
+    "RPL201": "loop not instrumentable",
+}
+
+
+def code_title(code: str) -> str:
+    """The registry's short title for ``code`` (empty if unregistered)."""
+    return CODES.get(code, "")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One replay-safety finding anchored to a source location."""
+
+    code: str
+    severity: Severity
+    message: str
+    file: str = "<script>"
+    line: int = 0
+    col: int = 0
+    end_line: int | None = None
+    end_col: int | None = None
+    hint: str = ""
+    #: The offending source line, for human renderers (may be empty).
+    source_line: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "severity", Severity(self.severity))
+
+    @property
+    def title(self) -> str:
+        return code_title(self.code)
+
+    def with_file(self, file: str) -> "Diagnostic":
+        return replace(self, file=file)
+
+    def render(self) -> str:
+        """One human-readable line: ``file:line:col: CODE severity: message``."""
+        location = f"{self.file}:{self.line}:{self.col + 1}"
+        text = f"{location}: {self.code} {self.severity.value}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        payload = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "hint": self.hint,
+        }
+        if self.end_line is not None:
+            payload["end_line"] = self.end_line
+        if self.end_col is not None:
+            payload["end_col"] = self.end_col
+        if self.source_line:
+            payload["source_line"] = self.source_line
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Diagnostic":
+        return cls(code=payload["code"],
+                   severity=Severity(payload["severity"]),
+                   message=payload["message"],
+                   file=payload.get("file", "<script>"),
+                   line=int(payload.get("line", 0)),
+                   col=int(payload.get("col", 0)),
+                   end_line=payload.get("end_line"),
+                   end_col=payload.get("end_col"),
+                   hint=payload.get("hint", ""),
+                   source_line=payload.get("source_line", ""))
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with renderers and filters."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "DiagnosticReport") -> "DiagnosticReport":
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def count(self, severity: Severity | str) -> int:
+        severity = Severity(severity)
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max((d.severity for d in self.diagnostics),
+                   key=lambda s: s.rank)
+
+    def at_least(self, severity: Severity | str) -> "DiagnosticReport":
+        """A new report holding only diagnostics at or above ``severity``."""
+        floor = Severity(severity)
+        return DiagnosticReport([d for d in self.diagnostics
+                                 if d.severity >= floor])
+
+    def codes(self) -> list[str]:
+        """The codes present, in first-occurrence order."""
+        seen: list[str] = []
+        for diagnostic in self.diagnostics:
+            if diagnostic.code not in seen:
+                seen.append(diagnostic.code)
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # Renderers
+    # ------------------------------------------------------------------ #
+    def render_text(self) -> str:
+        """The human renderer: one line per finding plus a summary line."""
+        lines = [diagnostic.render() for diagnostic in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        return (f"{self.count(Severity.ERROR)} error(s), "
+                f"{self.count(Severity.WARNING)} warning(s), "
+                f"{self.count(Severity.INFO)} note(s)")
+
+    def to_payload(self) -> list[dict]:
+        """Plain-dict rows (the shape persisted in store metadata)."""
+        return [diagnostic.to_dict() for diagnostic in self.diagnostics]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The JSON renderer: a stable document the CI gate can diff."""
+        return json.dumps({
+            "schema": 1,
+            "summary": {
+                "errors": self.count(Severity.ERROR),
+                "warnings": self.count(Severity.WARNING),
+                "notes": self.count(Severity.INFO),
+            },
+            "diagnostics": self.to_payload(),
+        }, indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[dict]) -> "DiagnosticReport":
+        return cls([Diagnostic.from_dict(row) for row in payload])
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def __repr__(self) -> str:
+        return f"DiagnosticReport({self.summary()})"
+
+
+# ---------------------------------------------------------------------- #
+# Per-rule suppression comments
+# ---------------------------------------------------------------------- #
+def suppressed_codes(source_line: str) -> set[str] | None:
+    """Parse a suppression comment on one source line.
+
+    Returns ``None`` when the line carries no suppression, the empty set
+    for a blanket ``# noqa`` (every code suppressed), or the set of codes
+    named by ``# noqa: RPL101, RPL102``.  ``# repro: noqa`` is accepted as
+    a synonym so scripts also linted by flake8-style tools can scope the
+    suppression to this analyzer.
+    """
+    lowered = source_line.lower()
+    marker = None
+    for candidate in ("# repro: noqa", "#repro: noqa", "# noqa", "#noqa"):
+        index = lowered.find(candidate)
+        if index != -1:
+            marker = lowered[index + len(candidate):]
+            break
+    if marker is None:
+        return None
+    marker = marker.strip()
+    if not marker.startswith(":"):
+        return set()  # blanket suppression
+    codes = {token.strip().upper() for token in marker[1:].split(",")}
+    return {code for code in codes if code}
+
+
+def filter_suppressed(diagnostics: Iterable[Diagnostic],
+                      source_lines: list[str]) -> list[Diagnostic]:
+    """Drop diagnostics suppressed by a comment on their own source line."""
+    kept: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        if 1 <= diagnostic.line <= len(source_lines):
+            codes = suppressed_codes(source_lines[diagnostic.line - 1])
+            if codes is not None and (not codes or diagnostic.code in codes):
+                continue
+        kept.append(diagnostic)
+    return kept

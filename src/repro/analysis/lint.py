@@ -1,0 +1,74 @@
+"""Lint orchestration: scripts, files, and already-recorded runs.
+
+Thin composition layer over :mod:`repro.analysis.determinism` (the hazard
+rules) and :mod:`repro.analysis.loop_finder` (instrumentation coverage):
+one call produces the full :class:`~repro.analysis.diagnostics.
+DiagnosticReport` for a source, a file on disk, or a run already in the
+catalog (whose snapshotted source is pulled from its run directory).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..exceptions import FlorError
+from .determinism import lint_determinism
+from .diagnostics import Diagnostic, DiagnosticReport, Severity
+from .loop_finder import analyze_script
+
+__all__ = ["lint_source", "lint_path", "lint_run"]
+
+
+def lint_source(source: str, filename: str = "<script>") -> DiagnosticReport:
+    """Full replay-safety lint of one script source.
+
+    Combines the ``RPL1xx`` determinism rules with ``RPL201``
+    instrumentation-coverage notes (loops the Table-1 analysis refuses to
+    wrap in SkipBlocks, and why).
+    """
+    report = lint_determinism(source, filename)
+    try:
+        analysis = analyze_script(source)
+    except SyntaxError:
+        return report  # the parse failure is already an RPL100 finding
+    for loop in analysis.loops:
+        if loop.instrumentable:
+            continue
+        reason = loop.blocking_reason or "changeset estimation blocked"
+        report.add(Diagnostic(
+            code="RPL201", severity=Severity.INFO,
+            message=(f"loop at line {loop.lineno} is not instrumentable: "
+                     f"{reason}"),
+            file=filename, line=loop.lineno, end_line=loop.end_lineno,
+            hint="restructure the loop body so Table-1 rules 0/5 do not "
+                 "fire, or accept whole-loop re-execution on replay"))
+    report.diagnostics.sort(key=lambda d: (d.line, d.col, d.code))
+    return report
+
+
+def lint_path(path: str | Path) -> DiagnosticReport:
+    """Lint a Python file on disk."""
+    path = Path(path)
+    if not path.is_file():
+        raise FlorError(f"lint target is not a file: {path}")
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, filename=str(path))
+
+
+def lint_run(run_id: str, config=None) -> DiagnosticReport:
+    """Lint the snapshotted source of an already-recorded run.
+
+    ``run_id`` may be any prefix the catalog can resolve unambiguously.
+    """
+    from ..query.catalog import RunCatalog  # deferred: avoids package cycle
+
+    catalog = RunCatalog.open(config)
+    entries = catalog.select(runs=run_id)
+    if not entries:
+        raise FlorError(f"no recorded run matches {run_id!r}")
+    source_path = Path(entries[0].run_dir) / "source" / "script.py"
+    if not source_path.is_file():
+        raise FlorError(f"run {entries[0].run_id!r} has no snapshotted "
+                        f"source at {source_path}")
+    source = source_path.read_text(encoding="utf-8")
+    return lint_source(source, filename=f"{entries[0].run_id}:script.py")

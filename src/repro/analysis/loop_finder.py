@@ -94,7 +94,7 @@ def find_loops(tree: ast.AST) -> list[tuple[ast.For | ast.While, int, list[ast.s
 
     def visit(body: list[ast.stmt], depth: int, scope_body: list[ast.stmt]) -> None:
         for stmt in body:
-            if isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
                 found.append((stmt, depth, scope_body))
                 visit(stmt.body, depth + 1, scope_body)
                 visit(stmt.orelse, depth + 1, scope_body)
@@ -102,7 +102,7 @@ def find_loops(tree: ast.AST) -> list[tuple[ast.For | ast.While, int, list[ast.s
                 visit(stmt.body, 0, stmt.body)
             elif isinstance(stmt, ast.ClassDef):
                 visit(stmt.body, 0, stmt.body)
-            elif isinstance(stmt, (ast.If, ast.With, ast.Try)):
+            elif isinstance(stmt, (ast.If, ast.With, ast.AsyncWith, ast.Try)):
                 for field_name in ("body", "orelse", "finalbody"):
                     nested = getattr(stmt, field_name, None)
                     if nested:
@@ -111,6 +111,9 @@ def find_loops(tree: ast.AST) -> list[tuple[ast.For | ast.While, int, list[ast.s
                 if handlers:
                     for handler in handlers:
                         visit(handler.body, depth, scope_body)
+            elif isinstance(stmt, ast.Match):
+                for case in stmt.cases:
+                    visit(case.body, depth, scope_body)
 
     root_body = tree.body if isinstance(tree, ast.Module) else [tree]
     visit(root_body, 0, root_body)
@@ -119,7 +122,8 @@ def find_loops(tree: ast.AST) -> list[tuple[ast.For | ast.While, int, list[ast.s
 
 def _contains_loop(loop: ast.For | ast.While) -> bool:
     for node in ast.walk(loop):
-        if node is not loop and isinstance(node, (ast.For, ast.While)):
+        if node is not loop and isinstance(node,
+                                           (ast.For, ast.AsyncFor, ast.While)):
             return True
     return False
 

@@ -1,0 +1,385 @@
+"""Probe purity: read/write-set extraction for hindsight probes.
+
+A hindsight probe is a statement the user inserted into a recorded script
+before replay.  Replay is only sound when probes *observe* the training
+loop without perturbing it, so each probe statement is classified by what
+it touches relative to the run's changeset (the variables the loop
+mutates, per the Table-1 analysis):
+
+``PURE_LOGGED``
+    Reads only names that the run already logged (plus pure builtins).
+    Such a probe can be evaluated directly from ``record.log`` — the query
+    planner resolves it with **zero replay jobs**.
+``PURE_STATE``
+    Reads live loop state (model weights, activations, ...).  Needs
+    replay, but cannot diverge it: it writes nothing the loop depends on.
+``MUTATING``
+    Writes, deletes, or mutates a changeset name.  Injecting it would
+    invalidate the recorded trace, so it is rejected with an ``RPL001``
+    diagnostic naming the offending line.
+
+Classification is writes-based by design: a method call on a changeset
+object (``net.parameters()``) is a read — the runtime library-knowledge
+augmentation, not probe analysis, owns method-mutation modelling.  Only
+explicit writes (``net = ...``, ``net.lr = ...``, ``del net``,
+``stats[k] += ...`` where the base is a changeset name) mutate.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import difflib
+import enum
+from dataclasses import dataclass, field
+
+from .diagnostics import Diagnostic, DiagnosticReport, Severity
+from .loop_finder import analyze_script
+
+__all__ = ["ProbeClass", "StatementFacts", "ProbeStatement", "ProbeAnalysis",
+           "analyze_probe", "extract_probe_statements",
+           "record_changeset_names", "statement_facts",
+           "evaluate_pure_logged", "SAFE_BUILTINS"]
+
+
+class ProbeClass(str, enum.Enum):
+    """Probe classification, ordered by how much replay machinery it needs."""
+
+    PURE_LOGGED = "pure_logged"
+    PURE_STATE = "pure_state"
+    MUTATING = "mutating"
+
+
+#: Builtins a ``PURE_LOGGED`` expression may call: pure, deterministic,
+#: and free of filesystem/process effects.
+SAFE_BUILTINS: dict[str, object] = {
+    name: getattr(builtins, name) for name in (
+        "abs", "all", "any", "bool", "divmod", "enumerate", "filter",
+        "float", "int", "len", "list", "map", "max", "min", "pow", "range",
+        "repr", "reversed", "round", "sorted", "str", "sum", "tuple", "zip",
+    )
+}
+
+#: Local names recorded scripts bind to the repro logging API.
+_DEFAULT_FLOR_ALIASES = frozenset({"flor", "repro", "__flor__"})
+
+
+@dataclass(frozen=True)
+class StatementFacts:
+    """Read/write/mutation sets of one probe statement."""
+
+    lineno: int
+    end_lineno: int
+    source: str
+    reads: frozenset[str]
+    writes: frozenset[str]
+    mutated: frozenset[str]
+    is_flor_log: bool = False
+    logged_name: str | None = None
+    #: Source text of the logged value expression (``flor.log(name, expr)``).
+    value_source: str | None = None
+
+
+@dataclass
+class ProbeStatement:
+    """One probe statement with its facts and classification."""
+
+    facts: StatementFacts
+    classification: ProbeClass
+    #: The value expression AST for ``PURE_LOGGED`` evaluation.
+    value_ast: ast.expr | None = None
+    diagnostic: Diagnostic | None = None
+
+
+@dataclass
+class ProbeAnalysis:
+    """Purity analysis of every probe statement in a replay source."""
+
+    statements: list[ProbeStatement] = field(default_factory=list)
+    report: DiagnosticReport = field(default_factory=DiagnosticReport)
+
+    @property
+    def classification(self) -> ProbeClass:
+        """The coarsest class across all probe statements.
+
+        Empty probe sets are vacuously ``PURE_LOGGED`` — there is nothing
+        to replay.
+        """
+        classes = {probe.classification for probe in self.statements}
+        if ProbeClass.MUTATING in classes:
+            return ProbeClass.MUTATING
+        if ProbeClass.PURE_STATE in classes:
+            return ProbeClass.PURE_STATE
+        return ProbeClass.PURE_LOGGED
+
+    @property
+    def mutating(self) -> list[ProbeStatement]:
+        return [probe for probe in self.statements
+                if probe.classification is ProbeClass.MUTATING]
+
+    def pure_logged(self) -> dict[str, ProbeStatement]:
+        """``logged name -> probe`` for every ``PURE_LOGGED`` log statement."""
+        return {probe.facts.logged_name: probe
+                for probe in self.statements
+                if probe.classification is ProbeClass.PURE_LOGGED
+                and probe.facts.logged_name is not None
+                and probe.value_ast is not None}
+
+
+# ---------------------------------------------------------------------- #
+# Probe statement extraction (record source vs. replay source)
+# ---------------------------------------------------------------------- #
+def _modified_new_lines(record_source: str, probe_source: str) -> set[int]:
+    """1-based line numbers of ``probe_source`` that are new or changed.
+
+    Mirrors the rstrip-normalisation of :func:`repro.replay.probe.
+    diff_sources`, reimplemented here so :mod:`repro.analysis` stays
+    import-cycle-free with :mod:`repro.replay`.
+    """
+    old = [line.rstrip() for line in record_source.splitlines()]
+    new = [line.rstrip() for line in probe_source.splitlines()]
+    matcher = difflib.SequenceMatcher(a=old, b=new, autojunk=False)
+    modified: set[int] = set()
+    for tag, _i1, _i2, j1, j2 in matcher.get_opcodes():
+        if tag in ("replace", "insert"):
+            modified.update(range(j1 + 1, j2 + 1))
+    return modified
+
+
+def _child_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for field_name in ("body", "orelse", "finalbody"):
+        nested = getattr(stmt, field_name, None)
+        if nested and isinstance(nested, list):
+            bodies.append(nested)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    for case in getattr(stmt, "cases", []) or []:
+        bodies.append(case.body)
+    return bodies
+
+
+def extract_probe_statements(record_source: str,
+                             probe_source: str) -> list[ast.stmt]:
+    """The minimal statements of ``probe_source`` the user inserted/changed.
+
+    A statement whose header line is itself new is a probe in full (a new
+    ``if`` block, say); when only lines inside a pre-existing compound
+    changed, extraction descends to the smallest enclosing statements.
+    """
+    modified = _modified_new_lines(record_source, probe_source)
+    if not modified:
+        return []
+    tree = ast.parse(probe_source)
+    probes: list[ast.stmt] = []
+
+    def visit(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            start = stmt.lineno
+            end = getattr(stmt, "end_lineno", start)
+            if not (set(range(start, end + 1)) & modified):
+                continue
+            children = _child_bodies(stmt)
+            if start in modified or not children:
+                probes.append(stmt)
+            else:
+                for child in children:
+                    visit(child)
+
+    visit(tree.body)
+    return probes
+
+
+# ---------------------------------------------------------------------- #
+# Fact extraction
+# ---------------------------------------------------------------------- #
+def _flor_aliases(tree: ast.Module) -> set[str]:
+    """Local aliases of the repro logging module in ``tree``."""
+    aliases = set(_DEFAULT_FLOR_ALIASES)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    aliases.add(alias.asname or "repro")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "repro":
+                for alias in node.names:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _match_flor_log(stmt: ast.stmt,
+                    flor_aliases: set[str]) -> tuple[str, ast.expr] | None:
+    """Match ``flor.log("name", expr)`` and return ``(name, expr)``."""
+    if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+        return None
+    call = stmt.value
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "log"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in flor_aliases):
+        return None
+    if len(call.args) < 2 or call.keywords:
+        return None
+    name_node = call.args[0]
+    if not (isinstance(name_node, ast.Constant)
+            and isinstance(name_node.value, str)):
+        return None
+    return name_node.value, call.args[1]
+
+
+def _name_sets(node: ast.AST) -> tuple[set[str], set[str], set[str]]:
+    """``(reads, writes, mutated)`` over every name in ``node``.
+
+    ``writes`` are plain-name stores and deletes; ``mutated`` are the base
+    names of attribute/subscript stores and deletes.  Names bound within
+    the node itself (comprehension targets, walrus targets) count as
+    writes and are excluded from reads.
+    """
+    reads: set[str] = set()
+    writes: set[str] = set()
+    mutated: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            if isinstance(sub.ctx, ast.Load):
+                reads.add(sub.id)
+            else:  # Store or Del
+                writes.add(sub.id)
+        elif isinstance(sub, (ast.Attribute, ast.Subscript)):
+            if not isinstance(sub.ctx, ast.Load):
+                base = sub.value
+                while isinstance(base, (ast.Attribute, ast.Subscript)):
+                    base = base.value
+                if isinstance(base, ast.Name):
+                    mutated.add(base.id)
+    return reads - writes, writes, mutated
+
+
+def statement_facts(stmt: ast.stmt, source_lines: list[str],
+                    flor_aliases: set[str] | None = None) -> StatementFacts:
+    """Extract the read/write/mutation facts of one statement."""
+    if flor_aliases is None:
+        flor_aliases = set(_DEFAULT_FLOR_ALIASES)
+    lineno = stmt.lineno
+    end_lineno = getattr(stmt, "end_lineno", lineno)
+    snippet = "\n".join(source_lines[lineno - 1:end_lineno]).strip() \
+        if 0 < lineno <= len(source_lines) else ast.unparse(stmt)
+
+    matched = _match_flor_log(stmt, flor_aliases)
+    if matched is not None:
+        logged_name, value_expr = matched
+        reads, writes, mutated = _name_sets(value_expr)
+        return StatementFacts(
+            lineno=lineno, end_lineno=end_lineno, source=snippet,
+            reads=frozenset(reads), writes=frozenset(writes),
+            mutated=frozenset(mutated), is_flor_log=True,
+            logged_name=logged_name, value_source=ast.unparse(value_expr))
+
+    reads, writes, mutated = _name_sets(stmt)
+    # The logging module alias itself is API plumbing, not loop state.
+    return StatementFacts(
+        lineno=lineno, end_lineno=end_lineno, source=snippet,
+        reads=frozenset(reads - flor_aliases), writes=frozenset(writes),
+        mutated=frozenset(mutated))
+
+
+# ---------------------------------------------------------------------- #
+# Classification
+# ---------------------------------------------------------------------- #
+def record_changeset_names(record_source: str) -> set[str]:
+    """Every name any loop of ``record_source`` mutates (unfiltered union).
+
+    This is the protected set for probe classification: the *raw* changesets
+    of all loops, before loop-scoped filtering — a probe that rebinds even a
+    loop-scoped temporary diverges the iterations that follow it.
+    """
+    try:
+        analysis = analyze_script(record_source)
+    except SyntaxError:
+        return set()
+    names: set[str] = set()
+    for loop in analysis.loops:
+        names |= set(loop.raw_changeset.names)
+    return names
+
+
+def _classify(facts: StatementFacts, logged_names: set[str],
+              changeset_names: set[str]) -> ProbeClass:
+    touched = (facts.writes | facts.mutated) & changeset_names
+    if touched:
+        return ProbeClass.MUTATING
+    if facts.is_flor_log and facts.reads <= (logged_names
+                                             | set(SAFE_BUILTINS)):
+        return ProbeClass.PURE_LOGGED
+    return ProbeClass.PURE_STATE
+
+
+def analyze_probe(record_source: str, probe_source: str,
+                  logged_names: set[str] | frozenset[str] = frozenset(),
+                  changeset_names: set[str] | None = None,
+                  filename: str = "<probe>") -> ProbeAnalysis:
+    """Classify every probe statement ``probe_source`` adds over the record.
+
+    ``logged_names`` are the value names the run recorded (the candidates
+    a ``PURE_LOGGED`` probe may read); ``changeset_names`` defaults to the
+    union the Table-1 analysis computes over ``record_source``.
+    """
+    if changeset_names is None:
+        changeset_names = record_changeset_names(record_source)
+    logged = set(logged_names)
+    source_lines = probe_source.splitlines()
+    try:
+        statements = extract_probe_statements(record_source, probe_source)
+        flor_aliases = _flor_aliases(ast.parse(probe_source))
+    except SyntaxError as exc:
+        report = DiagnosticReport([Diagnostic(
+            code="RPL100", severity=Severity.ERROR,
+            message=f"probe source does not parse: {exc.msg}",
+            file=filename, line=exc.lineno or 0, col=(exc.offset or 1) - 1,
+            hint="fix the syntax error before replaying")])
+        return ProbeAnalysis(statements=[], report=report)
+
+    analysis = ProbeAnalysis()
+    for stmt in statements:
+        facts = statement_facts(stmt, source_lines, flor_aliases)
+        classification = _classify(facts, logged, changeset_names)
+        probe = ProbeStatement(facts=facts, classification=classification)
+        if classification is ProbeClass.PURE_LOGGED and facts.is_flor_log:
+            matched = _match_flor_log(stmt, flor_aliases)
+            if matched is not None:
+                probe.value_ast = matched[1]
+        if classification is ProbeClass.MUTATING:
+            offenders = sorted((facts.writes | facts.mutated)
+                               & changeset_names)
+            probe.diagnostic = Diagnostic(
+                code="RPL001", severity=Severity.ERROR,
+                message=(f"probe writes changeset name(s) "
+                         f"{', '.join(offenders)}; injecting it would "
+                         f"diverge the recorded trace"),
+                file=filename, line=facts.lineno,
+                end_line=facts.end_lineno,
+                hint="probes must only read loop state — log a derived "
+                     "value instead of reassigning it",
+                source_line=facts.source.splitlines()[0]
+                if facts.source else "")
+            analysis.report.add(probe.diagnostic)
+        analysis.statements.append(probe)
+    return analysis
+
+
+# ---------------------------------------------------------------------- #
+# PURE_LOGGED evaluation
+# ---------------------------------------------------------------------- #
+def evaluate_pure_logged(probe: ProbeStatement, env: dict[str, object]):
+    """Evaluate a ``PURE_LOGGED`` probe's value expression against ``env``.
+
+    ``env`` maps logged value names to their recorded values for one
+    iteration.  Raises :class:`NameError`/:class:`TypeError` etc. on bad
+    expressions — callers treat failures as unresolvable cells.
+    """
+    if probe.value_ast is None:
+        raise ValueError("probe has no value expression")
+    expression = ast.Expression(body=probe.value_ast)
+    code = compile(ast.fix_missing_locations(expression),
+                   "<pure-logged-probe>", "eval")
+    return eval(code, {"__builtins__": SAFE_BUILTINS}, dict(env))

@@ -35,9 +35,10 @@ import ast
 
 from ..exceptions import SideEffectAnalysisError
 from .changeset import Changeset, RuleApplication
+from .scope import pattern_names
 
 __all__ = ["apply_rules_to_statement", "build_changeset", "target_names",
-           "call_base_name"]
+           "call_base_name", "declared_escaping_names"]
 
 
 def target_names(target: ast.expr) -> tuple[set[str], set[str]]:
@@ -92,9 +93,16 @@ def call_base_name(call: ast.Call) -> tuple[str | None, bool]:
     return None, False
 
 
-def apply_rules_to_statement(stmt: ast.stmt,
-                             changeset: Changeset) -> RuleApplication | None:
-    """Match ``stmt`` against Table 1 and return the rule application, if any."""
+def apply_rules_to_statement(stmt: ast.stmt, changeset: Changeset,
+                             declared_globals: frozenset[str] = frozenset()
+                             ) -> RuleApplication | None:
+    """Match ``stmt`` against Table 1 and return the rule application, if any.
+
+    ``declared_globals`` are names declared ``global``/``nonlocal`` in the
+    loop body: an assignment to one of them escapes the loop's scope
+    entirely, so the matching rule escalates to a blocking application —
+    the changeset cannot bound the statement's effects.
+    """
     lineno = getattr(stmt, "lineno", 0)
 
     # --- assignment forms -------------------------------------------------
@@ -120,6 +128,14 @@ def apply_rules_to_statement(stmt: ast.stmt,
                 reason=f"re-assigns previously modified variable(s) "
                        f"{sorted(already)}")
 
+        escaping = bound & declared_globals
+        if escaping:
+            return RuleApplication(
+                rule=3, lineno=lineno, delta=frozenset(), blocking=True,
+                reason=f"assigns global/nonlocal-declared name(s) "
+                       f"{sorted(escaping)}; the binding escapes the "
+                       f"loop's scope")
+
         value = stmt.value
         if isinstance(value, ast.Call):
             base, is_method = call_base_name(value)
@@ -133,8 +149,42 @@ def apply_rules_to_statement(stmt: ast.stmt,
 
     if isinstance(stmt, ast.AugAssign):
         bound, mutated = target_names(stmt.target)
+        escaping = bound & declared_globals
+        if escaping:
+            return RuleApplication(
+                rule=3, lineno=lineno, delta=frozenset(), blocking=True,
+                reason=f"assigns global/nonlocal-declared name(s) "
+                       f"{sorted(escaping)}; the binding escapes the "
+                       f"loop's scope")
         return RuleApplication(rule=3, lineno=lineno,
                                delta=frozenset(bound | mutated))
+
+    # --- match statements -------------------------------------------------
+    # Case patterns bind captured names like a plain assignment of the
+    # subject's pieces: Rule 0 if a pattern rebinds an already-modified
+    # name, Rule 3 delta otherwise.  Case *bodies* are analysed separately
+    # by the statement iteration.
+    if isinstance(stmt, ast.Match):
+        bound = set()
+        for case in stmt.cases:
+            bound |= pattern_names(case.pattern)
+        already = bound & changeset.names
+        if already:
+            return RuleApplication(
+                rule=0, lineno=lineno, delta=frozenset(), blocking=True,
+                reason=f"match pattern re-binds previously modified "
+                       f"variable(s) {sorted(already)}")
+        escaping = bound & declared_globals
+        if escaping:
+            return RuleApplication(
+                rule=3, lineno=lineno, delta=frozenset(), blocking=True,
+                reason=f"assigns global/nonlocal-declared name(s) "
+                       f"{sorted(escaping)}; the binding escapes the "
+                       f"loop's scope")
+        if bound:
+            return RuleApplication(rule=3, lineno=lineno,
+                                   delta=frozenset(bound))
+        return None
 
     # --- bare call statements ---------------------------------------------
     if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
@@ -152,7 +202,8 @@ def apply_rules_to_statement(stmt: ast.stmt,
 
 
 #: Statement types whose nested bodies are analysed recursively.
-_COMPOUND = (ast.If, ast.For, ast.While, ast.With, ast.Try)
+_COMPOUND = (ast.If, ast.For, ast.AsyncFor, ast.While, ast.With,
+             ast.AsyncWith, ast.Try, ast.Match)
 
 
 def _iter_statements(body: list[ast.stmt]):
@@ -169,6 +220,23 @@ def _iter_statements(body: list[ast.stmt]):
             if handlers:
                 for handler in handlers:
                     yield from _iter_statements(handler.body)
+            cases = getattr(stmt, "cases", None)
+            if cases:
+                for case in cases:
+                    yield from _iter_statements(case.body)
+
+
+def declared_escaping_names(body: list[ast.stmt]) -> frozenset[str]:
+    """Names declared ``global``/``nonlocal`` anywhere in ``body``.
+
+    Nested function/class definitions are not descended: their
+    declarations refer to *their* enclosing scope, not the loop's.
+    """
+    names: set[str] = set()
+    for stmt in _iter_statements(body):
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            names.update(stmt.names)
+    return frozenset(names)
 
 
 def build_changeset(loop: ast.For | ast.While) -> Changeset:
@@ -179,19 +247,21 @@ def build_changeset(loop: ast.For | ast.While) -> Changeset:
     iteration); it is almost always filtered out later as loop-scoped.
     """
     changeset = Changeset()
+    declared_globals = declared_escaping_names(loop.body)
 
-    if isinstance(loop, ast.For):
+    if isinstance(loop, (ast.For, ast.AsyncFor)):
         bound, mutated = target_names(loop.target)
         changeset.apply(RuleApplication(rule=3, lineno=loop.lineno,
                                         delta=frozenset(bound | mutated)))
 
     for stmt in _iter_statements(loop.body):
-        if isinstance(stmt, ast.For):
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
             bound, mutated = target_names(stmt.target)
             changeset.apply(RuleApplication(rule=3, lineno=stmt.lineno,
                                             delta=frozenset(bound | mutated)))
             continue
-        application = apply_rules_to_statement(stmt, changeset)
+        application = apply_rules_to_statement(stmt, changeset,
+                                               declared_globals)
         if application is not None:
             changeset.apply(application)
         if changeset.blocked:

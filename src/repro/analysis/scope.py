@@ -13,20 +13,27 @@ from __future__ import annotations
 import ast
 
 __all__ = ["bound_names", "names_bound_before", "loop_scoped_names",
-           "names_read_after"]
+           "names_read_after", "pattern_names"]
 
 
 def bound_names(node: ast.AST) -> set[str]:
     """All names bound by assignments/imports/defs within ``node`` (recursive,
-    but not descending into nested function or class definitions)."""
+    but not descending into nested function or class definitions).
+
+    Statements are processed in program order so that ``del`` unbinds: a
+    name assigned and later deleted is not reported bound.  Walrus
+    (``:=``) targets count as bindings wherever the expression appears.
+    """
     names: set[str] = set()
     for stmt in _walk_statements(node):
         names |= _names_bound_by(stmt)
+        names -= _names_deleted_by(stmt)
     return names
 
 
 def _walk_statements(node: ast.AST):
-    """Yield statements nested under ``node`` without entering new scopes."""
+    """Yield statements nested under ``node`` in program order, without
+    entering new scopes (nested function/class definitions)."""
     if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
                          ast.Module)):
         body = node.body
@@ -34,25 +41,28 @@ def _walk_statements(node: ast.AST):
         body = node
     else:
         body = getattr(node, "body", [])
+    yield from _walk_body(body)
 
-    stack = list(body)
-    while stack:
-        stmt = stack.pop()
+
+def _walk_body(body: list[ast.stmt]):
+    for stmt in body:
         yield stmt
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
             continue  # new scope: its internal bindings are not ours
         for field_name in ("body", "orelse", "finalbody"):
             nested = getattr(stmt, field_name, None)
             if nested:
-                stack.extend(nested)
-        handlers = getattr(stmt, "handlers", None)
-        if handlers:
-            for handler in handlers:
-                stack.extend(handler.body)
+                yield from _walk_body(nested)
+        for handler in getattr(stmt, "handlers", None) or []:
+            yield from _walk_body(handler.body)
+        for case in getattr(stmt, "cases", None) or []:
+            yield from _walk_body(case.body)
 
 
 def _names_bound_by(stmt: ast.stmt) -> set[str]:
-    """Names directly bound by one statement."""
+    """Names directly bound by one statement (including walrus targets in
+    any of its own expressions)."""
     names: set[str] = set()
     if isinstance(stmt, ast.Assign):
         for target in stmt.targets:
@@ -72,6 +82,56 @@ def _names_bound_by(stmt: ast.stmt) -> set[str]:
             names.add((alias.asname or alias.name).split(".")[0])
     elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
         names.add(stmt.name)
+    elif isinstance(stmt, ast.Match):
+        for case in stmt.cases:
+            names |= pattern_names(case.pattern)
+    return names | _walrus_names(stmt)
+
+
+def _names_deleted_by(stmt: ast.stmt) -> set[str]:
+    """Plain names a ``del`` statement unbinds (attribute/subscript deletes
+    mutate their base object and unbind nothing)."""
+    if not isinstance(stmt, ast.Delete):
+        return set()
+    names: set[str] = set()
+    for target in stmt.targets:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _walrus_names(stmt: ast.stmt) -> set[str]:
+    """Walrus (``ast.NamedExpr``) targets in the statement's own expressions.
+
+    Per PEP 572 a walrus inside a comprehension binds in the containing
+    scope, so comprehensions are descended; ``lambda`` bodies open their
+    own scope and are skipped.  Nested statement bodies are not visited —
+    the statement walk yields those statements separately.
+    """
+    names: set[str] = set()
+    stack: list[ast.AST] = []
+    for _field, value in ast.iter_fields(stmt):
+        values = value if isinstance(value, list) else [value]
+        stack.extend(v for v in values if isinstance(v, ast.expr))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.NamedExpr):
+            names |= _target_plain_names(node.target)
+        stack.extend(ast.iter_child_nodes(node))
+    return names
+
+
+def pattern_names(pattern: ast.AST) -> set[str]:
+    """Names a ``match`` case pattern captures (``MatchAs``/``MatchStar``
+    bindings and ``MatchMapping`` rest targets, at any nesting depth)."""
+    names: set[str] = set()
+    for node in ast.walk(pattern):
+        if isinstance(node, (ast.MatchAs, ast.MatchStar)) and node.name:
+            names.add(node.name)
+        elif isinstance(node, ast.MatchMapping) and node.rest:
+            names.add(node.rest)
     return names
 
 
@@ -95,12 +155,12 @@ def names_bound_before(scope_body: list[ast.stmt], stop: ast.stmt) -> set[str]:
 
     ``stop`` must be reachable from ``scope_body`` (possibly nested); binding
     statements are collected in program order until ``stop`` is encountered.
+    A ``del`` before ``stop`` unbinds: a name deleted ahead of a loop is
+    *not* bound-before, so a loop that rebinds it correctly treats it as
+    loop-scoped.
     """
     names: set[str] = set()
-    found = _collect_until(scope_body, stop, names)
-    if not found:
-        # ``stop`` was not in this scope at all; the caller gets every binding.
-        pass
+    _collect_until(scope_body, stop, names)
     return names
 
 
@@ -109,17 +169,19 @@ def _collect_until(body: list[ast.stmt], stop: ast.stmt, names: set[str]) -> boo
         if stmt is stop:
             return True
         names |= _names_bound_by(stmt)
+        names -= _names_deleted_by(stmt)
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
             continue
         for field_name in ("body", "orelse", "finalbody"):
             nested = getattr(stmt, field_name, None)
             if nested and _collect_until(nested, stop, names):
                 return True
-        handlers = getattr(stmt, "handlers", None)
-        if handlers:
-            for handler in handlers:
-                if _collect_until(handler.body, stop, names):
-                    return True
+        for handler in getattr(stmt, "handlers", None) or []:
+            if _collect_until(handler.body, stop, names):
+                return True
+        for case in getattr(stmt, "cases", None) or []:
+            if _collect_until(case.body, stop, names):
+                return True
     return False
 
 
@@ -155,7 +217,7 @@ def loop_scoped_names(loop: ast.For | ast.While,
     the enclosing scope.
     """
     inside: set[str] = set()
-    if isinstance(loop, ast.For):
+    if isinstance(loop, (ast.For, ast.AsyncFor)):
         inside |= _target_plain_names(loop.target)
     for stmt in _walk_statements(loop.body):
         inside |= _names_bound_by(stmt)

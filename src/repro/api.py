@@ -29,6 +29,9 @@ from __future__ import annotations
 import contextlib
 from typing import Iterable, Iterator
 
+from .analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from .analysis.lint import lint_path, lint_run, lint_source
+from .analysis.purity import ProbeAnalysis, ProbeClass, analyze_probe
 from .config import FlorConfig, get_config, set_config
 from .modes import InitStrategy, Mode
 from .query.api import query
@@ -56,6 +59,9 @@ __all__ = [
     "diff", "DiffResult", "DiffStats", "ValueDrift",
     "gc", "prune", "storage_stats",
     "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",
+    "lint_source", "lint_path", "lint_run",
+    "Diagnostic", "DiagnosticReport", "Severity",
+    "analyze_probe", "ProbeAnalysis", "ProbeClass",
     "get_config", "set_config", "FlorConfig",
 ]
 

@@ -154,6 +154,13 @@ class FlorConfig:
         A :class:`~repro.storage.lifecycle.RetentionPolicy` applied to
         each recording run (on background passes when ``gc_interval`` is
         set, and at session close).  ``None`` keeps every checkpoint.
+    strict_analysis:
+        When True, record open fails with a :class:`RecordError` if the
+        replay-safety lint (``repro.analysis.lint``) finds any
+        warning-or-worse diagnostic in the script — unseeded RNG, wall
+        clock reads in loop bodies, and friends.  The default (False)
+        emits :class:`~repro.exceptions.ReplaySafetyWarning` and records
+        anyway, matching the paper's warn-don't-abort posture.
     """
 
     home: Path = field(default_factory=lambda: DEFAULT_HOME)
@@ -178,6 +185,7 @@ class FlorConfig:
     dedup: bool = True
     gc_interval: float | None = None
     retention_policy: RetentionPolicy | None = None
+    strict_analysis: bool = False
 
     _VALID_MATERIALIZERS = ("fork", "thread", "ipc_queue", "sequential",
                             "shared_memory", "spool")
@@ -226,6 +234,9 @@ class FlorConfig:
         self._check_at_least_one("query_workers", self.query_workers)
         if not isinstance(self.dedup, bool):
             raise ConfigError(f"dedup must be a bool, got {self.dedup!r}")
+        if not isinstance(self.strict_analysis, bool):
+            raise ConfigError(f"strict_analysis must be a bool, "
+                              f"got {self.strict_analysis!r}")
         if self.gc_interval is not None and (
                 not isinstance(self.gc_interval, (int, float))
                 or isinstance(self.gc_interval, bool)

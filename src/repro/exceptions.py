@@ -42,6 +42,30 @@ class ReplayAnomalyError(ReplayError):
     """
 
 
+class ReplaySafetyError(ReplayError):
+    """Raised when static analysis refuses a replay or query.
+
+    Carries the :class:`~repro.analysis.diagnostics.DiagnosticReport` that
+    motivated the refusal (``MUTATING`` probes, RPL001) so callers can
+    render the offending lines.
+    """
+
+    def __init__(self, message: str, report=None):
+        self.report = report
+        if report is not None and len(report):
+            message = f"{message}\n{report.render_text()}"
+        super().__init__(message)
+
+
+class ReplaySafetyWarning(UserWarning):
+    """Emitted at record open when the determinism lint finds hazards.
+
+    A :class:`UserWarning` (not a :class:`FlorError`) because the default
+    posture is to record anyway — the ``strict_analysis`` config knob
+    upgrades these findings to a :class:`RecordError`.
+    """
+
+
 class InstrumentationError(FlorError):
     """Raised when the AST instrumentation pass cannot transform a script."""
 

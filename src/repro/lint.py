@@ -1,0 +1,92 @@
+"""``python -m repro.lint`` — the replay-safety lint CLI.
+
+Targets may be Python files, directories (linted recursively), or run ids
+already in the catalog (any unambiguous prefix); the recorded run's
+snapshotted source is pulled from its run directory.  Exit status: 0 when
+no diagnostic reaches the ``--fail-on`` threshold, 1 when one does, 2 on
+usage or target-resolution errors.
+
+Examples::
+
+    python -m repro.lint examples/ src/repro/workloads/
+    python -m repro.lint train.py --fail-on warning
+    python -m repro.lint my-run-id --json --output diagnostics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.diagnostics import DiagnosticReport, Severity
+from .analysis.lint import lint_path, lint_run
+from .exceptions import FlorError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Replay-safety lint for recorded scripts and runs.")
+    parser.add_argument("targets", nargs="+",
+                        help="Python files, directories, or recorded run ids")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the JSON diagnostics document instead of "
+                             "the human rendering")
+    parser.add_argument("--output", metavar="FILE",
+                        help="also write the JSON diagnostics document to "
+                             "FILE (regardless of --json)")
+    parser.add_argument("--fail-on", choices=["info", "warning", "error"],
+                        default="error",
+                        help="exit 1 when any diagnostic reaches this "
+                             "severity (default: error)")
+    return parser
+
+
+def _expand_targets(targets: list[str]) -> tuple[list[Path], list[str]]:
+    """Split targets into Python files on disk and candidate run ids."""
+    files: list[Path] = []
+    run_ids: list[str] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            found = sorted(path.rglob("*.py"))
+            if not found:
+                raise FlorError(f"no Python files under directory {path}")
+            files.extend(found)
+        elif path.is_file():
+            files.append(path)
+        else:
+            run_ids.append(target)
+    return files, run_ids
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    report = DiagnosticReport()
+    try:
+        files, run_ids = _expand_targets(args.targets)
+        for path in files:
+            report.merge(lint_path(path))
+        for run_id in run_ids:
+            report.merge(lint_run(run_id))
+    except FlorError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.output:
+        Path(args.output).write_text(report.to_json() + "\n",
+                                     encoding="utf-8")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+
+    threshold = Severity(args.fail_on)
+    return 1 if any(d.severity >= threshold for d in report) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,11 +27,13 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..analysis.instrument import BlockSpec, instrument_source
+from ..analysis.purity import (ProbeAnalysis, SAFE_BUILTINS,
+                               evaluate_pure_logged)
 from ..config import FlorConfig, get_config
 from ..exceptions import QueryError
 from ..record.logger import LogRecord, read_log
 from ..record.recorder import ORIGINAL_SOURCE_NAME
-from ..replay.probe import detect_probed_blocks
+from ..replay.probe import assert_probes_safe, detect_probed_blocks
 from ..replay.scheduler import load_iteration_costs
 from ..storage.checkpoint_store import CheckpointStore
 from .catalog import RunCatalog, RunEntry
@@ -118,12 +120,32 @@ def query(values: str | Sequence[str],
             and source_digest(replay_source_text)
             != source_digest(record_source_text))
 
+        # Static purity gate, at plan time: MUTATING probes are refused
+        # before a single job is scheduled, and PURE_LOGGED probes are
+        # evaluated straight from the record log so they cost zero replay.
+        probe_analysis: ProbeAnalysis | None = None
+        if replay_possible:
+            try:
+                probe_analysis = assert_probes_safe(
+                    record_source_text, replay_source_text,
+                    logged_names=set(entry.logged_values),
+                    filename=f"{entry.run_id}:probe source")
+            except Exception:
+                store.close()
+                raise
+
         digest = source_digest(replay_source_text or "")
         memo = MemoCache(store, digest)
         memos[entry.run_id] = memo
 
         wanted = _normalize_iterations(iterations, entry.main_loop_total)
-        record_index = _record_index(run_dir, names)
+        pure_probes = probe_analysis.pure_logged() if probe_analysis else {}
+        pure_inputs = {read for probe in pure_probes.values()
+                       for read in probe.facts.reads} - set(SAFE_BUILTINS)
+        record_index = _record_index(
+            run_dir, names + tuple(sorted(pure_inputs - set(names))))
+        analysis_index = _evaluate_pure_probes(
+            pure_probes, names, wanted, record_index)
         costs = load_iteration_costs(store,
                                      scaling_factor=config.scaling_factor)
         run_plan = plan_run(entry, names, wanted,
@@ -131,7 +153,11 @@ def query(values: str | Sequence[str],
                             memo_index=memo.load(),
                             costs=costs,
                             replay_possible=replay_possible,
-                            mode=config.query_planner)
+                            mode=config.query_planner,
+                            analysis_index=analysis_index,
+                            analysis_only_names=frozenset(
+                                name for name in pure_probes
+                                if name in names))
         plan.runs.append(run_plan)
         aligned_by_run[entry.run_id] = entry.aligned_iterations
         costs_by_run[entry.run_id] = costs
@@ -176,6 +202,8 @@ def query(values: str | Sequence[str],
                 source=resolution.source)
             if resolution.source == "logged":
                 stats.resolved_logged += 1
+            elif resolution.source == "analysis":
+                stats.analysis_resolved += 1
             else:
                 stats.resolved_memo += 1
 
@@ -245,6 +273,44 @@ def _record_index(run_dir: Path,
     for record in read_log(run_dir / "record.log"):
         if record.name in names and record.iteration is not None:
             index[(record.name, record.iteration)] = record.value
+    return index
+
+
+def _evaluate_pure_probes(pure_probes: dict, names: tuple[str, ...],
+                          wanted: tuple[int, ...],
+                          record_index: dict[tuple[str, int], object],
+                          ) -> dict[tuple[str, int], object]:
+    """Evaluate ``PURE_LOGGED`` probes per iteration from the record log.
+
+    For each requested value name that a pure probe computes, and each
+    wanted iteration at which every input name was logged, the probe's
+    expression is evaluated under the safe-builtins environment.  Cells
+    whose inputs are missing (or whose evaluation raises) are simply left
+    out — the planner reports them missing instead of replaying, because
+    the expression references *logged value names*, which need not exist
+    as live variables in a replayed script.
+    """
+    index: dict[tuple[str, int], object] = {}
+    for name, probe in pure_probes.items():
+        if name not in names:
+            continue
+        inputs = [read for read in probe.facts.reads
+                  if read not in SAFE_BUILTINS]
+        for iteration in wanted:
+            if (name, iteration) in record_index:
+                continue  # already logged at record time; log wins
+            env = {}
+            for read in inputs:
+                if (read, iteration) not in record_index:
+                    env = None
+                    break
+                env[read] = record_index[(read, iteration)]
+            if env is None:
+                continue
+            try:
+                index[(name, iteration)] = evaluate_pure_logged(probe, env)
+            except Exception:
+                continue  # unresolvable cell, reported missing
     return index
 
 

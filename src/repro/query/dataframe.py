@@ -25,7 +25,9 @@ class QueryRow:
     iteration: int
     name: str
     value: object
-    #: Where the value came from: ``"logged"`` | ``"memo"`` | ``"replay"``.
+    #: Where the value came from: ``"logged"`` | ``"memo"`` |
+    #: ``"analysis"`` (a PURE_LOGGED probe evaluated from the record log)
+    #: | ``"replay"``.
     source: str
 
 
@@ -54,6 +56,9 @@ class QueryStats:
     requested_cells: int = 0
     resolved_logged: int = 0
     resolved_memo: int = 0
+    #: Cells evaluated from the record log by the purity analysis
+    #: (``PURE_LOGGED`` probes) — resolved with zero replay jobs.
+    analysis_resolved: int = 0
     resolved_replay: int = 0
     missing_cells: int = 0
     replay_jobs: list[ReplayJobRecord] = field(default_factory=list)
@@ -73,7 +78,8 @@ class QueryStats:
     def summary(self) -> str:
         return (f"{self.requested_cells} cells over {self.runs} run(s): "
                 f"{self.resolved_logged} logged, {self.resolved_memo} "
-                f"memoized, {self.resolved_replay} replayed via "
+                f"memoized, {self.analysis_resolved} analysis-resolved, "
+                f"{self.resolved_replay} replayed via "
                 f"{self.replay_job_count} job(s) "
                 f"({self.replayed_iterations} iterations), "
                 f"{self.missing_cells} missing; "

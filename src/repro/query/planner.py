@@ -8,6 +8,11 @@ planner resolves each one to the cheapest source:
 ``memo``
     A previous query already replayed it and the memo cache wrote it back
     through the storage backend; reading it back is free.
+``analysis``
+    The probe that computes the value is ``PURE_LOGGED`` (it reads only
+    names the run already logged — see :mod:`repro.analysis.purity`), so
+    the value was evaluated directly from ``record.log`` without starting
+    a single replay worker.
 ``replay``
     The value must be recomputed.  Unresolved iterations are coalesced
     into **replay spans**: contiguous iteration ranges that start right
@@ -38,7 +43,7 @@ __all__ = ["Resolution", "ReplaySpan", "RunPlan", "QueryPlan",
            "plan_spans", "split_span", "balance_spans", "plan_run"]
 
 #: Sources a cell can resolve to, cheapest first.
-SOURCES = ("logged", "memo", "replay")
+SOURCES = ("logged", "memo", "analysis", "replay")
 
 
 @dataclass(frozen=True)
@@ -232,7 +237,9 @@ def plan_run(entry: RunEntry, names: Sequence[str],
              memo_index: dict[str, dict[int, object]],
              costs: IterationCosts,
              replay_possible: bool,
-             mode: str = "cost") -> RunPlan:
+             mode: str = "cost",
+             analysis_index: dict[tuple[str, int], object] | None = None,
+             analysis_only_names: frozenset[str] = frozenset()) -> RunPlan:
     """Resolve one run's cells and coalesce the remainder into spans.
 
     ``record_index`` maps ``(name, iteration)`` to the record-time value;
@@ -242,9 +249,18 @@ def plan_run(entry: RunEntry, names: Sequence[str],
     it never logged, so unresolved cells stay unresolved instead of
     scheduling useless jobs.  ``mode="replay_all"`` (the ablation baseline)
     skips span coalescing and replays the whole recorded range.
+
+    ``analysis_index`` holds values the purity analysis already evaluated
+    from the record log (``PURE_LOGGED`` probes); cells found there cost no
+    replay.  ``analysis_only_names`` are value names produced *solely* by
+    ``PURE_LOGGED`` probe statements: their expressions reference logged
+    value names, which need not exist as live script variables, so a cell
+    of such a name that the analysis could not evaluate is reported missing
+    rather than span-planned — replaying it could only crash.
     """
     plan = RunPlan(entry=entry, names=tuple(names),
                    wanted_iterations=tuple(wanted_iterations))
+    analysis_index = analysis_index or {}
     unresolved: set[int] = set()
     for iteration in wanted_iterations:
         for name in names:
@@ -256,9 +272,14 @@ def plan_run(entry: RunEntry, names: Sequence[str],
                 plan.resolutions.append(Resolution(
                     entry.run_id, name, iteration, "memo",
                     memo_index[name][iteration]))
+            elif (name, iteration) in analysis_index:
+                plan.resolutions.append(Resolution(
+                    entry.run_id, name, iteration, "analysis",
+                    analysis_index[(name, iteration)]))
             else:
                 plan.unresolved_cells.append((name, iteration))
-                unresolved.add(iteration)
+                if name not in analysis_only_names:
+                    unresolved.add(iteration)
     if unresolved and replay_possible:
         plan.replay_iterations = tuple(sorted(unresolved))
         if mode == "replay_all":

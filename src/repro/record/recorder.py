@@ -10,12 +10,14 @@ the original source, and the instrumentation metadata.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..analysis.instrument import InstrumentationResult, instrument_source
+from ..analysis.lint import lint_source
 from ..config import FlorConfig, get_config
-from ..exceptions import RecordError
+from ..exceptions import RecordError, ReplaySafetyWarning
 from ..modes import Mode
 from ..record.logger import LogRecord
 from ..session import Session
@@ -78,6 +80,22 @@ def record_source(source: str, name: str | None = None,
     """
     config = config or get_config()
     run_id = run_id or new_run_id(name)
+
+    # Replay-safety lint runs before any run directory exists, so a strict
+    # failure leaves nothing behind.  Warnings don't block: the paper's
+    # posture is warn-and-record, with replay-time checks as the backstop.
+    lint_report = lint_source(source, filename=f"{name or 'script'}.py")
+    hazards = lint_report.at_least("warning")
+    if hazards:
+        if config.strict_analysis:
+            raise RecordError(
+                "strict_analysis: script failed the replay-safety lint\n"
+                + hazards.render_text())
+        warnings.warn(
+            "script has replay-safety hazards (set strict_analysis=True "
+            "to fail instead):\n" + hazards.render_text(),
+            ReplaySafetyWarning, stacklevel=2)
+
     instrumentation = instrument_source(source)
 
     session = Session(run_id=run_id, mode=Mode.RECORD, config=config)
@@ -88,6 +106,8 @@ def record_source(source: str, name: str | None = None,
     # The workload name groups runs of the same experiment in the multi-run
     # catalog ("my last 8 cifar runs"), independent of the unique run id.
     session.store.set_metadata("workload", name or "script")
+    if lint_report:
+        session.store.set_metadata("lint", lint_report.to_payload())
 
     exec_globals = {"__name__": "__main__", "__file__": ORIGINAL_SOURCE_NAME}
     if script_globals:

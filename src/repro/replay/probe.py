@@ -14,8 +14,11 @@ import difflib
 from dataclasses import dataclass, field
 
 from ..analysis.instrument import BlockSpec
+from ..analysis.purity import ProbeAnalysis, analyze_probe
+from ..exceptions import ReplaySafetyError
 
-__all__ = ["SourceDiff", "diff_sources", "detect_probed_blocks"]
+__all__ = ["SourceDiff", "diff_sources", "detect_probed_blocks",
+           "probe_safety", "assert_probes_safe"]
 
 
 @dataclass
@@ -113,3 +116,38 @@ def detect_probed_blocks(record_source: str, replay_source: str,
                 probed.add(block_id)
                 break
     return probed
+
+
+def probe_safety(record_source: str, replay_source: str,
+                 logged_names: set[str] | frozenset[str] = frozenset(),
+                 filename: str = "<replay source>") -> ProbeAnalysis:
+    """Classify the probes ``replay_source`` adds over ``record_source``.
+
+    Thin re-export of :func:`repro.analysis.purity.analyze_probe` from the
+    replay layer, using the record source's own Table-1 changesets as the
+    protected name set.
+    """
+    return analyze_probe(record_source, replay_source,
+                         logged_names=logged_names, filename=filename)
+
+
+def assert_probes_safe(record_source: str, replay_source: str,
+                       logged_names: set[str] | frozenset[str] = frozenset(),
+                       filename: str = "<replay source>") -> ProbeAnalysis:
+    """Refuse ``MUTATING`` probes before any replay worker starts.
+
+    A probe that writes a changeset name would diverge every iteration
+    after its first execution — the replayed values would be silently
+    wrong, which is worse than failing.  Raises :class:`ReplaySafetyError`
+    with the RPL001 diagnostics attached; returns the analysis otherwise.
+    """
+    analysis = probe_safety(record_source, replay_source,
+                            logged_names=logged_names, filename=filename)
+    if analysis.mutating:
+        lines = sorted(probe.facts.lineno for probe in analysis.mutating)
+        raise ReplaySafetyError(
+            f"replay refused: {len(analysis.mutating)} probe statement(s) "
+            f"write into the recorded changeset (line(s) "
+            f"{', '.join(map(str, lines))})",
+            report=analysis.report)
+    return analysis

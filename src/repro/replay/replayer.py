@@ -24,7 +24,7 @@ from ..record.recorder import ORIGINAL_SOURCE_NAME
 from ..storage.checkpoint_store import CheckpointStore
 from .consistency import ConsistencyReport, check_consistency
 from .parallel import WorkerResult, run_parallel_replay
-from .probe import detect_probed_blocks
+from .probe import assert_probes_safe, detect_probed_blocks
 
 __all__ = ["ReplayResult", "replay_script"]
 
@@ -110,6 +110,13 @@ def replay_script(run_id: str, new_source: str | Path | None = None,
         replay_source_text = Path(new_source).read_text(encoding="utf-8")
     else:
         replay_source_text = str(new_source)
+
+    if replay_source_text != record_source_text:
+        # MUTATING probes are refused before any worker starts: a probe
+        # that writes a changeset name would silently diverge every
+        # iteration after its first execution.
+        assert_probes_safe(record_source_text, replay_source_text,
+                           filename=f"{run_id}:replay source")
 
     stored_blocks = {bid: BlockSpec.from_dict(spec)
                      for bid, spec in store.get_metadata("blocks", {}).items()}

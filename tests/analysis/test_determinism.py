@@ -1,0 +1,195 @@
+"""Tests for the replay-determinism lint (RPL1xx rules)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.determinism import lint_determinism
+from repro.analysis.diagnostics import Severity
+from repro.workloads import build_streaming_script, build_training_script
+
+
+def lint(source: str):
+    return lint_determinism(textwrap.dedent(source))
+
+
+class TestPlantedHazards:
+    def test_catches_exactly_the_planted_hazards(self):
+        """Acceptance check: one unseeded RNG draw and one wall-clock read
+        in the loop body are reported — and nothing else."""
+        report = lint("""
+            import random
+            import time
+
+            net = make_model()
+            for epoch in range(5):
+                noise = random.random()
+                started = time.time()
+                net.fit(noise)
+        """)
+        assert [d.code for d in report] == ["RPL101", "RPL102"]
+        rng, clock = report
+        assert rng.severity is Severity.ERROR
+        assert "random.random" in rng.message
+        assert rng.line == 7
+        assert clock.severity is Severity.WARNING
+        assert "time.time" in clock.message
+        assert clock.line == 8
+
+    def test_no_false_positives_on_clean_workloads(self):
+        for script in (build_training_script("ImgN", epochs=2),
+                       build_streaming_script("Wiki")):
+            assert len(lint_determinism(script)) == 0
+
+    def test_clean_seeded_script_passes(self):
+        report = lint("""
+            import random
+            random.seed(42)
+            for epoch in range(5):
+                noise = random.random()
+        """)
+        assert len(report) == 0
+
+
+class TestRngRules:
+    def test_numpy_alias_is_canonicalized(self):
+        report = lint("""
+            import numpy as np
+            x = np.random.rand(3)
+        """)
+        assert report.codes() == ["RPL101"]
+        assert "numpy.random.rand" in report.diagnostics[0].message
+
+    def test_seed_pacifies_only_its_family(self):
+        report = lint("""
+            import random
+            import numpy as np
+            np.random.seed(0)
+            a = np.random.rand()
+            b = random.random()
+        """)
+        assert [d.code for d in report] == ["RPL101"]
+        assert "random.random" in report.diagnostics[0].message
+
+    def test_explicit_generator_with_seed_is_fine(self):
+        report = lint("""
+            import numpy as np
+            rng = np.random.default_rng(1234)
+            x = rng.normal()
+        """)
+        assert len(report) == 0
+
+    def test_unseeded_generator_constructor_flagged(self):
+        report = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert report.codes() == ["RPL101"]
+
+
+class TestClockAndEnvironmentRules:
+    def test_wall_clock_outside_loop_is_info(self):
+        report = lint("""
+            import time
+            started = time.time()
+        """)
+        assert report.codes() == ["RPL102"]
+        assert report.diagnostics[0].severity is Severity.INFO
+
+    def test_time_sleep_is_not_a_clock_read(self):
+        report = lint("""
+            import time
+            time.sleep(0.1)
+        """)
+        assert len(report) == 0
+
+    def test_set_iteration_in_loop_flagged(self):
+        report = lint("""
+            for name in set(layers):
+                freeze(name)
+        """)
+        assert "RPL103" in report.codes()
+
+    def test_environ_iteration_flagged(self):
+        report = lint("""
+            import os
+            for key in os.environ:
+                print(key)
+        """)
+        assert "RPL103" in report.codes()
+
+    def test_thread_spawn_in_loop_flagged(self):
+        report = lint("""
+            import threading
+            for shard in shards:
+                threading.Thread(target=load, args=(shard,)).start()
+        """)
+        assert "RPL104" in report.codes()
+
+    def test_thread_spawn_outside_loop_not_flagged(self):
+        report = lint("""
+            import threading
+            worker = threading.Thread(target=load)
+        """)
+        assert "RPL104" not in report.codes()
+
+    def test_filesystem_write_flagged(self):
+        report = lint("""
+            with open("metrics.csv", "w") as fh:
+                fh.write(line)
+        """)
+        assert "RPL105" in report.codes()
+
+    def test_read_mode_open_not_flagged(self):
+        report = lint("""
+            with open("config.json") as fh:
+                data = fh.read()
+        """)
+        assert "RPL105" not in report.codes()
+
+    def test_network_call_flagged(self):
+        report = lint("""
+            import urllib.request
+            data = urllib.request.urlopen(url).read()
+        """)
+        assert "RPL106" in report.codes()
+
+
+class TestSuppressionAndErrors:
+    def test_blanket_noqa_suppresses(self):
+        report = lint("""
+            import random
+            x = random.random()  # noqa
+        """)
+        assert len(report) == 0
+
+    def test_targeted_noqa_suppresses_only_listed_code(self):
+        report = lint("""
+            import random
+            import time
+            for i in range(3):
+                x = random.random()  # noqa: RPL101
+                t = time.time()  # noqa: RPL103
+        """)
+        assert [d.code for d in report] == ["RPL102"]
+
+    def test_repro_noqa_synonym(self):
+        report = lint("""
+            import random
+            x = random.random()  # repro: noqa
+        """)
+        assert len(report) == 0
+
+    def test_syntax_error_becomes_rpl100(self):
+        report = lint_determinism("def broken(:\n")
+        assert [d.code for d in report] == ["RPL100"]
+        assert report.has_errors
+
+    def test_findings_sorted_by_position(self):
+        report = lint("""
+            import time
+            import random
+            b = time.time()
+            a = random.random()
+        """)
+        assert [d.line for d in report] == sorted(d.line for d in report)

@@ -1,0 +1,137 @@
+"""Tests for ``python -m repro.lint`` and the lint entry points."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+import repro
+from repro.analysis.lint import lint_run, lint_source
+from repro.exceptions import FlorError
+from repro.lint import main
+
+HAZARDOUS = textwrap.dedent("""
+    import random
+    import time
+
+    for epoch in range(3):
+        noise = random.random()
+        stamp = time.time()
+""")
+
+CLEAN = textwrap.dedent("""
+    import random
+    random.seed(0)
+
+    total = 0
+    for epoch in range(3):
+        total += epoch
+""")
+
+
+@pytest.fixture
+def hazard_file(tmp_path):
+    path = tmp_path / "hazard.py"
+    path.write_text(HAZARDOUS, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN, encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main([str(clean_file)]) == 0
+
+    def test_error_finding_exits_one(self, hazard_file, capsys):
+        assert main([str(hazard_file)]) == 1
+
+    def test_fail_on_warning_raises_threshold(self, hazard_file, clean_file,
+                                              capsys):
+        # The clean file has no warnings either; the hazard file has both.
+        assert main([str(clean_file), "--fail-on", "warning"]) == 0
+        assert main([str(hazard_file), "--fail-on", "warning"]) == 1
+
+    def test_missing_target_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.py"
+        code = main([str(missing)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_directory_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([str(empty)]) == 2
+
+
+class TestOutputs:
+    def test_human_rendering_names_code_and_line(self, hazard_file, capsys):
+        main([str(hazard_file)])
+        out = capsys.readouterr().out
+        assert "RPL101" in out
+        assert "random.random" in out
+        assert f"{hazard_file}" in out
+
+    def test_json_document_shape(self, hazard_file, capsys):
+        main([str(hazard_file), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        assert doc["summary"]["errors"] >= 1
+        codes = {d["code"] for d in doc["diagnostics"]}
+        assert {"RPL101", "RPL102"} <= codes
+
+    def test_output_file_written(self, hazard_file, tmp_path, capsys):
+        out_file = tmp_path / "diag.json"
+        main([str(hazard_file), "--output", str(out_file)])
+        doc = json.loads(out_file.read_text(encoding="utf-8"))
+        assert doc["summary"]["errors"] >= 1
+
+    def test_directory_target_lints_recursively(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg" / "sub"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(HAZARDOUS, encoding="utf-8")
+        (tmp_path / "pkg" / "good.py").write_text(CLEAN, encoding="utf-8")
+        assert main([str(tmp_path / "pkg")]) == 1
+
+
+class TestRunLinting:
+    def test_lint_run_reads_recorded_source(self, flor_config):
+        with pytest.warns(repro.ReplaySafetyWarning):
+            record = repro.record_source(HAZARDOUS, name="lint-me",
+                                         config=flor_config)
+        report = lint_run(record.run_id, config=flor_config)
+        assert "RPL101" in report.codes()
+        assert report.diagnostics[0].file.startswith(record.run_id)
+
+    def test_lint_run_unknown_id_raises(self, flor_config):
+        with pytest.raises(FlorError):
+            lint_run("no-such-run", config=flor_config)
+
+    def test_cli_run_id_target(self, flor_config, capsys):
+        # The fixture installs flor_config as the active config, so the
+        # CLI's catalog lookup resolves against the test home.
+        with pytest.warns(repro.ReplaySafetyWarning):
+            record = repro.record_source(HAZARDOUS, name="cli-run",
+                                         config=flor_config)
+        assert main([record.run_id]) == 1
+        assert "RPL101" in capsys.readouterr().out
+
+
+class TestLintSource:
+    def test_rpl201_reports_non_instrumentable_loop(self):
+        source = textwrap.dedent("""
+            for epoch in range(2):
+                for batch in loader:
+                    optimizer.step()
+                print(epoch)
+        """)
+        report = lint_source(source)
+        assert "RPL201" in report.codes()
+        rpl201 = [d for d in report if d.code == "RPL201"]
+        assert all(d.severity == "info" for d in rpl201)

@@ -1,0 +1,151 @@
+"""Tests for probe purity analysis (PURE_LOGGED / PURE_STATE / MUTATING)."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.purity import (ProbeClass, SAFE_BUILTINS, analyze_probe,
+                                   evaluate_pure_logged,
+                                   extract_probe_statements,
+                                   record_changeset_names)
+
+RECORD = textwrap.dedent("""
+    import repro as flor
+
+    net = make_model()
+    optimizer = make_optimizer(net)
+    for epoch in flor.loop(range(4)):
+        for batch in loader:
+            preds = net(batch)
+            loss = criterion(preds, batch)
+            optimizer.step()
+        flor.log("train_loss", loss)
+""")
+
+
+def probe_with(*extra_lines: str) -> str:
+    """The record source with probe lines appended inside the epoch loop."""
+    indent = "    "
+    insert = "\n".join(indent + line for line in extra_lines)
+    return RECORD.replace(
+        '    flor.log("train_loss", loss)',
+        '    flor.log("train_loss", loss)\n' + insert)
+
+
+class TestExtraction:
+    def test_identical_sources_have_no_probes(self):
+        assert extract_probe_statements(RECORD, RECORD) == []
+
+    def test_inserted_statement_is_extracted(self):
+        probe = probe_with('flor.log("lr", optimizer.lr)')
+        statements = extract_probe_statements(RECORD, probe)
+        assert len(statements) == 1
+        assert "lr" in __import__("ast").unparse(statements[0])
+
+    def test_cosmetic_blank_line_is_not_a_probe(self):
+        padded = RECORD.replace("        preds = net(batch)",
+                                "\n        preds = net(batch)")
+        assert extract_probe_statements(RECORD, padded) == []
+
+
+class TestChangesetNames:
+    def test_record_changeset_covers_loop_mutations(self):
+        names = record_changeset_names(RECORD)
+        assert {"loss", "preds", "optimizer", "epoch", "batch"} <= names
+
+    def test_unparsable_record_yields_empty_set(self):
+        assert record_changeset_names("def broken(:\n") == set()
+
+
+class TestClassification:
+    def test_pure_logged_probe(self):
+        probe = probe_with('flor.log("loss_sq", train_loss * train_loss)')
+        analysis = analyze_probe(RECORD, probe,
+                                 logged_names={"train_loss"})
+        assert analysis.classification is ProbeClass.PURE_LOGGED
+        assert set(analysis.pure_logged()) == {"loss_sq"}
+        assert len(analysis.report) == 0
+
+    def test_pure_logged_may_call_safe_builtins(self):
+        probe = probe_with('flor.log("loss_abs", abs(round(train_loss, 2)))')
+        analysis = analyze_probe(RECORD, probe,
+                                 logged_names={"train_loss"})
+        assert analysis.classification is ProbeClass.PURE_LOGGED
+
+    def test_probe_reading_live_state_is_pure_state(self):
+        probe = probe_with('flor.log("grad_norm", net.grad_norm())')
+        analysis = analyze_probe(RECORD, probe,
+                                 logged_names={"train_loss"})
+        assert analysis.classification is ProbeClass.PURE_STATE
+        assert analysis.pure_logged() == {}
+        assert len(analysis.report) == 0
+
+    def test_method_call_on_changeset_object_is_a_read(self):
+        # net.parameters() does not *write* net — probes like this must
+        # stay replayable.
+        probe = probe_with('flor.log("nparams", len(net.parameters()))')
+        analysis = analyze_probe(RECORD, probe)
+        assert analysis.classification is ProbeClass.PURE_STATE
+
+    def test_rebinding_changeset_name_is_mutating(self):
+        probe = probe_with("loss = loss * 0.5")
+        analysis = analyze_probe(RECORD, probe, filename="probe.py")
+        assert analysis.classification is ProbeClass.MUTATING
+        assert len(analysis.mutating) == 1
+        diagnostic = analysis.report.diagnostics[0]
+        assert diagnostic.code == "RPL001"
+        assert "loss" in diagnostic.message
+        assert diagnostic.file == "probe.py"
+        assert diagnostic.line > 0
+
+    def test_attribute_store_on_changeset_base_is_mutating(self):
+        probe = probe_with("optimizer.lr = 0.0")
+        analysis = analyze_probe(RECORD, probe)
+        assert analysis.classification is ProbeClass.MUTATING
+
+    def test_del_of_changeset_name_is_mutating(self):
+        probe = probe_with("del loss")
+        analysis = analyze_probe(RECORD, probe)
+        assert analysis.classification is ProbeClass.MUTATING
+
+    def test_write_to_fresh_name_is_not_mutating(self):
+        probe = probe_with("probe_tmp = 1",
+                           'flor.log("probe_tmp_val", probe_tmp)')
+        analysis = analyze_probe(RECORD, probe)
+        assert analysis.classification is ProbeClass.PURE_STATE
+
+    def test_empty_probe_set_is_vacuously_pure_logged(self):
+        analysis = analyze_probe(RECORD, RECORD)
+        assert analysis.classification is ProbeClass.PURE_LOGGED
+
+    def test_unparsable_probe_source_reports_rpl100(self):
+        analysis = analyze_probe(RECORD, "def broken(:\n")
+        assert analysis.report.codes() == ["RPL100"]
+        assert analysis.report.has_errors
+
+
+class TestEvaluation:
+    def test_evaluate_pure_logged_probe(self):
+        probe = probe_with('flor.log("loss_sq", train_loss * train_loss)')
+        analysis = analyze_probe(RECORD, probe,
+                                 logged_names={"train_loss"})
+        statement = analysis.pure_logged()["loss_sq"]
+        assert evaluate_pure_logged(statement, {"train_loss": 3.0}) == 9.0
+
+    def test_evaluation_has_no_unsafe_builtins(self):
+        probe = probe_with('flor.log("leak", train_loss)')
+        analysis = analyze_probe(RECORD, probe,
+                                 logged_names={"train_loss"})
+        statement = analysis.pure_logged()["leak"]
+        statement.value_ast = __import__("ast").parse(
+            "open('/etc/hostname')", mode="eval").body
+        with pytest.raises(NameError):
+            evaluate_pure_logged(statement, {"train_loss": 1.0})
+
+    def test_safe_builtins_are_pure(self):
+        assert "open" not in SAFE_BUILTINS
+        assert "eval" not in SAFE_BUILTINS
+        assert "__import__" not in SAFE_BUILTINS
+        assert SAFE_BUILTINS["sum"]([1, 2, 3]) == 6

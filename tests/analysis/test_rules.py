@@ -8,7 +8,8 @@ import pytest
 
 from repro.analysis.changeset import Changeset, RuleApplication
 from repro.analysis.rules import (apply_rules_to_statement, build_changeset,
-                                  call_base_name, target_names)
+                                  call_base_name, declared_escaping_names,
+                                  target_names)
 
 
 def first_statement(source: str) -> ast.stmt:
@@ -207,3 +208,154 @@ class TestBuildChangeset:
         assert changeset.blocked
         # The statement after the blocking call was never interpreted.
         assert "optimizer" not in changeset.names
+
+
+class TestModernSyntax:
+    """Table 1 over post-3.8 syntax: starred/chained/annotated targets,
+    ``match`` statements, and ``async for`` bodies."""
+
+    @pytest.mark.parametrize("source,expected_rule,expected_delta", [
+        # starred targets in unpacking assignments
+        ("first, *middle, last = values",
+         3, {"first", "middle", "last"}),
+        ("*rest, final = producer(x)",
+         2, {"rest", "final"}),
+        # chained assignments bind every target list
+        ("a = b = stats.mean()",
+         1, {"a", "b", "stats"}),
+        ("x = y = z = 0",
+         3, {"x", "y", "z"}),
+        # annotated assignments with values
+        ("lr: float = schedule(epoch)",
+         2, {"lr"}),
+        ("state.total: int = 3",
+         3, {"state"}),
+    ])
+    def test_assignment_forms(self, source, expected_rule, expected_delta):
+        application = apply(source)
+        assert application.rule == expected_rule
+        assert application.delta == frozenset(expected_delta)
+
+    @pytest.mark.parametrize("source,expected_names", [
+        # capture patterns bind names like assignments (Rule 3)
+        ("match point:\n"
+         "    case (x, y):\n"
+         "        pass\n", {"x", "y"}),
+        # class patterns with keyword captures
+        ("match event:\n"
+         "    case Click(button=b):\n"
+         "        pass\n"
+         "    case Scroll() as s:\n"
+         "        pass\n", {"b", "s"}),
+        # mapping rest and sequence star captures
+        ("match config:\n"
+         "    case {'lr': lr, **extras}:\n"
+         "        pass\n"
+         "    case [head, *tail]:\n"
+         "        pass\n", {"lr", "extras", "head", "tail"}),
+    ])
+    def test_match_patterns_are_rule3(self, source, expected_names):
+        application = apply(source)
+        assert application.rule == 3
+        assert application.delta == frozenset(expected_names)
+
+    def test_match_pattern_rebinding_changeset_name_blocks(self):
+        source = ("match result:\n"
+                  "    case (loss, acc):\n"
+                  "        pass\n")
+        application = apply(source, existing={"loss"})
+        assert application.rule == 0
+        assert application.blocking
+        assert "loss" in application.reason
+
+    def test_match_case_bodies_are_analyzed(self):
+        source = ("for item in stream:\n"
+                  "    match item:\n"
+                  "        case ('step',):\n"
+                  "            optimizer.step()\n"
+                  "        case _:\n"
+                  "            skipped += 1\n")
+        changeset = build_changeset(first_statement(source))
+        assert not changeset.blocked
+        assert {"optimizer", "skipped"} <= changeset.names
+
+    def test_wildcard_only_match_contributes_nothing(self):
+        application = apply("match x:\n    case _:\n        pass\n")
+        assert application is None
+
+    def test_async_for_body_is_analyzed(self):
+        source = ("async def consume():\n"
+                  "    async for batch in stream:\n"
+                  "        total = accumulate(batch)\n")
+        loop = first_statement(source).body[0]
+        assert isinstance(loop, ast.AsyncFor)
+        changeset = build_changeset(loop)
+        assert not changeset.blocked
+        assert {"batch", "total"} <= changeset.names
+
+    def test_nested_async_for_target_joins_changeset(self):
+        source = ("async def consume():\n"
+                  "    async for chunk in stream:\n"
+                  "        async for item in chunk:\n"
+                  "            sink.write_row(item)\n")
+        outer = first_statement(source).body[0]
+        changeset = build_changeset(outer)
+        assert {"chunk", "item", "sink"} <= changeset.names
+
+
+class TestGlobalNonlocalEscalation:
+    """Assignments to ``global``/``nonlocal``-declared names escape the
+    loop's scope, so the matching rule escalates to blocking."""
+
+    def test_global_assignment_in_loop_blocks(self):
+        source = ("for step in range(10):\n"
+                  "    global best_loss\n"
+                  "    best_loss = evaluate(step)\n")
+        changeset = build_changeset(first_statement(source))
+        assert changeset.blocked
+        assert "best_loss" in changeset.blocking_reason
+        assert "escapes" in changeset.blocking_reason
+
+    def test_nonlocal_augassign_in_loop_blocks(self):
+        source = ("def outer():\n"
+                  "    counter = 0\n"
+                  "    def inner():\n"
+                  "        for x in items:\n"
+                  "            nonlocal counter\n"
+                  "            counter += 1\n")
+        loop = first_statement(source).body[1].body[0]
+        changeset = build_changeset(loop)
+        assert changeset.blocked
+        assert "counter" in changeset.blocking_reason
+
+    def test_global_declared_in_nested_compound_still_escalates(self):
+        source = ("for epoch in range(2):\n"
+                  "    if epoch:\n"
+                  "        global tally\n"
+                  "    tally = epoch\n")
+        changeset = build_changeset(first_statement(source))
+        assert changeset.blocked
+
+    def test_global_in_nested_function_does_not_escalate(self):
+        # The declaration belongs to the nested function's scope, not the
+        # loop's; the loop itself never assigns the global.
+        source = ("for epoch in range(2):\n"
+                  "    def report():\n"
+                  "        global total\n"
+                  "        total = 1\n"
+                  "    acc.update(epoch)\n")
+        changeset = build_changeset(first_statement(source))
+        assert not changeset.blocked
+        assert "acc" in changeset.names
+
+    def test_declared_escaping_names_helper(self):
+        tree = ast.parse("global a, b\nnonlocal_free = 1\n")
+        assert declared_escaping_names(tree.body) == frozenset({"a", "b"})
+
+    def test_unassigned_global_declaration_is_harmless(self):
+        # Declaring without assigning (read-only use) does not block.
+        source = ("for step in range(3):\n"
+                  "    global lr\n"
+                  "    acc.update(lr)\n")
+        changeset = build_changeset(first_statement(source))
+        assert not changeset.blocked

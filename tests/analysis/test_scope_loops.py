@@ -7,7 +7,8 @@ import textwrap
 
 from repro.analysis.loop_finder import analyze_loop, analyze_script, find_loops
 from repro.analysis.scope import (bound_names, loop_scoped_names,
-                                  names_bound_before, names_read_after)
+                                  names_bound_before, names_read_after,
+                                  pattern_names)
 
 FIGURE6_SCRIPT = textwrap.dedent("""
     import torchlike as tl
@@ -58,6 +59,65 @@ class TestScopeHelpers:
         before = names_bound_before(tree.body, inner_loop)
         scoped = loop_scoped_names(inner_loop, before)
         assert scoped == {"batch", "preds", "avg_loss"}
+
+    def test_bound_names_counts_walrus_targets(self):
+        source = ("while (chunk := reader.next()) is not None:\n"
+                  "    sizes = [n for line in chunk if (n := len(line)) > 0]\n")
+        names = bound_names(ast.parse(source))
+        assert {"chunk", "sizes", "n"} <= names
+
+    def test_walrus_inside_lambda_is_not_bound_here(self):
+        source = "fn = lambda x: (tmp := x) + 1\n"
+        names = bound_names(ast.parse(source))
+        assert "fn" in names
+        assert "tmp" not in names
+
+    def test_del_unbinds_in_program_order(self):
+        source = "scratch = allocate()\nuse(scratch)\ndel scratch\nkeep = 1\n"
+        names = bound_names(ast.parse(source))
+        assert "keep" in names
+        assert "scratch" not in names
+
+    def test_rebinding_after_del_counts_again(self):
+        source = "x = 1\ndel x\nx = 2\n"
+        assert "x" in bound_names(ast.parse(source))
+
+    def test_del_of_attribute_keeps_base_bound(self):
+        source = "obj = make()\ndel obj.cache\n"
+        assert "obj" in bound_names(ast.parse(source))
+
+    def test_names_bound_before_honors_del(self):
+        # A name deleted ahead of the loop is not bound-before, so a loop
+        # that rebinds it treats it as loop-scoped.
+        source = textwrap.dedent("""
+            warmup = prepare()
+            del warmup
+            for step in range(3):
+                warmup = step * 2
+                acc.update(warmup)
+        """)
+        tree = ast.parse(source)
+        loop = next(node for node in tree.body if isinstance(node, ast.For))
+        before = names_bound_before(tree.body, loop)
+        assert "warmup" not in before
+        assert "warmup" in loop_scoped_names(loop, before)
+
+    def test_match_case_bindings_are_bound(self):
+        source = textwrap.dedent("""
+            match payload:
+                case {'value': v, **rest}:
+                    seen = v
+                case [first, *others]:
+                    seen = first
+        """)
+        names = bound_names(ast.parse(source))
+        assert {"v", "rest", "first", "others", "seen"} <= names
+
+    def test_pattern_names_helper(self):
+        case = ast.parse(
+            "match p:\n    case Point(x=px) as pt:\n        pass\n"
+        ).body[0].cases[0]
+        assert pattern_names(case.pattern) == {"px", "pt"}
 
     def test_names_read_after_detects_later_reads(self):
         source = textwrap.dedent("""

@@ -1,0 +1,170 @@
+"""End-to-end tests for the replay-safety static analysis.
+
+The acceptance scenarios of the static-analysis PR:
+
+* a ``PURE_LOGGED`` hindsight probe — one whose expression reads only
+  record-time logged values — is answered with **zero replay jobs**; the
+  planner resolves every cell from the analysis evaluator;
+* a ``MUTATING`` probe is rejected at plan time with an ``RPL001``
+  diagnostic naming the offending line, before any job is scheduled;
+* the recorder's lint gate warns (default) or fails (``strict_analysis``)
+  on hazardous scripts and snapshots the diagnostics as run metadata.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+import repro
+from repro.config import FlorConfig
+from repro.exceptions import RecordError, ReplaySafetyError
+from repro.record.recorder import record_source
+from repro.replay.replayer import replay_script
+from repro.storage.checkpoint_store import CheckpointStore
+
+EPOCHS = 6
+
+TRAINING_SCRIPT = textwrap.dedent(f"""
+    import numpy as np
+    from repro import api as flor
+
+    rng = np.random.default_rng(7)
+    state = rng.standard_normal(64).astype('float32')
+
+    for epoch in range({EPOCHS}):
+        for _step in range(1):
+            state = np.roll(state, 1) * 0.99 + float(epoch + 1) * 1e-3
+        flor.log("train_loss", float(abs(state).mean()))
+""")
+
+#: Reads only the logged ``train_loss`` — resolvable without replay.
+PURE_PROBE = TRAINING_SCRIPT.replace(
+    'flor.log("train_loss", float(abs(state).mean()))',
+    'flor.log("train_loss", float(abs(state).mean()))\n'
+    '    flor.log("loss_sq", train_loss * train_loss)')
+
+#: Rebinds ``state``, a changeset name — must be refused.
+MUTATING_PROBE = TRAINING_SCRIPT.replace(
+    'flor.log("train_loss", float(abs(state).mean()))',
+    'state = state * 0.0\n'
+    '    flor.log("train_loss", float(abs(state).mean()))')
+
+HAZARDOUS_SCRIPT = textwrap.dedent("""
+    import random
+    import time
+    from repro import api as flor
+
+    total = 0.0
+    for epoch in range(3):
+        for _step in range(1):
+            total = total + random.random() + time.time()
+        flor.log("total", total)
+""")
+
+
+@pytest.fixture()
+def recorded_run(flor_config):
+    recorded = record_source(TRAINING_SCRIPT, name="safety",
+                             config=flor_config)
+    return recorded.run_id
+
+
+class TestPureLoggedQueries:
+    def test_pure_logged_probe_needs_zero_replay_jobs(self, flor_config,
+                                                      recorded_run):
+        logged = repro.query(values="train_loss", runs=[recorded_run],
+                             config=flor_config)
+        result = repro.query(values="loss_sq", runs=[recorded_run],
+                             source=PURE_PROBE, config=flor_config)
+        assert result.stats.replay_job_count == 0
+        assert result.stats.replay_jobs == []
+        assert result.stats.analysis_resolved == EPOCHS
+        assert result.stats.missing_cells == 0
+        expected = [value * value
+                    for value in logged.values("train_loss")]
+        assert result.values("loss_sq") == pytest.approx(expected)
+        assert all(row.source == "analysis" for row in result.rows)
+
+    def test_mixed_query_combines_logged_and_analysis(self, flor_config,
+                                                      recorded_run):
+        result = repro.query(values=["train_loss", "loss_sq"],
+                             runs=[recorded_run], source=PURE_PROBE,
+                             config=flor_config)
+        assert result.stats.replay_job_count == 0
+        assert result.stats.resolved_logged == EPOCHS
+        assert result.stats.analysis_resolved == EPOCHS
+        assert "analysis-resolved" in result.stats.summary()
+
+    def test_pure_state_probe_still_replays(self, flor_config, recorded_run):
+        state_probe = TRAINING_SCRIPT.replace(
+            'flor.log("train_loss", float(abs(state).mean()))',
+            'flor.log("train_loss", float(abs(state).mean()))\n'
+            '    flor.log("state_sum", float(state.sum()))')
+        result = repro.query(values="state_sum", runs=[recorded_run],
+                             source=state_probe, config=flor_config,
+                             workers=1)
+        assert result.stats.replay_job_count >= 1
+        assert result.stats.missing_cells == 0
+        assert len(result.values("state_sum")) == EPOCHS
+
+
+class TestMutatingProbeRefusal:
+    def test_query_rejects_mutating_probe_at_plan_time(self, flor_config,
+                                                       recorded_run):
+        with pytest.raises(ReplaySafetyError) as excinfo:
+            repro.query(values="train_loss", runs=[recorded_run],
+                        source=MUTATING_PROBE, config=flor_config)
+        message = str(excinfo.value)
+        assert "RPL001" in message
+        assert "state" in message
+        # The diagnostic names the offending line of the probe source.
+        offending = next(index + 1
+                         for index, line
+                         in enumerate(MUTATING_PROBE.splitlines())
+                         if line.strip() == "state = state * 0.0")
+        assert f":{offending}:" in message
+        report = excinfo.value.report
+        assert report is not None and report.has_errors
+
+    def test_replay_script_refuses_mutating_probe(self, flor_config,
+                                                  recorded_run):
+        with pytest.raises(ReplaySafetyError):
+            replay_script(recorded_run, new_source=MUTATING_PROBE,
+                          num_workers=1, config=flor_config)
+
+    def test_verbatim_replay_is_not_gated(self, flor_config, recorded_run):
+        result = replay_script(recorded_run, num_workers=1,
+                               config=flor_config)
+        assert len(result.values("train_loss")) == EPOCHS
+
+
+class TestRecordLintGate:
+    def test_default_mode_warns_and_persists_lint_metadata(self, tmp_path):
+        config = FlorConfig(home=tmp_path / "flor_home")
+        with pytest.warns(repro.ReplaySafetyWarning, match="RPL101"):
+            recorded = record_source(HAZARDOUS_SCRIPT, name="hazard",
+                                     config=config)
+        store = CheckpointStore(config.run_dir(recorded.run_id))
+        payload = store.get_metadata("lint")
+        store.close()
+        assert payload is not None
+        codes = {row["code"] for row in payload}
+        assert {"RPL101", "RPL102"} <= codes
+
+    def test_strict_analysis_fails_the_record(self, tmp_path):
+        config = FlorConfig(home=tmp_path / "flor_home",
+                            strict_analysis=True)
+        with pytest.raises(RecordError, match="strict_analysis"):
+            record_source(HAZARDOUS_SCRIPT, name="strict", config=config)
+        # The gate fires before the session opens: no run dir left behind.
+        home = tmp_path / "flor_home"
+        assert not home.exists() or not any(home.iterdir())
+
+    def test_clean_script_records_without_warning_or_metadata(
+            self, flor_config, recorded_run):
+        store = CheckpointStore(flor_config.run_dir(recorded_run))
+        lint_payload = store.get_metadata("lint")
+        store.close()
+        assert lint_payload is None
