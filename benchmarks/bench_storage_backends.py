@@ -23,11 +23,24 @@ Two sections:
   deterministic workload recorded twice under one home must land almost
   entirely on existing blobs (physical bytes after the re-run < 1.1x the
   single-run footprint), with the achieved dedup ratio reported.
+* ``delta`` — the delta-checkpoint acceptance number: a fine-tune-shaped
+  workload (large frozen backbone, small trainable head) checkpointed for
+  N epochs under each chunking mode.  The headline metric is physical
+  growth per epoch after the first, as a fraction of the first epoch's
+  footprint — chunked modes must land *well* under the 1.0x that storing
+  each epoch whole costs, without regressing record wall time.
+
+Any previously committed ``BENCH_storage.json`` acts as a regression
+baseline: the delta growth ratios must not drift materially above the
+committed numbers.
 
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_storage_backends.py -q
-    PYTHONPATH=src python benchmarks/bench_storage_backends.py
+    PYTHONPATH=src python benchmarks/bench_storage_backends.py [--smoke]
+
+``--smoke`` shrinks the backbone and epoch count for CI-sized runs (the
+acceptance thresholds are identical — delta savings are scale-free).
 """
 
 from __future__ import annotations
@@ -181,42 +194,155 @@ def run_dedup_comparison(home: Path) -> dict:
     }
 
 
-def run_benchmark(home: Path) -> dict:
+def run_delta_comparison(home: Path, smoke: bool = False) -> dict:
+    """Fine-tune-shaped epochs under each chunking mode.
+
+    The workload the tentpole optimizes for: a frozen backbone dominates
+    the checkpoint while a small head (plus its optimizer state) is all
+    that changes per epoch.  Chunked modes should pay roughly the head's
+    bytes per epoch; whole-payload storage pays the backbone's every
+    time.
+    """
+    from repro import torchlike as tl
+    from repro.storage.lifecycle import measure_storage
+
+    backbone_side = 192 if smoke else 448     # ~590 KB / ~3.2 MB of weights
+    epochs = 4 if smoke else 6
+    results: dict = {"epochs": epochs}
+    for mode in ("off", "fixed", "cdc"):
+        rng = np.random.default_rng(0)
+        backbone = tl.Sequential(
+            tl.Linear(backbone_side, backbone_side, rng=rng),
+            tl.ReLU(),
+            tl.Linear(backbone_side, backbone_side, rng=rng))
+        head = tl.Linear(backbone_side, 16, rng=rng)
+        optimizer = tl.SGD(head.parameters(), lr=0.05, momentum=0.9)
+        mode_home = home / f"delta-{mode}"
+        store = CheckpointStore(mode_home / "run", chunking=mode)
+        wall = 0.0
+        first_epoch_nbytes = 0
+        for epoch in range(epochs):
+            # One fine-tune step: the backbone is frozen, only the head
+            # (and its momentum buffers) moves.
+            for param in head.parameters():
+                param.grad = rng.standard_normal(param.data.shape) * 0.01
+            optimizer.step()
+            snapshots = [snapshot_value("backbone", backbone),
+                         snapshot_value("head", head),
+                         snapshot_value("optimizer", optimizer),
+                         snapshot_value("epoch", epoch)]
+            start = time.perf_counter()
+            store.put("train", epoch, snapshots)
+            wall += time.perf_counter() - start
+            if epoch == 0:
+                first_epoch_nbytes = measure_storage(
+                    mode_home).physical_nbytes
+        final_nbytes = measure_storage(mode_home).physical_nbytes
+        growth_ratio = ((final_nbytes - first_epoch_nbytes)
+                        / max(1, (epochs - 1) * first_epoch_nbytes))
+        # Read-back sanity: the last epoch reassembles to the live values.
+        restored = {s.name: s for s in store.get("train", epochs - 1)}
+        np.testing.assert_allclose(restored["head"].payload["weight"],
+                                   head.state_dict()["weight"])
+        store.close()
+        results[mode] = {
+            "first_epoch_nbytes": first_epoch_nbytes,
+            "final_physical_nbytes": final_nbytes,
+            "stored_growth_per_epoch_ratio": round(growth_ratio, 4),
+            "record_wall_seconds": round(wall, 4),
+        }
+    off_wall = results["off"]["record_wall_seconds"]
+    for mode in ("fixed", "cdc"):
+        results[mode]["wall_ratio_vs_off"] = round(
+            results[mode]["record_wall_seconds"] / max(1e-9, off_wall), 3)
+    return results
+
+
+def check_delta_regression(delta: dict, baseline: dict | None) -> list[str]:
+    """Compare delta growth ratios against the committed baseline.
+
+    Returns a list of human-readable regression messages (empty = pass).
+    Absolute slack, not relative: the ratios are near zero, where relative
+    comparisons amplify noise.
+    """
+    problems = []
+    if not baseline:
+        return problems
+    baseline_delta = baseline.get("delta") or {}
+    for mode in ("fixed", "cdc"):
+        old = (baseline_delta.get(mode) or {}).get(
+            "stored_growth_per_epoch_ratio")
+        new = delta[mode]["stored_growth_per_epoch_ratio"]
+        if old is not None and new > old + 0.15:
+            problems.append(
+                f"delta[{mode}] growth ratio regressed: {new} vs "
+                f"committed baseline {old}")
+    return problems
+
+
+def load_baseline() -> dict | None:
+    """The committed BENCH_storage.json, read before this run overwrites it."""
+    try:
+        return json.loads(RESULTS_PATH.read_text("utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def run_benchmark(home: Path, smoke: bool = False) -> dict:
+    baseline = load_baseline()
     pipeline = run_pipeline_comparison(home / "pipeline")
     live = run_live_imgn_comparison(home / "live")
     dedup = run_dedup_comparison(home / "dedup")
+    delta = run_delta_comparison(home / "delta", smoke=smoke)
+    regressions = check_delta_regression(delta, baseline)
     sync_wall = pipeline["sequential_local"]["wall_seconds"]
     spool_wall = pipeline["spool_local"]["wall_seconds"]
     results = {
         "benchmark": "bench_storage_backends",
         "description": "record-phase wall time: sync vs async spool vs "
-                       "sharded, plus live Fig-11 ImgN record and the "
-                       "identical-rerun dedup ratio",
+                       "sharded, plus live Fig-11 ImgN record, the "
+                       "identical-rerun dedup ratio, and delta-checkpoint "
+                       "growth per epoch under each chunking mode",
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "smoke": smoke,
         "pipeline": pipeline,
         "live_imgn": live,
         "dedup": dedup,
+        "delta": delta,
         "summary": {
             "async_speedup_vs_sync": round(sync_wall / spool_wall, 3),
             "async_reduces_record_wall_time": spool_wall < sync_wall,
             "dedup_rerun_stored_ratio": dedup["rerun_stored_ratio"],
             "dedup_rerun_under_1_1x": dedup["rerun_stored_ratio"] < 1.1,
+            "delta_fixed_growth_per_epoch": delta["fixed"][
+                "stored_growth_per_epoch_ratio"],
+            "delta_cdc_growth_per_epoch": delta["cdc"][
+                "stored_growth_per_epoch_ratio"],
+            "delta_regressions": regressions,
         },
     }
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n", "utf-8")
+    # Smoke runs guard against regressions but never overwrite the
+    # committed full-size baseline.
+    if not smoke:
+        RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n", "utf-8")
     return results
 
 
 def test_async_spool_beats_synchronous_record(tmp_path):
     results = run_benchmark(tmp_path)
+    assert_acceptance(results)
+
+
+def assert_acceptance(results: dict) -> None:
     pipeline = results["pipeline"]
     print("\nRecord-phase wall seconds "
           f"({ITERATIONS} x ~3 MB checkpoints + training steps):")
     for label, row in pipeline.items():
         print(f"  {label:18s} {row['wall_seconds']:8.3f}s "
               f"(main-thread {row['main_thread_seconds']:.3f}s)")
-    print(f"Results written to {RESULTS_PATH}")
+    if not results.get("smoke"):
+        print(f"Results written to {RESULTS_PATH}")
 
     sync = pipeline["sequential_local"]["wall_seconds"]
     spool = pipeline["spool_local"]["wall_seconds"]
@@ -240,10 +366,37 @@ def test_async_spool_beats_synchronous_record(tmp_path):
     assert dedup["rerun_stored_ratio"] < 1.1, dedup
     assert dedup["dedup_ratio"] > 1.5, dedup
 
+    # Delta-checkpoint acceptance: chunked epochs cost a small fraction
+    # of a whole-payload epoch in new physical bytes, at comparable
+    # record wall time, and never regress vs the committed baseline.
+    delta = results["delta"]
+    for mode in ("off", "fixed", "cdc"):
+        row = delta[mode]
+        print(f"Delta[{mode:5s}]: first epoch "
+              f"{row['first_epoch_nbytes']} B, growth/epoch "
+              f"{row['stored_growth_per_epoch_ratio']}x, record wall "
+              f"{row['record_wall_seconds']}s")
+    assert delta["off"]["stored_growth_per_epoch_ratio"] > 0.5, delta
+    for mode in ("fixed", "cdc"):
+        assert delta[mode]["stored_growth_per_epoch_ratio"] < 0.5, delta
+        assert delta[mode]["wall_ratio_vs_off"] < 1.5, delta
+    assert not results["summary"]["delta_regressions"], (
+        results["summary"]["delta_regressions"])
+
 
 if __name__ == "__main__":
+    import argparse
     import tempfile
 
+    parser = argparse.ArgumentParser(
+        description="storage backend + delta checkpoint benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: smaller backbone, fewer epochs; "
+                             "checks acceptance + regression thresholds "
+                             "without overwriting the committed baseline")
+    args = parser.parse_args()
     with tempfile.TemporaryDirectory(prefix="flor_bench_storage_") as tmp:
-        results = run_benchmark(Path(tmp))
+        results = run_benchmark(Path(tmp), smoke=args.smoke)
         print(json.dumps(results, indent=2))
+        assert_acceptance(results)
+        print("acceptance thresholds: PASS")

@@ -54,6 +54,9 @@ DEFAULT_REPLAY_CHUNK_SIZE = 4
 #: Default process-pool size for hindsight-query replay jobs.
 DEFAULT_QUERY_WORKERS = 2
 
+#: Default target chunk size for delta checkpoints (256 KiB).
+DEFAULT_CHUNK_NBYTES = 1 << 18
+
 
 @dataclass(frozen=True)
 class FlorConfig:
@@ -145,6 +148,27 @@ class FlorConfig:
         copy.  ``False`` keeps the legacy one-file-per-execution layout.
         Reads follow the manifest's recorded locations, so either setting
         replays runs recorded under the other.
+    chunking:
+        Delta checkpoints: split each serialized payload into
+        content-addressed chunks and store only chunks whose digest is
+        new, so consecutive epochs pay for what changed.  ``"fixed"``
+        (the default) cuts ``chunk_nbytes`` slices restarting at tensor
+        boundaries; ``"cdc"`` places content-defined boundaries with a
+        rolling hash (robust to insertions); ``"off"`` stores payloads
+        whole.  Requires ``dedup``; reads follow the manifest, so any
+        setting replays runs recorded under any other.
+    chunk_nbytes:
+        Target chunk size for delta checkpoints.  ``"cdc"`` chunks range
+        over ``[chunk_nbytes / 4, chunk_nbytes * 4]``.
+    codec:
+        Compression codec for checkpoint payloads (when
+        ``compress_checkpoints`` is on): ``"gzip"`` (the default, the
+        paper's codec), ``"zlib"``, ``"lzma"``, ``"raw"`` (framing only),
+        or ``"auto"`` — the adaptive controller picks per payload from
+        its measured per-codec throughput/ratio cost model.
+    codec_level:
+        Compression level passed to the codec (codec-specific default
+        when ``None``; clamped to the codec's valid range).
     gc_interval:
         Seconds between background lifecycle passes (retention prune +
         payload GC) on the async spool's workers during record.  ``None``
@@ -183,6 +207,10 @@ class FlorConfig:
     query_memoize: bool = True
     query_planner: str = "cost"
     dedup: bool = True
+    chunking: str = "fixed"
+    chunk_nbytes: int = DEFAULT_CHUNK_NBYTES
+    codec: str = "gzip"
+    codec_level: int | None = None
     gc_interval: float | None = None
     retention_policy: RetentionPolicy | None = None
     strict_analysis: bool = False
@@ -193,6 +221,8 @@ class FlorConfig:
     _VALID_SPOOL_MODES = ("thread", "process")
     _VALID_REPLAY_SCHEDULERS = ("uniform", "static", "dynamic")
     _VALID_QUERY_PLANNERS = ("cost", "replay_all")
+    _VALID_CHUNKING = ("off", "fixed", "cdc")
+    _VALID_CODECS = ("auto", "raw", "gzip", "zlib", "lzma")
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "home", Path(self.home).expanduser())
@@ -234,6 +264,22 @@ class FlorConfig:
         self._check_at_least_one("query_workers", self.query_workers)
         if not isinstance(self.dedup, bool):
             raise ConfigError(f"dedup must be a bool, got {self.dedup!r}")
+        self._check_choice("chunking", self.chunking, self._VALID_CHUNKING)
+        self._check_choice("codec", self.codec, self._VALID_CODECS)
+        if (not isinstance(self.chunk_nbytes, int)
+                or isinstance(self.chunk_nbytes, bool)
+                or self.chunk_nbytes < 1024):
+            # A floor keeps recipes (one digest per chunk) and per-chunk
+            # hashing overhead sane; delta granularity below 1 KiB buys
+            # nothing on tensor payloads.
+            raise ConfigError(f"chunk_nbytes must be an integer >= 1024, "
+                              f"got {self.chunk_nbytes!r}")
+        if self.codec_level is not None and (
+                not isinstance(self.codec_level, int)
+                or isinstance(self.codec_level, bool)
+                or not 0 <= self.codec_level <= 9):
+            raise ConfigError(f"codec_level must be an integer in [0, 9] or "
+                              f"None, got {self.codec_level!r}")
         if not isinstance(self.strict_analysis, bool):
             raise ConfigError(f"strict_analysis must be a bool, "
                               f"got {self.strict_analysis!r}")

@@ -178,7 +178,9 @@ def _digest_signatures(entry: RunEntry, config: FlorConfig
     """``{aligned iteration: sorted (block, digest) tuple}`` for one run.
 
     Only loop-block rows at aligned iterations participate, and only when
-    every one of them carries a payload digest (dedup-recorded); an
+    every one of them carries a content address — the payload digest for
+    whole dedup-recorded rows, or the raw-payload digest for chunked
+    (delta) rows, which is codec-independent by construction.  An
     iteration missing any digest yields no signature and is skipped by
     the comparison rather than treated as equal or different.
     """
@@ -190,8 +192,12 @@ def _digest_signatures(entry: RunEntry, config: FlorConfig
         for record in store.records():
             if record.block_id in loop_blocks \
                     and record.execution_index in aligned:
+                if record.is_chunked():
+                    digest = f"raw:{record.digest}"
+                else:
+                    digest = record.payload_digest or ""
                 rows.setdefault(record.execution_index, {})[
-                    record.block_id] = record.payload_digest or ""
+                    record.block_id] = digest
     finally:
         store.close()
     signatures: dict[int, tuple] = {}

@@ -98,6 +98,12 @@ class Session:
             epsilon=self.config.epsilon,
             scaling_factor=self.config.scaling_factor,
             enabled=self.config.adaptive_checkpointing)
+        # Feed per-codec compression timings into the controller's cost
+        # model; with codec="auto" the controller also picks the codec
+        # per payload from that model.
+        self.store.codec_observer = self.adaptive.observe_codec
+        if self.config.codec == "auto":
+            self.store.codec_chooser = self.adaptive.choose_codec
         # Storage lifecycle: retention + payload GC, run on the spool's
         # background workers (gc_interval) and at session close.
         self.lifecycle = None

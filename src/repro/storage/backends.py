@@ -87,10 +87,26 @@ class CheckpointRecord:
     serialize_seconds: float
     write_seconds: float
     created_at: float
-    #: Content address of the stored payload when it lives in the shared
-    #: object store; empty for legacy per-execution payload files (pre-dedup
-    #: runs and ``dedup=False`` stores), which GC leaves untouched.
+    #: Content address of the stored payload when it lives whole in the
+    #: shared object store; empty for legacy per-execution payload files
+    #: (pre-dedup runs and ``dedup=False`` stores), which GC leaves
+    #: untouched, and for chunked rows (whose blobs the recipe names).
     payload_digest: str = ""
+    #: Delta checkpoints: comma-joined ordered chunk digests when the
+    #: payload is stored as content-addressed chunks.  Empty for whole
+    #: payloads.  GC refcounting traces these alongside ``payload_digest``.
+    recipe: str = ""
+
+    def recipe_digests(self) -> list[str]:
+        """Ordered chunk digests of a chunked row ([] for whole payloads)."""
+        return self.recipe.split(",") if self.recipe else []
+
+    def is_chunked(self) -> bool:
+        return bool(self.recipe)
+
+    def is_legacy_payload(self) -> bool:
+        """Whether the row points at a per-execution file outside GC's remit."""
+        return not self.payload_digest and not self.recipe
 
 
 class StorageBackend:
@@ -236,6 +252,7 @@ CREATE TABLE IF NOT EXISTS checkpoints (
     write_seconds    REAL NOT NULL,
     created_at       REAL NOT NULL,
     payload_digest   TEXT NOT NULL DEFAULT '',
+    recipe           TEXT NOT NULL DEFAULT '',
     PRIMARY KEY (block_id, execution_index)
 );
 CREATE TABLE IF NOT EXISTS run_metadata (
@@ -248,18 +265,18 @@ CREATE INDEX IF NOT EXISTS idx_checkpoints_block ON checkpoints (block_id);
 _UPSERT = (
     "INSERT INTO checkpoints (block_id, execution_index, path, raw_nbytes, "
     "stored_nbytes, digest, serialize_seconds, write_seconds, created_at, "
-    "payload_digest) "
-    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
+    "payload_digest, recipe) "
+    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
     "ON CONFLICT(block_id, execution_index) DO UPDATE SET "
     "path=excluded.path, raw_nbytes=excluded.raw_nbytes, "
     "stored_nbytes=excluded.stored_nbytes, digest=excluded.digest, "
     "serialize_seconds=excluded.serialize_seconds, "
     "write_seconds=excluded.write_seconds, created_at=excluded.created_at, "
-    "payload_digest=excluded.payload_digest")
+    "payload_digest=excluded.payload_digest, recipe=excluded.recipe")
 
 _RECORD_COLUMNS = ("block_id, execution_index, path, raw_nbytes, "
                    "stored_nbytes, digest, serialize_seconds, write_seconds, "
-                   "created_at, payload_digest")
+                   "created_at, payload_digest, recipe")
 
 
 def _row_to_record(row) -> CheckpointRecord:
@@ -267,7 +284,7 @@ def _row_to_record(row) -> CheckpointRecord:
         block_id=row[0], execution_index=row[1], path=Path(row[2]),
         raw_nbytes=row[3], stored_nbytes=row[4], digest=row[5],
         serialize_seconds=row[6], write_seconds=row[7], created_at=row[8],
-        payload_digest=row[9])
+        payload_digest=row[9], recipe=row[10])
 
 
 def sanitize_block_id(block_id: str) -> str:
@@ -318,12 +335,15 @@ class LocalSQLiteBackend(StorageBackend):
 
     @staticmethod
     def _migrate(conn: sqlite3.Connection) -> None:
-        """Bring a pre-dedup manifest up to the current schema in place."""
+        """Bring an older manifest up to the current schema in place."""
         columns = {row[1] for row in
                    conn.execute("PRAGMA table_info(checkpoints)")}
-        if "payload_digest" not in columns:
+        if "payload_digest" not in columns:  # pre-dedup manifests
             conn.execute("ALTER TABLE checkpoints ADD COLUMN "
                          "payload_digest TEXT NOT NULL DEFAULT ''")
+        if "recipe" not in columns:  # pre-delta-checkpoint manifests
+            conn.execute("ALTER TABLE checkpoints ADD COLUMN "
+                         "recipe TEXT NOT NULL DEFAULT ''")
 
     def _connection(self) -> sqlite3.Connection:
         """The process-wide connection, (re)opened lazily and after fork."""
@@ -391,7 +411,7 @@ class LocalSQLiteBackend(StorageBackend):
             return
         rows = [(r.block_id, r.execution_index, str(r.path), r.raw_nbytes,
                  r.stored_nbytes, r.digest, r.serialize_seconds,
-                 r.write_seconds, r.created_at, r.payload_digest)
+                 r.write_seconds, r.created_at, r.payload_digest, r.recipe)
                 for r in records]
         with self._lock:
             conn = self._connection()
@@ -425,10 +445,19 @@ class LocalSQLiteBackend(StorageBackend):
         return deleted
 
     def referenced_digests(self):
-        rows = self._query(
-            "SELECT payload_digest, COUNT(*) FROM checkpoints "
-            "WHERE payload_digest != '' GROUP BY payload_digest")
-        return {digest: int(count) for digest, count in rows}
+        # Whole-payload references group in SQL; chunk references come as
+        # recipe strings split here (SQLite has no string-split), which is
+        # fine — rows with a recipe are a minority and the digests are
+        # bounded by payload size / chunk size.
+        counts: Counter = Counter()
+        for digest, count in self._query(
+                "SELECT payload_digest, COUNT(*) FROM checkpoints "
+                "WHERE payload_digest != '' GROUP BY payload_digest"):
+            counts[digest] += int(count)
+        for (recipe,) in self._query(
+                "SELECT recipe FROM checkpoints WHERE recipe != ''"):
+            counts.update(recipe.split(","))
+        return dict(counts)
 
     def lookup(self, block_id, execution_index):
         rows = self._query(
@@ -629,10 +658,12 @@ class InMemoryBackend(StorageBackend):
         return deleted
 
     def referenced_digests(self):
+        counts: Counter = Counter()
         with self._lock:
-            counts = Counter(record.payload_digest
-                             for record in self._rows.values()
-                             if record.payload_digest)
+            for record in self._rows.values():
+                if record.payload_digest:
+                    counts[record.payload_digest] += 1
+                counts.update(record.recipe_digests())
         return dict(counts)
 
     def lookup(self, block_id, execution_index):

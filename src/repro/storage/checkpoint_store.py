@@ -28,27 +28,55 @@ import json
 import time
 from pathlib import Path
 
-from ..exceptions import CheckpointNotFoundError, StorageError
+from ..exceptions import (CheckpointNotFoundError, SerializationError,
+                          StorageError)
 from ..utils.hashing import digest_bytes
 from . import compression
 from .backends import CheckpointRecord, StorageBackend, resolve_backend
+from .chunking import DEFAULT_CHUNK_NBYTES, chunk_payload
 from .serializer import (SerializedCheckpoint, ValueSnapshot,
-                         deserialize_checkpoint, serialize_checkpoint)
+                         deserialize_checkpoint, payload_segments,
+                         serialize_checkpoint)
 
 __all__ = ["CheckpointRecord", "CheckpointStore"]
 
+#: Synthetic ``path`` prefix of chunked manifest rows: the payload has no
+#: single location — the recipe's chunk digests address it.
+RECIPE_LOCATION_PREFIX = "recipe:"
+
 
 class CheckpointStore:
-    """Backend-routed store of Loop End Checkpoints for a single run."""
+    """Backend-routed store of Loop End Checkpoints for a single run.
+
+    ``chunking`` turns on delta checkpoints: serialized payloads split
+    into content-addressed chunks (``"fixed"`` or ``"cdc"`` boundaries),
+    the manifest row records the ordered chunk-digest *recipe*, and only
+    chunks whose digest is new reach the object store — epoch N+1 pays
+    for what changed.  The read path follows whatever layout the manifest
+    row records, so any store setting replays any run.
+    """
 
     def __init__(self, run_dir: str | Path, compress: bool = True,
                  backend: StorageBackend | str | None = None,
-                 num_shards: int | None = None, dedup: bool = True):
+                 num_shards: int | None = None, dedup: bool = True,
+                 chunking: str = "off",
+                 chunk_nbytes: int = DEFAULT_CHUNK_NBYTES,
+                 codec: str = "gzip", codec_level: int | None = None):
         self.run_dir = Path(run_dir)
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.source_dir = self.run_dir / "source"
         self.source_dir.mkdir(parents=True, exist_ok=True)
         self.compress = compress
+        self.chunking = chunking
+        self.chunk_nbytes = chunk_nbytes
+        self.codec = codec
+        self.codec_level = codec_level
+        #: Session wiring points for ``codec="auto"``: ``codec_chooser``
+        #: maps a payload size to a codec name (the adaptive controller's
+        #: cost model), ``codec_observer`` feeds measured (codec,
+        #: raw_nbytes, seconds, compressed_nbytes) samples back.
+        self.codec_chooser = None
+        self.codec_observer = None
         self.backend: StorageBackend = resolve_backend(
             self.run_dir, backend, num_shards=num_shards, dedup=dedup)
 
@@ -63,7 +91,10 @@ class CheckpointStore:
         """
         return cls(run_dir, compress=config.compress_checkpoints,
                    backend=config.storage_backend,
-                   num_shards=config.storage_shards, dedup=config.dedup)
+                   num_shards=config.storage_shards, dedup=config.dedup,
+                   chunking=config.chunking,
+                   chunk_nbytes=config.chunk_nbytes,
+                   codec=config.codec, codec_level=config.codec_level)
 
     # ------------------------------------------------------------------ #
     # Run metadata
@@ -131,27 +162,76 @@ class CheckpointStore:
         self.backend.index(record)
         return record
 
+    def chunking_active(self) -> bool:
+        """Whether new payloads of this store are written as delta chunks."""
+        return (self.chunking != "off"
+                and self.backend.object_store() is not None)
+
+    def resolve_codec(self, nbytes: int = 0) -> str:
+        """The concrete codec for a payload of ``nbytes`` serialized bytes.
+
+        ``codec="auto"`` defers to the wired ``codec_chooser`` (the
+        adaptive controller's per-codec cost model) and falls back to
+        gzip, the paper's codec, until one is wired.
+        """
+        if self.codec != "auto":
+            return self.codec
+        if self.codec_chooser is not None:
+            return self.codec_chooser(nbytes)
+        return "gzip"
+
+    def _observe_codec(self, codec: str, raw_nbytes: int, seconds: float,
+                       compressed_nbytes: int) -> None:
+        if self.codec_observer is not None and raw_nbytes > 0:
+            self.codec_observer(codec, raw_nbytes, seconds,
+                                compressed_nbytes)
+
     def write_payload(self, block_id: str, execution_index: int,
                       serialized: SerializedCheckpoint) -> CheckpointRecord:
-        """Compress and write one payload WITHOUT committing its manifest row.
+        """Encode and write one payload WITHOUT committing its manifest row.
 
         The async spool uses this to decouple the payload plane from
         batched manifest commits; the returned record must be passed to
         :meth:`index_records` to become visible.  Payload-before-manifest
-        ordering is what keeps a crash mid-spool recoverable.
+        ordering is what keeps a crash mid-spool recoverable.  Routes to
+        the chunked (delta) path when chunking is on and the backend has
+        an object store; otherwise the payload is stored whole.
         """
-        payload = serialized.data
-        raw_nbytes = serialized.nbytes
-        if self.compress:
-            payload = compression.compress(payload).data
-        stored_nbytes = len(payload)
+        if self.chunking_active():
+            return self._write_chunked(block_id, execution_index, serialized)
+        encoded = self.encode_whole(serialized.data)
+        return self.write_encoded(block_id, execution_index, encoded,
+                                  serialized.nbytes,
+                                  serialized.serialize_seconds)
 
+    def encode_whole(self, payload: bytes) -> bytes:
+        """The stored form of a whole (non-chunked) payload.
+
+        Public so the process-mode spool can run this CPU-bound stage in
+        its worker pool and hand the result to :meth:`write_encoded`.
+        """
+        if not self.compress:
+            return payload
+        start = time.perf_counter()
+        result = compression.compress(payload,
+                                      level=self.codec_level,
+                                      codec=self.resolve_codec(len(payload)))
+        self._observe_codec(result.codec, result.raw_nbytes,
+                            time.perf_counter() - start,
+                            result.compressed_nbytes)
+        return result.data
+
+    def write_encoded(self, block_id: str, execution_index: int,
+                      encoded: bytes, raw_nbytes: int,
+                      serialize_seconds: float) -> CheckpointRecord:
+        """Write an already-encoded whole payload (no manifest commit)."""
+        stored_nbytes = len(encoded)
         # One hash serves both planes: the manifest's integrity digest and
         # (when the backend dedups) the payload's content address.
-        digest = digest_bytes(payload)
+        digest = digest_bytes(encoded)
         start = time.perf_counter()
         location = self.backend.write_payload(block_id, execution_index,
-                                              payload, digest=digest)
+                                              encoded, digest=digest)
         write_seconds = time.perf_counter() - start
 
         return CheckpointRecord(
@@ -161,11 +241,72 @@ class CheckpointStore:
             raw_nbytes=raw_nbytes,
             stored_nbytes=stored_nbytes,
             digest=digest,
-            serialize_seconds=serialized.serialize_seconds,
+            serialize_seconds=serialize_seconds,
             write_seconds=write_seconds,
             created_at=time.time(),
             payload_digest=(digest if self.backend.object_store() is not None
                             else ""),
+        )
+
+    def _write_chunked(self, block_id: str, execution_index: int,
+                       serialized: SerializedCheckpoint) -> CheckpointRecord:
+        """The delta write path: store only chunks whose digest is new.
+
+        Chunk digests are computed over the RAW chunk bytes (before the
+        codec), so a chunk dedups no matter which codec — or codec level —
+        compressed its first occurrence, and reassembly can verify every
+        chunk after decompressing it.  Blobs are written before the
+        manifest row referencing them exists (payload-before-manifest),
+        exactly like the whole-payload path.
+        """
+        objects = self.backend.object_store()
+        payload = serialized.data
+        digest = digest_bytes(payload)
+        codec = (self.resolve_codec(serialized.nbytes)
+                 if self.compress else "raw")
+        start = time.perf_counter()
+        recipe: list[str] = []
+        stored_nbytes = 0
+        compressed_raw = 0
+        compressed_out = 0
+        compress_seconds = 0.0
+        for view in chunk_payload(payload, mode=self.chunking,
+                                  chunk_nbytes=self.chunk_nbytes,
+                                  segments=payload_segments(payload)):
+            chunk_digest = digest_bytes(view)
+            recipe.append(chunk_digest)
+            blob_nbytes = objects.touch(chunk_digest)
+            if blob_nbytes is None:
+                # Chunk blobs are ALWAYS framed (raw codec when the store
+                # does not compress): reassembly decodes by frame id, so
+                # chunk content can never be mistaken for a codec magic.
+                encode_start = time.perf_counter()
+                result = compression.compress(bytes(view),
+                                              level=self.codec_level,
+                                              codec=codec)
+                compress_seconds += time.perf_counter() - encode_start
+                compressed_raw += result.raw_nbytes
+                compressed_out += result.compressed_nbytes
+                objects.put(chunk_digest, result.data)
+                blob_nbytes = result.compressed_nbytes
+            stored_nbytes += blob_nbytes
+        write_seconds = time.perf_counter() - start
+        if compressed_raw:
+            self._observe_codec(codec, compressed_raw, compress_seconds,
+                                compressed_out)
+
+        return CheckpointRecord(
+            block_id=block_id,
+            execution_index=execution_index,
+            path=Path(f"{RECIPE_LOCATION_PREFIX}{len(recipe)}"),
+            raw_nbytes=serialized.nbytes,
+            stored_nbytes=stored_nbytes,
+            digest=digest,
+            serialize_seconds=serialized.serialize_seconds,
+            write_seconds=write_seconds,
+            created_at=time.time(),
+            payload_digest="",
+            recipe=",".join(recipe),
         )
 
     def index_records(self, records: list[CheckpointRecord]) -> None:
@@ -180,12 +321,65 @@ class CheckpointStore:
 
     def get(self, block_id: str, execution_index: int,
             run_id: str = "?") -> list[ValueSnapshot]:
-        """Load and deserialize the checkpoint for one loop execution."""
+        """Load and deserialize the checkpoint for one loop execution.
+
+        Follows whatever layout the manifest row records — chunked rows
+        reassemble from their recipe, whole rows read one location — so a
+        store opened with any chunking/codec setting replays runs
+        recorded under any other (including legacy recipe-less runs).
+        """
         record = self.describe(block_id, execution_index, run_id=run_id)
-        payload = self.backend.read_payload(str(record.path))
-        if self.compress or payload[:2] == b"\x1f\x8b":
+        if record.is_chunked():
+            payload = self._reassemble(record)
+        else:
+            payload = self.backend.read_payload(str(record.path))
+            # Frame/gzip-magic dispatch; legacy uncompressed payloads pass
+            # through untouched.
             payload = compression.decompress(payload)
         return deserialize_checkpoint(payload)
+
+    def _reassemble(self, record: CheckpointRecord) -> bytes:
+        """Join a chunked row's payload back together, verifying each chunk.
+
+        Chunk digests address RAW chunk bytes, so every chunk is verified
+        after decoding and the joined payload is verified against the
+        row's full-payload digest — a missing or corrupted blob surfaces
+        as a :class:`SerializationError` naming the exact chunk.
+        """
+        objects = self.backend.object_store()
+        where = f"{record.block_id}[{record.execution_index}]"
+        if objects is None:
+            raise SerializationError(
+                f"checkpoint {where} is chunked but the backend has no "
+                "object store (recorded with dedup, opened without?)")
+        digests = record.recipe_digests()
+        parts: list[bytes] = []
+        for position, chunk_digest in enumerate(digests):
+            try:
+                blob = objects.get(chunk_digest)
+            except StorageError as exc:
+                raise SerializationError(
+                    f"checkpoint {where} chunk {position + 1}/{len(digests)} "
+                    f"is missing from the object store: {exc}") from exc
+            try:
+                raw = compression.decompress(blob)
+            except Exception as exc:
+                raise SerializationError(
+                    f"checkpoint {where} chunk {position + 1}/{len(digests)} "
+                    f"({chunk_digest[:12]}…) failed to decode: {exc}"
+                ) from exc
+            if digest_bytes(raw) != chunk_digest:
+                raise SerializationError(
+                    f"checkpoint {where} chunk {position + 1}/{len(digests)} "
+                    f"is corrupt: content does not match digest "
+                    f"{chunk_digest[:12]}…")
+            parts.append(raw)
+        payload = b"".join(parts)
+        if digest_bytes(payload) != record.digest:
+            raise SerializationError(
+                f"checkpoint {where} reassembled from {len(digests)} chunks "
+                "does not match its manifest digest")
+        return payload
 
     def describe(self, block_id: str, execution_index: int,
                  run_id: str = "?") -> CheckpointRecord:

@@ -1,16 +1,115 @@
-"""Gzip compression for checkpoint payloads.
+"""Pluggable compression codecs for checkpoint payloads.
 
 Table 4 reports gzip-compressed checkpoint sizes; the store compresses
-payloads with the same codec before they hit disk (and before the simulated
-S3 spool), so measured sizes here play the same role as in the paper.
+payloads with the same codec family before they hit disk (and before the
+simulated S3 spool), so measured sizes here play the same role as in the
+paper.  Beyond gzip, the registry carries a no-op ``raw`` codec and the
+stdlib ``zlib``/``lzma`` alternatives, so the adaptive controller can trade
+compression ratio against throughput per payload.
+
+Every compressed payload is *framed*: a 4-byte magic plus a one-byte codec
+id precede the codec's output, so :func:`decompress` dispatches by id
+instead of sniffing codec magics.  Pre-frame payloads (bare gzip from
+earlier runs) are still recognized by the gzip magic, and anything else
+passes through untouched — the store's legacy uncompressed path.
 """
 
 from __future__ import annotations
 
 import gzip
+import lzma
+import zlib
 from dataclasses import dataclass
 
-__all__ = ["CompressionResult", "compress", "decompress", "compression_ratio"]
+from ..exceptions import StorageError
+
+__all__ = ["CompressionResult", "Codec", "CODEC_NAMES", "FRAME_MAGIC",
+           "get_codec", "codec_of", "compress", "decompress",
+           "compression_ratio"]
+
+#: Frame prefix of a codec-framed payload: magic + one codec-id byte.
+FRAME_MAGIC = b"FLC1"
+
+
+@dataclass(frozen=True)
+class Codec:
+    """One registered compression codec.
+
+    ``codec_id`` is the frame byte — part of the on-disk format, never
+    reused.  ``default_level`` feeds ``encode`` when the caller passes no
+    level; levels are clamped into the codec's valid range so one knob
+    (``FlorConfig.codec_level``) serves every codec.
+    """
+
+    name: str
+    codec_id: int
+    default_level: int
+
+    def encode(self, data: bytes, level: int | None = None) -> bytes:
+        level = self.default_level if level is None else max(0, min(9, level))
+        if self.name == "raw":
+            return bytes(data)
+        if self.name == "gzip":
+            # ``mtime=0`` pins the gzip header timestamp: without it the
+            # compressed bytes of identical payloads differ run to run,
+            # which would defeat content-addressed dedup and make payload
+            # digests unstable across processes.
+            return gzip.compress(data, compresslevel=max(level, 1), mtime=0)
+        if self.name == "zlib":
+            return zlib.compress(data, level=level)
+        if self.name == "lzma":
+            return lzma.compress(data, preset=level)
+        raise StorageError(f"codec {self.name!r} has no encoder")
+
+    def decode(self, data: bytes) -> bytes:
+        if self.name == "raw":
+            return bytes(data)
+        if self.name == "gzip":
+            return gzip.decompress(data)
+        if self.name == "zlib":
+            return zlib.decompress(data)
+        if self.name == "lzma":
+            return lzma.decompress(data)
+        raise StorageError(f"codec {self.name!r} has no decoder")
+
+
+#: The codec registry.  Ids are on-disk format; append, never renumber.
+_CODECS = (
+    Codec(name="raw", codec_id=0, default_level=0),
+    Codec(name="gzip", codec_id=1, default_level=6),
+    Codec(name="zlib", codec_id=2, default_level=6),
+    # lzma presets above 1 are far too slow for a record hot path; the
+    # registry default keeps it usable when the cost model picks it.
+    Codec(name="lzma", codec_id=3, default_level=1),
+)
+_BY_NAME = {codec.name: codec for codec in _CODECS}
+_BY_ID = {codec.codec_id: codec for codec in _CODECS}
+
+#: Codec names accepted by the configuration layer.
+CODEC_NAMES = tuple(codec.name for codec in _CODECS)
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by registry name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise StorageError(f"unknown codec {name!r}; known codecs: "
+                           f"{', '.join(CODEC_NAMES)}") from None
+
+
+def codec_of(data: bytes) -> str | None:
+    """The codec name a stored payload was framed with.
+
+    ``"gzip"`` for bare pre-frame gzip payloads; ``None`` when the bytes
+    are not a recognized compressed format (legacy uncompressed payloads).
+    """
+    if data[:4] == FRAME_MAGIC and len(data) >= 5:
+        codec = _BY_ID.get(data[4])
+        return codec.name if codec is not None else None
+    if data[:2] == b"\x1f\x8b":
+        return "gzip"
+    return None
 
 
 @dataclass
@@ -20,6 +119,7 @@ class CompressionResult:
     data: bytes
     raw_nbytes: int
     compressed_nbytes: int
+    codec: str = "gzip"
 
     @property
     def ratio(self) -> float:
@@ -29,26 +129,46 @@ class CompressionResult:
         return self.raw_nbytes / self.compressed_nbytes
 
 
-def compress(data: bytes, level: int = 6) -> CompressionResult:
-    """Gzip-compress ``data`` and report both sizes.
+def compress(data: bytes, level: int | None = None,
+             codec: str = "gzip") -> CompressionResult:
+    """Compress ``data`` with ``codec`` into a framed payload.
 
-    ``mtime=0`` pins the gzip header timestamp: without it the compressed
-    bytes of identical payloads differ run to run, which would defeat
-    content-addressed dedup and make payload digests unstable across
-    processes.
+    The result's ``data`` is ``FRAME_MAGIC + codec_id + <codec output>``;
+    ``compressed_nbytes`` counts the whole frame, since that is what hits
+    disk.  ``raw`` frames without compressing — 5 bytes of overhead buying
+    an unambiguous decode for payloads whose first bytes could collide
+    with a codec magic.
     """
-    compressed = gzip.compress(data, compresslevel=level, mtime=0)
-    return CompressionResult(data=compressed, raw_nbytes=len(data),
-                             compressed_nbytes=len(compressed))
+    entry = get_codec(codec)
+    framed = b"".join((FRAME_MAGIC, bytes((entry.codec_id,)),
+                       entry.encode(data, level)))
+    return CompressionResult(data=framed, raw_nbytes=len(data),
+                             compressed_nbytes=len(framed), codec=entry.name)
 
 
 def decompress(data: bytes) -> bytes:
-    """Inverse of :func:`compress`.  Pass-through for uncompressed payloads."""
+    """Inverse of :func:`compress`.
+
+    Dispatches on the frame's codec id; falls back to the gzip magic for
+    payloads from pre-frame runs, and passes anything else through
+    (the legacy uncompressed path).
+    """
+    if data[:4] == FRAME_MAGIC and len(data) >= 5:
+        codec = _BY_ID.get(data[4])
+        if codec is None:
+            raise StorageError(
+                f"framed payload with unknown codec id {data[4]}")
+        try:
+            return codec.decode(bytes(data[5:]))
+        except Exception as exc:
+            raise StorageError(
+                f"cannot decompress {codec.name} payload: {exc}") from exc
     if data[:2] == b"\x1f\x8b":
         return gzip.decompress(data)
     return data
 
 
-def compression_ratio(data: bytes, level: int = 6) -> float:
+def compression_ratio(data: bytes, level: int | None = None,
+                      codec: str = "gzip") -> float:
     """Convenience: compression ratio achieved on ``data``."""
-    return compress(data, level=level).ratio
+    return compress(data, level=level, codec=codec).ratio

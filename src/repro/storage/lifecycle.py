@@ -316,12 +316,19 @@ def _delete_records(store: "CheckpointStore", records: Iterable,
     report.pruned = len(deleted)
     report.pruned_keys = [(r.block_id, r.execution_index) for r in deleted]
     report.logical_nbytes_freed = sum(r.stored_nbytes for r in deleted)
-    report.released_digests = sorted({r.payload_digest for r in deleted
-                                      if r.payload_digest})
+    released: set[str] = set()
+    for record in deleted:
+        if record.payload_digest:
+            released.add(record.payload_digest)
+        # Chunked rows release every chunk in their recipe; a chunk still
+        # referenced by another row's recipe survives the sweep anyway
+        # (referencedness wins over hints).
+        released.update(record.recipe_digests())
+    report.released_digests = sorted(released)
     # Payload-last: legacy per-execution files have exactly one referencing
     # row (just deleted), so they can go now; shared blobs wait for GC.
     for record in deleted:
-        if not record.payload_digest:
+        if record.is_legacy_payload():
             report.legacy_payload_nbytes_freed += \
                 store.backend.discard_payload(str(record.path))
     return report
@@ -537,7 +544,7 @@ def measure_storage(home: str | Path) -> StorageStats:
         for record in backend.records():
             stats.checkpoints += 1
             stats.logical_nbytes += record.stored_nbytes
-            if not record.payload_digest:
+            if record.is_legacy_payload():
                 stats.legacy_nbytes += record.stored_nbytes
         if opened_here:
             backend.close()

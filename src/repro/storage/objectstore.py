@@ -90,6 +90,17 @@ class PayloadObjectStore:
     def contains(self, digest: str) -> bool:
         raise NotImplementedError
 
+    def touch(self, digest: str) -> int | None:
+        """Age-refresh an existing blob; return its stored size, else None.
+
+        The chunked write path's dedup probe: when a chunk's digest is
+        already stored, ``touch`` re-enters it into the GC grace window
+        (exactly like a dedup ``put``) *without* the caller compressing
+        the chunk bytes first — the whole point of writing only new
+        chunks.  ``None`` means absent: compress and ``put``.
+        """
+        raise NotImplementedError
+
     def location(self, digest: str) -> str:
         """The opaque location string manifest rows record for ``digest``."""
         raise NotImplementedError
@@ -191,6 +202,20 @@ class FileObjectStore(PayloadObjectStore):
 
     def contains(self, digest: str) -> bool:
         return self.blob_path(digest).exists()
+
+    def touch(self, digest: str) -> int | None:
+        path = self.blob_path(digest)
+        try:
+            # Same age refresh as a dedup put: the re-referenced blob must
+            # re-enter the GC grace window before the new manifest row
+            # referencing it commits.
+            os.utime(path)
+            nbytes = path.stat().st_size
+        except FileNotFoundError:
+            return None
+        with self._counter_lock:
+            self._dedup_hits += 1
+        return nbytes
 
     # -- enumeration ------------------------------------------------------
     def _blob_files(self):
@@ -356,6 +381,15 @@ class MemoryObjectStore(PayloadObjectStore):
     def contains(self, digest: str) -> bool:
         with self._lock:
             return digest in self._blobs
+
+    def touch(self, digest: str) -> int | None:
+        with self._lock:
+            blob = self._blobs.get(digest)
+            if blob is None:
+                return None
+            self._placed_at[digest] = time.time()
+            self._dedup_hits += 1
+            return len(blob)
 
     # -- enumeration ------------------------------------------------------
     def digests(self) -> dict[str, int]:

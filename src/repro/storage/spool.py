@@ -38,8 +38,8 @@ from ..exceptions import StorageError
 from . import compression
 from .backends import CheckpointRecord
 from .costs import storage_cost_per_month
-from .serializer import ValueSnapshot, serialize_checkpoint
-from ..utils.hashing import digest_bytes
+from .serializer import (SerializedCheckpoint, ValueSnapshot,
+                         serialize_checkpoint)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .checkpoint_store import CheckpointStore
@@ -70,14 +70,27 @@ class AsyncSpoolStats:
 
 
 def _serialize_and_compress(snapshots: list[ValueSnapshot],
-                            compress_enabled: bool
+                            compress_enabled: bool, codec: str = "gzip",
+                            level: int | None = None
                             ) -> tuple[bytes, int, float]:
-    """Process-pool work unit: the CPU-bound half of materialization."""
+    """Process-pool work unit: the CPU-bound half of a whole-payload write."""
     serialized = serialize_checkpoint(snapshots)
     payload = serialized.data
     if compress_enabled:
-        payload = compression.compress(payload).data
+        payload = compression.compress(payload, level=level, codec=codec).data
     return payload, serialized.nbytes, serialized.serialize_seconds
+
+
+def _serialize_only(snapshots: list[ValueSnapshot]) -> tuple[bytes, int, float]:
+    """Process-pool work unit for chunked stores: serialization only.
+
+    Chunk hashing decides which chunks are *new*, and only those get
+    compressed — that decision needs the object store, so it stays with
+    the committer; offloading compression here would compress every
+    chunk, deduped or not.
+    """
+    serialized = serialize_checkpoint(snapshots)
+    return serialized.data, serialized.nbytes, serialized.serialize_seconds
 
 
 class AsyncSpool:
@@ -199,10 +212,12 @@ class AsyncSpool:
                 block_id, execution_index, snapshots = item
                 started = time.perf_counter()
                 try:
-                    payload, raw, serialize_seconds = _serialize_and_compress(
-                        snapshots, self.store.compress)
-                    self._persist(block_id, execution_index, payload, raw,
-                                  serialize_seconds, started)
+                    # The store's write path routes to delta chunking or
+                    # whole-payload encoding; either way the CPU-bound
+                    # work happens here, on the worker.
+                    serialized = serialize_checkpoint(snapshots)
+                    self._persist_serialized(block_id, execution_index,
+                                             serialized, started)
                 except Exception as exc:
                     with self._stats_lock:
                         self.stats.errors.append(
@@ -226,18 +241,33 @@ class AsyncSpool:
         with self._pending_cond:
             self._pending += 1
         started = time.perf_counter()
-        future = self._executor.submit(_serialize_and_compress, snapshots,
-                                       self.store.compress)
+        if self.store.chunking_active():
+            # Delta path: serialize in the pool, chunk + encode on the
+            # committer (chunk dedup needs the object store).
+            future = self._executor.submit(_serialize_only, snapshots)
+            encoded = False
+        else:
+            future = self._executor.submit(
+                _serialize_and_compress, snapshots, self.store.compress,
+                self.store.resolve_codec(), self.store.codec_level)
+            encoded = True
         future.add_done_callback(
             lambda fut: self._commit_future(block_id, execution_index, fut,
-                                            started))
+                                            started, encoded))
 
-    def _commit_future(self, block_id, execution_index, future, started
-                       ) -> None:
+    def _commit_future(self, block_id, execution_index, future, started,
+                       encoded) -> None:
         try:
             payload, raw, serialize_seconds = future.result()
-            self._persist(block_id, execution_index, payload, raw,
-                          serialize_seconds, started)
+            if encoded:
+                self._persist_encoded(block_id, execution_index, payload,
+                                      raw, serialize_seconds, started)
+            else:
+                self._persist_serialized(
+                    block_id, execution_index,
+                    SerializedCheckpoint(data=payload, nbytes=raw,
+                                         serialize_seconds=serialize_seconds),
+                    started)
         except Exception as exc:
             with self._stats_lock:
                 self.stats.errors.append(
@@ -251,33 +281,34 @@ class AsyncSpool:
     # ------------------------------------------------------------------ #
     # Shared persistence path: payload first, manifest row batched
     # ------------------------------------------------------------------ #
-    def _persist(self, block_id: str, execution_index: int, payload: bytes,
-                 raw_nbytes: int, serialize_seconds: float,
-                 started: float) -> None:
-        digest = digest_bytes(payload)
-        write_start = time.perf_counter()
-        location = self.store.backend.write_payload(block_id, execution_index,
-                                                    payload, digest=digest)
-        write_seconds = time.perf_counter() - write_start
-        record = CheckpointRecord(
-            block_id=block_id, execution_index=execution_index,
-            path=Path(location), raw_nbytes=raw_nbytes,
-            stored_nbytes=len(payload), digest=digest,
-            serialize_seconds=serialize_seconds, write_seconds=write_seconds,
-            created_at=time.time(),
-            payload_digest=(digest
-                            if self.store.backend.object_store() is not None
-                            else ""))
+    def _persist_serialized(self, block_id: str, execution_index: int,
+                            serialized: SerializedCheckpoint,
+                            started: float) -> None:
+        """Route one serialized payload through the store's write path."""
+        record = self.store.write_payload(block_id, execution_index,
+                                          serialized)
+        self._finish(record, started)
+
+    def _persist_encoded(self, block_id: str, execution_index: int,
+                         payload: bytes, raw_nbytes: int,
+                         serialize_seconds: float, started: float) -> None:
+        """Persist a payload the process pool already encoded."""
+        record = self.store.write_encoded(block_id, execution_index, payload,
+                                          raw_nbytes, serialize_seconds)
+        self._finish(record, started)
+
+    def _finish(self, record: CheckpointRecord, started: float) -> None:
         spool_seconds = time.perf_counter() - started
         with self._stats_lock:
             self.stats.completed += 1
-            self.stats.raw_nbytes += raw_nbytes
-            self.stats.stored_nbytes += len(payload)
+            self.stats.raw_nbytes += record.raw_nbytes
+            self.stats.stored_nbytes += record.stored_nbytes
             self.stats.spool_seconds += spool_seconds
         self._buffer_record(record)
         if self._on_complete is not None:
             try:
-                self._on_complete(block_id, spool_seconds, raw_nbytes)
+                self._on_complete(record.block_id, spool_seconds,
+                                  record.raw_nbytes)
             except Exception as exc:  # pragma: no cover - callback bug guard
                 with self._stats_lock:
                     self.stats.errors.append(f"on_complete callback: {exc}")

@@ -104,10 +104,22 @@ def assert_manifest_closed(store) -> int:
     """
     records = store.records()
     for record in records:
-        payload = store.backend.read_payload(str(record.path))
-        assert digest_bytes(payload) == record.digest, (
-            f"payload at {record.path} does not match the manifest digest "
-            f"for {record.block_id}[{record.execution_index}]")
+        if record.is_chunked():
+            # Delta rows have no single payload file; reassembly verifies
+            # per-chunk digests plus the full-payload digest itself.
+            objects = store.backend.object_store()
+            assert objects is not None, (
+                f"chunked row {record.block_id}[{record.execution_index}] "
+                f"but the backend has no object store")
+            payload = store._reassemble(record)
+            assert digest_bytes(payload) == record.digest, (
+                f"reassembled payload does not match the manifest digest "
+                f"for {record.block_id}[{record.execution_index}]")
+        else:
+            payload = store.backend.read_payload(str(record.path))
+            assert digest_bytes(payload) == record.digest, (
+                f"payload at {record.path} does not match the manifest "
+                f"digest for {record.block_id}[{record.execution_index}]")
     return len(records)
 
 
@@ -150,6 +162,7 @@ def assert_refcounts_exact(home: str | Path, stores) -> None:
         for record in store.records():
             if record.payload_digest:
                 recounted[record.payload_digest] += 1
+            recounted.update(record.recipe_digests())
     derived = referenced_digest_counts(Path(home))
     assert dict(derived) == dict(recounted), (
         f"derived refcounts disagree with a manifest recount: "

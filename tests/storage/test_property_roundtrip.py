@@ -24,7 +24,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.storage.compression import compress, decompress
+from repro.storage.compression import FRAME_MAGIC, compress, decompress
 from repro.storage.serializer import (ValueSnapshot, deserialize_checkpoint,
                                       serialize_checkpoint, snapshot_value)
 from repro.utils.hashing import digest_bytes
@@ -160,7 +160,15 @@ class TestDigestStabilityAcrossProcesses:
                 f"seed {seed}: digest differs across processes")
 
     def test_gzip_header_timestamp_is_pinned(self):
-        """Bytes 4-8 of the gzip stream (MTIME) must be zero, not now()."""
+        """The gzip MTIME field must be zero, not now().
+
+        Stored blobs are codec-framed (``FLC1`` magic + codec id byte);
+        the gzip stream starts after that 5-byte header, and its bytes
+        4-8 (MTIME) must be pinned so equal payloads compress to equal
+        bytes regardless of wall clock.
+        """
         stored = compress(b"payload " * 64).data
-        assert stored[:2] == b"\x1f\x8b"
-        assert stored[4:8] == b"\x00\x00\x00\x00"
+        assert stored[:4] == FRAME_MAGIC
+        stream = stored[5:]
+        assert stream[:2] == b"\x1f\x8b"
+        assert stream[4:8] == b"\x00\x00\x00\x00"

@@ -2,15 +2,22 @@
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import torchlike as tl
-from repro.storage.compression import compress, compression_ratio, decompress
-from repro.storage.serializer import (KIND_PICKLE, KIND_STATE_DICT,
-                                      deserialize_checkpoint, restore_value,
+from repro.exceptions import SerializationError, StorageError
+from repro.storage.compression import (CODEC_NAMES, FRAME_MAGIC, codec_of,
+                                       compress, compression_ratio,
+                                       decompress, get_codec)
+from repro.storage.serializer import (KIND_ARRAY, KIND_PICKLE,
+                                      KIND_STATE_DICT, SERIALIZED_MAGIC,
+                                      ValueSnapshot, deserialize_checkpoint,
+                                      payload_segments, restore_value,
                                       serialize_checkpoint, snapshot_value)
 
 
@@ -130,3 +137,148 @@ class TestCompression:
     @settings(max_examples=50, deadline=None)
     def test_roundtrip_property(self, data):
         assert decompress(compress(data).data) == data
+
+
+class TestCodecRegistry:
+    @pytest.mark.parametrize("codec", sorted(CODEC_NAMES))
+    def test_every_codec_roundtrips(self, codec):
+        data = b"flor " * 1000
+        result = compress(data, codec=codec)
+        assert result.codec == codec
+        assert decompress(result.data) == data
+
+    @pytest.mark.parametrize("codec", sorted(CODEC_NAMES))
+    def test_frame_carries_the_codec_id(self, codec):
+        stored = compress(b"payload", codec=codec).data
+        assert stored[:4] == FRAME_MAGIC
+        assert stored[4] == get_codec(codec).codec_id
+        assert codec_of(stored) == codec
+
+    def test_raw_codec_frames_without_transforming(self):
+        data = b"\x1f\x8b pretend gzip magic inside content"
+        result = compress(data, codec="raw")
+        # Framing disambiguates: raw chunk bytes that *start with* the
+        # gzip magic still decode as themselves, not as a gzip stream.
+        assert result.data[5:] == data
+        assert decompress(result.data) == data
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(StorageError, match="codec"):
+            compress(b"data", codec="zstd")
+
+    def test_unknown_codec_id_in_frame_rejected(self):
+        with pytest.raises(StorageError):
+            decompress(FRAME_MAGIC + bytes([250]) + b"junk")
+
+    def test_corrupt_framed_stream_raises_storage_error(self):
+        stored = bytearray(compress(b"flor " * 200, codec="zlib").data)
+        stored[10] ^= 0xFF
+        with pytest.raises(StorageError):
+            decompress(bytes(stored))
+
+    def test_levels_change_output_not_value(self):
+        data = (b"abcd" * 4096) + bytes(1000)
+        fast = compress(data, codec="gzip", level=1)
+        best = compress(data, codec="gzip", level=9)
+        assert decompress(fast.data) == decompress(best.data) == data
+        assert best.compressed_nbytes <= fast.compressed_nbytes
+
+    def test_legacy_bare_gzip_still_decompresses(self):
+        import gzip
+        legacy = gzip.compress(b"recorded before framing", mtime=0)
+        assert decompress(legacy) == b"recorded before framing"
+
+
+class TestFramedSerialization:
+    def test_frame_magic_and_segments(self):
+        weights = np.random.default_rng(0).standard_normal(512)
+        data = serialize_checkpoint([snapshot_value("w", weights)]).data
+        assert data[:4] == SERIALIZED_MAGIC
+        segments = payload_segments(data)
+        # One head segment plus one out-of-band buffer per ndarray leaf.
+        assert len(segments) == 2
+        assert segments[1][1] == weights.nbytes
+        # Segments tile the payload exactly.
+        assert sum(length for _, length in segments) == len(data)
+
+    def test_state_dict_leaves_become_buffers(self):
+        net = tl.Linear(16, 16, rng=np.random.default_rng(0))
+        data = serialize_checkpoint([snapshot_value("net", net)]).data
+        segments = payload_segments(data)
+        sizes = sorted(length for _, length in segments[1:])
+        weight_nbytes = net.state_dict()["weight"].nbytes
+        assert weight_nbytes in sizes  # the weight matrix travels raw
+
+    def test_deserialized_arrays_equal_and_restorable(self):
+        net = tl.Linear(4, 4, rng=np.random.default_rng(0))
+        restored = deserialize_checkpoint(serialize_checkpoint(
+            [snapshot_value("net", net)]).data)
+        fresh = tl.Linear(4, 4, rng=np.random.default_rng(1))
+        restore_value(restored[0], fresh)
+        np.testing.assert_array_equal(fresh.weight.data, net.weight.data)
+
+    def test_truncated_frame_raises(self):
+        data = serialize_checkpoint(
+            [snapshot_value("w", np.zeros(256))]).data
+        with pytest.raises(SerializationError, match="corrupt framed"):
+            deserialize_checkpoint(data[:len(data) - 7])
+
+    def test_trailing_garbage_raises(self):
+        data = serialize_checkpoint(
+            [snapshot_value("w", np.zeros(256))]).data
+        with pytest.raises(SerializationError, match="corrupt framed"):
+            deserialize_checkpoint(data + b"extra")
+
+    def test_legacy_plain_pickle_payload_still_deserializes(self):
+        legacy = pickle.dumps([ValueSnapshot(name="epoch", kind=KIND_PICKLE,
+                                             payload=3)])
+        restored = deserialize_checkpoint(legacy)
+        assert restored[0].payload == 3
+
+    def test_empty_snapshot_list_roundtrips(self):
+        data = serialize_checkpoint([]).data
+        assert deserialize_checkpoint(data) == []
+
+
+class TestSnapshotCaching:
+    def test_pickle_kind_captures_at_snapshot_time(self):
+        value = {"losses": [1.0]}
+        snapshot = snapshot_value("history", value)
+        value["losses"].append(2.0)  # mutate after capture
+        assert snapshot.payload == {"losses": [1.0]}
+        # fresh_payload hands out independent copies every call.
+        first, second = snapshot.fresh_payload(), snapshot.fresh_payload()
+        first["losses"].append(99.0)
+        assert second == {"losses": [1.0]}
+
+    def test_array_kind_copies_at_snapshot_time(self):
+        live = np.zeros(8)
+        snapshot = snapshot_value("arr", live)
+        assert snapshot.kind == KIND_ARRAY
+        live[:] = 7.0
+        np.testing.assert_array_equal(snapshot.payload, np.zeros(8))
+
+    def test_nbytes_cached_and_honest(self):
+        weights = np.zeros(1000, dtype=np.float64)
+        snapshot = snapshot_value("w", weights)
+        assert snapshot.nbytes() == weights.nbytes
+        assert snapshot.nbytes() is not None
+        assert snapshot._nbytes == weights.nbytes  # computed once, cached
+
+    def test_scalar_leaves_sized_honestly_not_flat_64(self):
+        # The seed charged 64 bytes per non-array leaf; a state dict of
+        # four scalars must now cost ~8 bytes each, not 256.
+        snapshot = ValueSnapshot(name="s", kind=KIND_STATE_DICT,
+                                 payload={"a": 1, "b": 2.0, "c": True,
+                                          "d": None})
+        assert snapshot.nbytes() == 32
+
+    def test_unpicklable_value_fails_at_capture_time(self):
+        with pytest.raises(SerializationError, match="cannot be checkpointed"):
+            snapshot_value("bad", lambda x: x)
+
+    def test_snapshot_pickles_without_materializing_payload(self):
+        snapshot = snapshot_value("history", list(range(100)))
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.payload == list(range(100))
+        assert clone.name == "history" and clone.kind == KIND_PICKLE
