@@ -32,6 +32,7 @@ import time
 from pathlib import Path
 
 import repro
+from repro import telemetry
 from repro.config import FlorConfig
 from repro.query.catalog import RunCatalog
 from repro.record.recorder import record_source
@@ -79,11 +80,17 @@ def probe_script(script: str) -> str:
         '    flor.log("state_sum", float(state.sum()))')
 
 
-def record_runs(home: Path, shape: dict) -> list[tuple[str, str]]:
+def record_runs(home: Path, shape: dict,
+                trace: bool = False) -> list[tuple[str, str]]:
     """Record the fleet under genuine adaptive (sparse) checkpointing."""
+    # Tracing flips to the default spool materialization so the captured
+    # document also exercises the spool.* seams; the wall-clock numbers of
+    # a --trace run are not comparable to the baseline.
     config = FlorConfig(home=home, epsilon=shape["epsilon"],
                         adaptive_checkpointing=True,
-                        background_materialization="sequential")
+                        telemetry=trace,
+                        background_materialization="spool" if trace
+                        else "sequential")
     repro.set_config(config)
     recorded = []
     try:
@@ -124,12 +131,25 @@ def engine_query(recorded, home: Path, shape: dict, num_workers: int,
     # Per-run sources differ only by seed; the probe is shared, so pass the
     # first run's probed script (identical text for every run here).
     source = probe_script(recorded[0][1])
+    runs = [run_id for run_id, _ in recorded]
+    # EXPLAIN is pure planning: its per-source cell counts must predict
+    # exactly what the query that follows resolves from each source.
+    report = repro.explain(values="state_sum", runs=runs,
+                           iterations=slice(lo, hi), source=source,
+                           config=config)
     start = time.perf_counter()
-    result = repro.query(values="state_sum",
-                         runs=[run_id for run_id, _ in recorded],
+    result = repro.query(values="state_sum", runs=runs,
                          iterations=slice(lo, hi), source=source,
                          config=config)
     wall = time.perf_counter() - start
+    predicted = report.sources()
+    actual = {"logged": result.stats.resolved_logged,
+              "memo": result.stats.resolved_memo,
+              "analysis": result.stats.analysis_resolved,
+              "replay": result.stats.resolved_replay,
+              "missing": result.stats.missing_cells}
+    assert predicted == actual, \
+        f"explain {predicted} disagrees with query stats {actual}"
     return {
         "wall_seconds": round(wall, 4),
         "replay_jobs": result.stats.replay_job_count,
@@ -153,9 +173,15 @@ def _drop_memo_entries(recorded, config: FlorConfig) -> None:
         store.close()
 
 
-def run_benchmark(home: Path, smoke: bool = False) -> dict:
+def run_benchmark(home: Path, smoke: bool = False,
+                  trace_path: Path | None = None) -> dict:
     shape = SMOKE if smoke else FULL
-    recorded = record_runs(home, shape)
+    if trace_path is not None:
+        # One process-wide flight recorder across record + every query
+        # variant; the document lands at trace_path for repro.trace.
+        telemetry.configure(enabled=True, capacity=65_536)
+        telemetry.get_metrics().configure(enabled=True)
+    recorded = record_runs(home, shape, trace=trace_path is not None)
     catalog = RunCatalog.open(FlorConfig(home=home))
     sparse = all(len(entry.aligned_iterations) < entry.main_loop_total
                  for entry in catalog)
@@ -203,6 +229,11 @@ def run_benchmark(home: Path, smoke: bool = False) -> dict:
                 / max(best["memoized_query"]["wall_seconds"], 1e-9), 3),
         },
     }
+    if trace_path is not None:
+        document = telemetry.current_document(
+            meta={"benchmark": "bench_hindsight_query", "smoke": smoke})
+        trace_path.write_text(json.dumps(document, indent=2) + "\n",
+                              encoding="utf-8")
     if not smoke:
         RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n", "utf-8")
     return results
@@ -226,9 +257,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-fast correctness pass (no wall-clock "
                              "assertion, no BENCH_query.json)")
+    parser.add_argument("--trace", metavar="FILE", type=Path,
+                        help="run with the flight recorder on and write "
+                             "the telemetry document to FILE (render it "
+                             "with python -m repro.trace FILE)")
     args = parser.parse_args(argv)
     with tempfile.TemporaryDirectory(prefix="flor_bench_query_") as tmp:
-        results = run_benchmark(Path(tmp), smoke=args.smoke)
+        results = run_benchmark(Path(tmp), smoke=args.smoke,
+                                trace_path=args.trace)
         print(json.dumps(results, indent=2))
         if not args.smoke and (
                 results["summary"]["cold_speedup_vs_manual"] <= 1.0

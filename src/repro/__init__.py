@@ -21,16 +21,17 @@ parallel replay.  This package implements the full system:
 * :mod:`repro.api` — the user-facing ``flor``-style interface.
 """
 
-from . import analysis, api, record, replay, storage, torchlike
+from . import analysis, api, record, replay, storage, telemetry, torchlike
 from .api import (Diagnostic, DiagnosticReport, DiffResult, DiffStats,
-                  GCReport, JobGroup, ProbeAnalysis, ProbeClass, PruneReport,
-                  QueryResult, RecordResult, ReplayResult, RetentionPolicy,
-                  RunCatalog, RunEntry, Severity, StorageStats, ValueDrift,
-                  WorkerResult, analyze_probe, diff, gc, lint_path, lint_run,
-                  lint_source, log, loop, prune, record_script,
-                  record_session, record_source, replay_script,
-                  replay_session, run_parallel_replay, skipblock,
-                  storage_stats)
+                  ExplainReport, GCReport, JobGroup, ProbeAnalysis,
+                  ProbeClass, PruneReport, QueryResult, QueryStats,
+                  RecordResult, ReplayResult, RetentionPolicy, RunCatalog,
+                  RunEntry, Severity, StorageStats, ValueDrift,
+                  WorkerResult, analyze_probe, diff, explain, gc,
+                  lint_path, lint_run, lint_source, log, loop, prune,
+                  record_script, record_session, record_source,
+                  replay_script, replay_session, run_parallel_replay,
+                  skipblock, storage_stats)
 # NOTE: binds the name ``query`` to the entry-point *function*, shadowing
 # the ``repro.query`` subpackage attribute (like ``datetime.datetime``).
 # ``from repro.query.planner import ...`` still resolves the modules.
@@ -49,12 +50,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
-    "analysis", "api", "record", "replay", "storage", "torchlike",
+    "analysis", "api", "record", "replay", "storage", "telemetry",
+    "torchlike",
     "log", "loop", "skipblock",
     "record_session", "replay_session", "record_script", "record_source",
     "replay_script", "run_parallel_replay",
     "RecordResult", "ReplayResult", "WorkerResult",
-    "query", "QueryResult", "RunCatalog", "RunEntry", "JobGroup",
+    "query", "QueryResult", "QueryStats", "RunCatalog", "RunEntry",
+    "JobGroup",
+    "explain", "ExplainReport",
     "diff", "DiffResult", "DiffStats", "ValueDrift",
     "gc", "prune", "storage_stats",
     "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",

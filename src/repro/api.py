@@ -36,8 +36,9 @@ from .config import FlorConfig, get_config, set_config
 from .modes import InitStrategy, Mode
 from .query.api import query
 from .query.catalog import JobGroup, RunCatalog, RunEntry
-from .query.dataframe import QueryResult
+from .query.dataframe import QueryResult, QueryStats
 from .query.diff import DiffResult, DiffStats, ValueDrift, diff
+from .query.explain import ExplainReport, explain
 from .record.skipblock import UNDEFINED
 from .record.recorder import RecordResult, record_script, record_source
 from .replay.parallel import WorkerResult, run_parallel_replay
@@ -55,7 +56,9 @@ __all__ = [
     "record_session", "replay_session",
     "record_script", "record_source", "replay_script",
     "run_parallel_replay", "RecordResult", "ReplayResult", "WorkerResult",
-    "query", "QueryResult", "RunCatalog", "RunEntry", "JobGroup",
+    "query", "QueryResult", "QueryStats", "RunCatalog", "RunEntry",
+    "JobGroup",
+    "explain", "ExplainReport",
     "diff", "DiffResult", "DiffStats", "ValueDrift",
     "gc", "prune", "storage_stats",
     "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",

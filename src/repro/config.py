@@ -57,6 +57,9 @@ DEFAULT_QUERY_WORKERS = 2
 #: Default target chunk size for delta checkpoints (256 KiB).
 DEFAULT_CHUNK_NBYTES = 1 << 18
 
+#: Default span ring-buffer capacity for the telemetry flight recorder.
+DEFAULT_TELEMETRY_BUFFER = 4096
+
 
 @dataclass(frozen=True)
 class FlorConfig:
@@ -178,6 +181,20 @@ class FlorConfig:
         A :class:`~repro.storage.lifecycle.RetentionPolicy` applied to
         each recording run (on background passes when ``gc_interval`` is
         set, and at session close).  ``None`` keeps every checkpoint.
+    telemetry:
+        Turn on the flight recorder (``repro.telemetry``): structured
+        spans around the record loop, spool, storage, replay and query
+        seams plus aggregate metrics, captured into a bounded in-memory
+        ring buffer and persisted as ``"telemetry"`` store metadata at
+        session close.  Off by default; the instrumentation reduces to a
+        single flag check when disabled.  When on, observed restore
+        durations also refine the adaptive controller's and query
+        planner's cost models (EWMA over measured values replaces the
+        ``scaling_factor`` prior).
+    telemetry_buffer:
+        Capacity (in spans) of the telemetry ring buffer.  Old spans
+        fall off the back, so tracing an arbitrarily long run costs
+        bounded memory.
     strict_analysis:
         When True, record open fails with a :class:`RecordError` if the
         replay-safety lint (``repro.analysis.lint``) finds any
@@ -214,6 +231,8 @@ class FlorConfig:
     gc_interval: float | None = None
     retention_policy: RetentionPolicy | None = None
     strict_analysis: bool = False
+    telemetry: bool = False
+    telemetry_buffer: int = DEFAULT_TELEMETRY_BUFFER
 
     _VALID_MATERIALIZERS = ("fork", "thread", "ipc_queue", "sequential",
                             "shared_memory", "spool")
@@ -283,6 +302,16 @@ class FlorConfig:
         if not isinstance(self.strict_analysis, bool):
             raise ConfigError(f"strict_analysis must be a bool, "
                               f"got {self.strict_analysis!r}")
+        if not isinstance(self.telemetry, bool):
+            raise ConfigError(
+                f"telemetry must be a bool, got {self.telemetry!r}")
+        if (not isinstance(self.telemetry_buffer, int)
+                or isinstance(self.telemetry_buffer, bool)
+                or self.telemetry_buffer < 16):
+            # Below ~16 spans the buffer cannot even hold one record
+            # iteration's worth of nested spans; the ring would thrash.
+            raise ConfigError(f"telemetry_buffer must be an integer >= 16, "
+                              f"got {self.telemetry_buffer!r}")
         if self.gc_interval is not None and (
                 not isinstance(self.gc_interval, (int, float))
                 or isinstance(self.gc_interval, bool)

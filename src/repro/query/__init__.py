@@ -22,15 +22,18 @@ record/replay/storage that answers such queries:
   value via digest pre-narrowing plus O(log n) probe bisection.
 """
 
-from .api import query
+from .api import PreparedQuery, prepare_query, query
 from .catalog import JobGroup, RunCatalog, RunEntry
 from .dataframe import QueryResult, QueryRow, QueryStats, ReplayJobRecord
 from .diff import DiffResult, DiffStats, ValueDrift, diff
+from .explain import ExplainReport, RunExplain, SpanChoice, explain
 from .memo import MemoCache
 from .planner import QueryPlan, ReplaySpan, RunPlan, plan_run, plan_spans
 
 __all__ = [
-    "query", "RunCatalog", "RunEntry", "JobGroup",
+    "query", "prepare_query", "PreparedQuery",
+    "explain", "ExplainReport", "RunExplain", "SpanChoice",
+    "RunCatalog", "RunEntry", "JobGroup",
     "diff", "DiffResult", "DiffStats", "ValueDrift",
     "QueryResult", "QueryRow", "QueryStats", "ReplayJobRecord",
     "MemoCache", "QueryPlan", "ReplaySpan", "RunPlan",

@@ -22,10 +22,11 @@ through the storage backend so the next query skips the recompute.
 
 from __future__ import annotations
 
-import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .. import telemetry
 from ..analysis.instrument import BlockSpec, instrument_source
 from ..analysis.purity import (ProbeAnalysis, SAFE_BUILTINS,
                                evaluate_pure_logged)
@@ -36,13 +37,47 @@ from ..record.recorder import ORIGINAL_SOURCE_NAME
 from ..replay.probe import assert_probes_safe, detect_probed_blocks
 from ..replay.scheduler import load_iteration_costs
 from ..storage.checkpoint_store import CheckpointStore
+from ..utils.timing import monotonic
 from .catalog import RunCatalog, RunEntry
 from .dataframe import QueryResult, QueryRow, QueryStats
 from .executor import execute_span_jobs
 from .memo import MemoCache, source_digest
 from .planner import QueryPlan, balance_spans, plan_run
 
-__all__ = ["query"]
+__all__ = ["PreparedQuery", "prepare_query", "query"]
+
+
+@dataclass
+class PreparedQuery:
+    """Everything the planner decided, before a single replay job runs.
+
+    The shared output of the planning stage: :func:`query` executes it,
+    :func:`repro.query.explain.explain` reports it without executing.
+    Memo caches stay open (their stores reopen lazily); call
+    :meth:`close` when done with them.
+    """
+
+    config: FlorConfig
+    names: tuple[str, ...]
+    entries: list[RunEntry]
+    plan: QueryPlan
+    memos: dict[str, MemoCache] = field(default_factory=dict)
+    sources_by_run: dict[str, str] = field(default_factory=dict)
+    probed_by_run: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    aligned_by_run: dict[str, Sequence[int]] = field(default_factory=dict)
+    costs_by_run: dict[str, object] = field(default_factory=dict)
+    planner_seconds: float = 0.0
+    processes: int = 1
+    should_memoize: bool = True
+
+    @property
+    def requested_cells(self) -> int:
+        return sum(len(run_plan.names) * len(run_plan.wanted_iterations)
+                   for run_plan in self.plan.runs)
+
+    def close(self) -> None:
+        for memo in self.memos.values():
+            memo.store.close()
 
 
 def query(values: str | Sequence[str],
@@ -84,8 +119,98 @@ def query(values: str | Sequence[str],
     catalog:
         Reuse an already-open :class:`RunCatalog` (skips the home scan).
     """
-    started = time.perf_counter()
+    started = monotonic()
     config = config or get_config()
+    telemetry.enable_from_config(config)
+    tracer = telemetry.get_tracer()
+    with tracer.span("query") as query_span:
+        with tracer.span("query.plan"):
+            prepared = prepare_query(values, runs, iterations, source,
+                                     workload, config, workers, memoize,
+                                     catalog)
+        plan = prepared.plan
+        names = prepared.names
+        query_span.set(runs=len(prepared.entries),
+                       values=",".join(names))
+
+        jobs = balance_spans(plan.span_jobs, prepared.aligned_by_run,
+                             prepared.costs_by_run,
+                             target_jobs=prepared.processes)
+        with tracer.span("query.execute", jobs=len(jobs)):
+            outcome = execute_span_jobs(jobs, prepared.sources_by_run,
+                                        prepared.probed_by_run, config,
+                                        processes=prepared.processes)
+
+        rows: list[QueryRow] = []
+        stats = QueryStats(runs=len(prepared.entries), values=names,
+                           requested_cells=prepared.requested_cells,
+                           replay_jobs=outcome.job_records,
+                           planner_seconds=prepared.planner_seconds,
+                           replay_seconds=outcome.replay_seconds)
+
+        for run_plan in plan.runs:
+            run_id = run_plan.run_id
+            resolved: dict[tuple[str, int], QueryRow] = {}
+            for resolution in run_plan.resolutions:
+                resolved[(resolution.name, resolution.iteration)] = QueryRow(
+                    run_id=run_id, iteration=resolution.iteration,
+                    name=resolution.name, value=resolution.value,
+                    source=resolution.source)
+                if resolution.source == "logged":
+                    stats.resolved_logged += 1
+                elif resolution.source == "analysis":
+                    stats.analysis_resolved += 1
+                else:
+                    stats.resolved_memo += 1
+
+            replayed = outcome.records_by_run.get(run_id, [])
+            replay_index = _replay_index(replayed)
+            for name, iteration in run_plan.unresolved_cells:
+                if (name, iteration) in replay_index:
+                    resolved[(name, iteration)] = QueryRow(
+                        run_id=run_id, iteration=iteration, name=name,
+                        value=replay_index[(name, iteration)],
+                        source="replay")
+                    stats.resolved_replay += 1
+                else:
+                    stats.missing_cells += 1
+
+            if prepared.should_memoize and replayed:
+                stats.memo_cells_written += \
+                    prepared.memos[run_id].write_back(replayed)
+            prepared.memos[run_id].store.close()
+
+            for iteration in run_plan.wanted_iterations:
+                for name in names:
+                    row = resolved.get((name, iteration))
+                    if row is not None:
+                        rows.append(row)
+
+        query_span.set(rows=len(rows),
+                       replay_jobs=len(outcome.job_records))
+
+    stats.total_seconds = monotonic() - started
+    return QueryResult(rows=rows, stats=stats)
+
+
+def prepare_query(values: str | Sequence[str],
+                  runs: str | Iterable[str] | None = None,
+                  iterations: int | slice | Iterable[int] | None = None,
+                  source: str | Path | None = None,
+                  workload: str | None = None,
+                  config: FlorConfig | None = None,
+                  workers: int | None = None,
+                  memoize: bool | None = None,
+                  catalog: RunCatalog | None = None) -> PreparedQuery:
+    """The planning stage of a query, shared by ``query`` and ``explain``.
+
+    Selects runs, gates probe safety, and resolves every requested cell
+    to its cheapest source — without executing a single replay job.
+    Parameters match :func:`query`.
+    """
+    started = monotonic()
+    config = config or get_config()
+    telemetry.enable_from_config(config)
     names = (values,) if isinstance(values, str) else tuple(values)
     if not names:
         raise QueryError("query needs at least one value name")
@@ -175,62 +300,15 @@ def query(values: str | Sequence[str],
         # pool can fork/spawn around a quiesced store.
         store.close()
 
-    planner_seconds = time.perf_counter() - started
-
-    jobs = balance_spans(plan.span_jobs, aligned_by_run, costs_by_run,
-                         target_jobs=processes)
-    outcome = execute_span_jobs(jobs, sources_by_run, probed_by_run,
-                                config, processes=processes)
-
-    rows: list[QueryRow] = []
-    stats = QueryStats(runs=len(entries), values=names,
-                       requested_cells=sum(
-                           len(run_plan.names) * len(
-                               run_plan.wanted_iterations)
-                           for run_plan in plan.runs),
-                       replay_jobs=outcome.job_records,
-                       planner_seconds=planner_seconds,
-                       replay_seconds=outcome.replay_seconds)
-
-    for run_plan in plan.runs:
-        run_id = run_plan.run_id
-        resolved: dict[tuple[str, int], QueryRow] = {}
-        for resolution in run_plan.resolutions:
-            resolved[(resolution.name, resolution.iteration)] = QueryRow(
-                run_id=run_id, iteration=resolution.iteration,
-                name=resolution.name, value=resolution.value,
-                source=resolution.source)
-            if resolution.source == "logged":
-                stats.resolved_logged += 1
-            elif resolution.source == "analysis":
-                stats.analysis_resolved += 1
-            else:
-                stats.resolved_memo += 1
-
-        replayed = outcome.records_by_run.get(run_id, [])
-        replay_index = _replay_index(replayed)
-        for name, iteration in run_plan.unresolved_cells:
-            if (name, iteration) in replay_index:
-                resolved[(name, iteration)] = QueryRow(
-                    run_id=run_id, iteration=iteration, name=name,
-                    value=replay_index[(name, iteration)], source="replay")
-                stats.resolved_replay += 1
-            else:
-                stats.missing_cells += 1
-
-        if should_memoize and replayed:
-            stats.memo_cells_written += \
-                memos[run_id].write_back(replayed)
-        memos[run_id].store.close()
-
-        for iteration in run_plan.wanted_iterations:
-            for name in names:
-                row = resolved.get((name, iteration))
-                if row is not None:
-                    rows.append(row)
-
-    stats.total_seconds = time.perf_counter() - started
-    return QueryResult(rows=rows, stats=stats)
+    return PreparedQuery(config=config, names=names, entries=entries,
+                         plan=plan, memos=memos,
+                         sources_by_run=sources_by_run,
+                         probed_by_run=probed_by_run,
+                         aligned_by_run=aligned_by_run,
+                         costs_by_run=costs_by_run,
+                         planner_seconds=monotonic() - started,
+                         processes=processes,
+                         should_memoize=should_memoize)
 
 
 # ------------------------------------------------------------------------- #

@@ -46,6 +46,23 @@ class ReplayJobRecord:
     def iterations(self) -> int:
         return max(0, self.stop - self.start)
 
+    def to_dict(self) -> dict:
+        return {"run_id": self.run_id, "start": self.start,
+                "stop": self.stop, "restore_index": self.restore_index,
+                "estimated_seconds": self.estimated_seconds,
+                "wall_seconds": self.wall_seconds}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReplayJobRecord":
+        restore = payload.get("restore_index")
+        return cls(run_id=payload["run_id"], start=int(payload["start"]),
+                   stop=int(payload["stop"]),
+                   restore_index=(int(restore)
+                                  if restore is not None else None),
+                   estimated_seconds=float(
+                       payload.get("estimated_seconds", 0.0)),
+                   wall_seconds=float(payload.get("wall_seconds", 0.0)))
+
 
 @dataclass
 class QueryStats:
@@ -84,6 +101,43 @@ class QueryStats:
                 f"({self.replayed_iterations} iterations), "
                 f"{self.missing_cells} missing; "
                 f"{self.total_seconds:.3f}s total")
+
+    def to_payload(self) -> dict:
+        """Plain-dict form (JSON-ready, telemetry-document friendly)."""
+        return {
+            "runs": self.runs,
+            "values": list(self.values),
+            "requested_cells": self.requested_cells,
+            "resolved_logged": self.resolved_logged,
+            "resolved_memo": self.resolved_memo,
+            "analysis_resolved": self.analysis_resolved,
+            "resolved_replay": self.resolved_replay,
+            "missing_cells": self.missing_cells,
+            "memo_cells_written": self.memo_cells_written,
+            "planner_seconds": self.planner_seconds,
+            "replay_seconds": self.replay_seconds,
+            "total_seconds": self.total_seconds,
+            "replay_jobs": [job.to_dict() for job in self.replay_jobs],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QueryStats":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            runs=int(payload.get("runs", 0)),
+            values=tuple(payload.get("values", ())),
+            requested_cells=int(payload.get("requested_cells", 0)),
+            resolved_logged=int(payload.get("resolved_logged", 0)),
+            resolved_memo=int(payload.get("resolved_memo", 0)),
+            analysis_resolved=int(payload.get("analysis_resolved", 0)),
+            resolved_replay=int(payload.get("resolved_replay", 0)),
+            missing_cells=int(payload.get("missing_cells", 0)),
+            memo_cells_written=int(payload.get("memo_cells_written", 0)),
+            planner_seconds=float(payload.get("planner_seconds", 0.0)),
+            replay_seconds=float(payload.get("replay_seconds", 0.0)),
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+            replay_jobs=[ReplayJobRecord.from_dict(row)
+                         for row in payload.get("replay_jobs", [])])
 
 
 class QueryResult:

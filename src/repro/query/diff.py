@@ -32,15 +32,16 @@ was obtained.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from .. import telemetry
 from ..config import FlorConfig, get_config
 from ..exceptions import QueryError
 from ..record.logger import read_log
 from ..storage.checkpoint_store import CheckpointStore
+from ..utils.timing import monotonic
 from .api import query
 from .catalog import RunCatalog, RunEntry
 from .dataframe import ReplayJobRecord
@@ -108,6 +109,38 @@ class DiffStats:
                 f"{self.probe_queries} probes / "
                 f"{self.replay_job_count} replay job(s); "
                 f"{self.total_seconds:.3f}s")
+
+    def to_payload(self) -> dict:
+        """Plain-dict form (JSON-ready, telemetry-document friendly)."""
+        return {
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "common_iterations": self.common_iterations,
+            "state_divergence": self.state_divergence,
+            "last_state_match": self.last_state_match,
+            "digest_comparisons": self.digest_comparisons,
+            "probe_queries": self.probe_queries,
+            "total_seconds": self.total_seconds,
+            "replay_jobs": [job.to_dict() for job in self.replay_jobs],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DiffStats":
+        """Inverse of :meth:`to_payload`."""
+        state = payload.get("state_divergence")
+        last_match = payload.get("last_state_match")
+        return cls(
+            run_a=payload.get("run_a", ""),
+            run_b=payload.get("run_b", ""),
+            common_iterations=int(payload.get("common_iterations", 0)),
+            state_divergence=int(state) if state is not None else None,
+            last_state_match=(int(last_match)
+                              if last_match is not None else None),
+            digest_comparisons=int(payload.get("digest_comparisons", 0)),
+            probe_queries=int(payload.get("probe_queries", 0)),
+            total_seconds=float(payload.get("total_seconds", 0.0)),
+            replay_jobs=[ReplayJobRecord.from_dict(row)
+                         for row in payload.get("replay_jobs", [])])
 
 
 class DiffResult:
@@ -271,10 +304,14 @@ class _ValueProber:
         """``(value_a, value_b)`` at ``iteration`` (None for unresolvable)."""
         if iteration in self._cache:
             return self._cache[iteration]
-        result = query(values=self.name, runs=[self.run_a, self.run_b],
-                       iterations=iteration, source=self.source,
-                       config=self.config, workers=self.workers,
-                       memoize=self.memoize, catalog=self.catalog)
+        with telemetry.get_tracer().span("diff.probe", value=self.name,
+                                         iteration=iteration) as probe:
+            result = query(values=self.name,
+                           runs=[self.run_a, self.run_b],
+                           iterations=iteration, source=self.source,
+                           config=self.config, workers=self.workers,
+                           memoize=self.memoize, catalog=self.catalog)
+            probe.set(replay_jobs=len(result.stats.replay_jobs))
         self.probes += 1
         self.stats.probe_queries += 1
         self.stats.replay_jobs.extend(result.stats.replay_jobs)
@@ -452,50 +489,58 @@ def diff(run_a: str, run_b: str, values: str | Sequence[str],
     workers, memoize, catalog:
         Forwarded to the underlying :func:`repro.query.query` probes.
     """
-    started = time.perf_counter()
+    started = monotonic()
     config = config or get_config()
+    telemetry.enable_from_config(config)
     names = (values,) if isinstance(values, str) else tuple(values)
     if not names:
         raise QueryError("diff needs at least one value name")
 
-    catalog = catalog or RunCatalog.open(config)
-    entry_a = _single_entry(catalog, run_a)
-    entry_b = _single_entry(catalog, run_b)
-    if entry_a.run_id == entry_b.run_id:
-        raise QueryError(
-            f"diff needs two distinct runs, got {entry_a.run_id!r} twice")
-
-    stats = DiffStats(run_a=entry_a.run_id, run_b=entry_b.run_id)
-    domain = sorted(set(range(entry_a.main_loop_total))
-                    & set(range(entry_b.main_loop_total)))
-    stats.common_iterations = len(domain)
-
-    if domain and use_checkpoint_digests:
-        _narrow_by_digests(entry_a, entry_b, config, stats)
-
-    drifts: list[ValueDrift] = []
-    for name in names:
-        if not domain:
-            drifts.append(ValueDrift(name=name, status="no_overlap",
-                                     method="logged-scan"))
-            continue
-        logged_both = (name in entry_a.logged_values
-                       and name in entry_b.logged_values)
-        if logged_both:
-            drifts.append(_logged_scan(name, entry_a, entry_b, tolerance))
-            continue
-        if source is None:
+    with telemetry.get_tracer().span("diff",
+                                     values=",".join(names)) as diff_span:
+        catalog = catalog or RunCatalog.open(config)
+        entry_a = _single_entry(catalog, run_a)
+        entry_b = _single_entry(catalog, run_b)
+        if entry_a.run_id == entry_b.run_id:
             raise QueryError(
-                f"value {name!r} was not logged by both runs "
-                f"({entry_a.run_id}: {name in entry_a.logged_values}, "
-                f"{entry_b.run_id}: {name in entry_b.logged_values}); "
-                "pass `source=` with a probe script that computes it")
-        prober = _ValueProber(name, entry_a.run_id, entry_b.run_id,
-                              source, config, workers, memoize, catalog,
-                              stats)
-        drifts.append(_bisect_drift(name, domain, prober, tolerance, stats))
+                f"diff needs two distinct runs, got {entry_a.run_id!r} "
+                "twice")
+        diff_span.set(run_a=entry_a.run_id, run_b=entry_b.run_id)
 
-    stats.total_seconds = time.perf_counter() - started
+        stats = DiffStats(run_a=entry_a.run_id, run_b=entry_b.run_id)
+        domain = sorted(set(range(entry_a.main_loop_total))
+                        & set(range(entry_b.main_loop_total)))
+        stats.common_iterations = len(domain)
+
+        if domain and use_checkpoint_digests:
+            _narrow_by_digests(entry_a, entry_b, config, stats)
+
+        drifts: list[ValueDrift] = []
+        for name in names:
+            if not domain:
+                drifts.append(ValueDrift(name=name, status="no_overlap",
+                                         method="logged-scan"))
+                continue
+            logged_both = (name in entry_a.logged_values
+                           and name in entry_b.logged_values)
+            if logged_both:
+                drifts.append(_logged_scan(name, entry_a, entry_b,
+                                           tolerance))
+                continue
+            if source is None:
+                raise QueryError(
+                    f"value {name!r} was not logged by both runs "
+                    f"({entry_a.run_id}: {name in entry_a.logged_values}, "
+                    f"{entry_b.run_id}: {name in entry_b.logged_values}); "
+                    "pass `source=` with a probe script that computes it")
+            prober = _ValueProber(name, entry_a.run_id, entry_b.run_id,
+                                  source, config, workers, memoize,
+                                  catalog, stats)
+            drifts.append(_bisect_drift(name, domain, prober, tolerance,
+                                        stats))
+        diff_span.set(probes=stats.probe_queries)
+
+    stats.total_seconds = monotonic() - started
     return DiffResult(drifts=drifts, stats=stats)
 
 

@@ -11,13 +11,13 @@ replays forward; jobs share nothing but the read-only checkpoint stores.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..config import FlorConfig
 from ..exceptions import QueryError
 from ..record.logger import LogRecord, iteration_order_key
 from ..replay.parallel import ReplayJobSpec, run_replay_jobs
+from ..utils.timing import monotonic
 from .dataframe import ReplayJobRecord
 from .planner import ReplaySpan
 
@@ -71,12 +71,12 @@ def execute_span_jobs(jobs: list[tuple[str, ReplaySpan]],
             num_workers=per_run_total[run_id],
         ))
 
-    start = time.perf_counter()
+    start = monotonic()
     results = run_replay_jobs(specs, config,
                               processes=(processes
                                          if processes is not None
                                          else config.query_workers))
-    outcome.replay_seconds = time.perf_counter() - start
+    outcome.replay_seconds = monotonic() - start
 
     failures = [(spec, result) for spec, result in zip(specs, results)
                 if not result.succeeded]

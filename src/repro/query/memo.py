@@ -20,6 +20,7 @@ from typing import Iterable
 
 from ..record.logger import LogRecord
 from ..storage.checkpoint_store import CheckpointStore
+from ..telemetry import get_metrics, get_tracer
 
 __all__ = ["MEMO_KEY_PREFIX", "MemoCache", "source_digest"]
 
@@ -61,18 +62,23 @@ class MemoCache:
     def load(self) -> dict[str, dict[int, object]]:
         """The memoized ``{name: {iteration: value}}`` view (cached)."""
         if self._values is None:
-            payload = self.store.get_metadata(self.key)
-            if (not isinstance(payload, dict)
-                    or payload.get("source_digest") != self.digest):
-                # Absent, from an older schema, or a shortened-key collision
-                # with a different probe source: treat as empty.
-                self._values = {}
-            else:
-                self._values = {
-                    name: {int(iteration): value
-                           for iteration, value in per_name.items()}
-                    for name, per_name in (payload.get("values") or {}).items()
-                }
+            with get_tracer().span("query.memo_load", key=self.key) as span:
+                payload = self.store.get_metadata(self.key)
+                if (not isinstance(payload, dict)
+                        or payload.get("source_digest") != self.digest):
+                    # Absent, from an older schema, or a shortened-key
+                    # collision with a different probe source: treat as
+                    # empty.
+                    self._values = {}
+                else:
+                    self._values = {
+                        name: {int(iteration): value
+                               for iteration, value in per_name.items()}
+                        for name, per_name in
+                        (payload.get("values") or {}).items()
+                    }
+                span.set(cells=sum(len(per_name)
+                                   for per_name in self._values.values()))
         return self._values
 
     def names(self) -> list[str]:
@@ -92,23 +98,28 @@ class MemoCache:
         by the log manager, so they round-trip through the backend's
         metadata plane unchanged.
         """
-        values = self.load()
-        added = 0
-        for record in records:
-            if record.iteration is None:
-                continue
-            per_name = values.setdefault(record.name, {})
-            if record.iteration not in per_name:
-                added += 1
-            per_name[record.iteration] = record.value
-        if added:
-            self.store.set_metadata(self.key, {
-                "schema_version": MEMO_SCHEMA_VERSION,
-                "source_digest": self.digest,
-                "values": {name: {str(iteration): value
-                                  for iteration, value in per_name.items()}
-                           for name, per_name in values.items()},
-            })
+        with get_tracer().span("query.memo_writeback",
+                               key=self.key) as span:
+            values = self.load()
+            added = 0
+            for record in records:
+                if record.iteration is None:
+                    continue
+                per_name = values.setdefault(record.name, {})
+                if record.iteration not in per_name:
+                    added += 1
+                per_name[record.iteration] = record.value
+            if added:
+                self.store.set_metadata(self.key, {
+                    "schema_version": MEMO_SCHEMA_VERSION,
+                    "source_digest": self.digest,
+                    "values": {name: {str(iteration): value
+                                      for iteration, value in
+                                      per_name.items()}
+                               for name, per_name in values.items()},
+                })
+                get_metrics().inc("query.memo_cells_written", added)
+            span.set(added=added)
         return added
 
     # ------------------------------------------------------------------ #

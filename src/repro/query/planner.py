@@ -199,6 +199,9 @@ class RunPlan:
     unresolved_cells: list[tuple[str, int]] = field(default_factory=list)
     replay_iterations: tuple[int, ...] = ()
     spans: list[ReplaySpan] = field(default_factory=list)
+    #: Names produced solely by PURE_LOGGED probes: replay cannot log
+    #: them, so their unresolved cells are missing even inside a span.
+    analysis_only_names: frozenset[str] = frozenset()
 
     @property
     def run_id(self) -> str:
@@ -259,7 +262,8 @@ def plan_run(entry: RunEntry, names: Sequence[str],
     rather than span-planned — replaying it could only crash.
     """
     plan = RunPlan(entry=entry, names=tuple(names),
-                   wanted_iterations=tuple(wanted_iterations))
+                   wanted_iterations=tuple(wanted_iterations),
+                   analysis_only_names=analysis_only_names)
     analysis_index = analysis_index or {}
     unresolved: set[int] = set()
     for iteration in wanted_iterations:

@@ -119,6 +119,12 @@ class AdaptiveController:
     #: Per-codec compress-cost models (lazily seeded from CODEC_PRIORS).
     codec_models: dict[str, CodecModel] = field(default_factory=dict)
     _write_bandwidth: float = DEFAULT_WRITE_BANDWIDTH_BYTES_PER_SECOND
+    #: EWMA of measured per-checkpoint restore seconds.  Replay sessions
+    #: persist it back into ``iteration_stats`` (telemetry on), replacing
+    #: the ``scaling_factor * mean_materialize`` prior in the query
+    #: planner's and replay scheduler's cost models.
+    restore_ewma: float = 0.0
+    restore_observations: int = 0
 
     # ------------------------------------------------------------------ #
     # Observation API (called by the SkipBlock / materializer)
@@ -233,6 +239,12 @@ class AdaptiveController:
         """Refine the restore/materialize scaling factor ``c`` (Eq. 3)."""
         entry = self.block(block_id)
         entry.total_restore_seconds += max(restore_seconds, 0.0)
+        observed = max(restore_seconds, 0.0)
+        if self.restore_observations == 0:
+            self.restore_ewma = observed
+        else:
+            self.restore_ewma = 0.7 * self.restore_ewma + 0.3 * observed
+        self.restore_observations += 1
         if materialize_seconds and materialize_seconds > 0:
             self._observed_ratios.append(restore_seconds / materialize_seconds)
             self.scaling_factor = (
@@ -333,7 +345,7 @@ class AdaptiveController:
                           for entry in self.stats.values())
         mean_compute = compute / executions if executions else 0.0
         mean_materialize = materialize / checkpoints if checkpoints else 0.0
-        return {
+        stats = {
             "per_iteration_compute_seconds": {
                 str(iteration): round(seconds, 6)
                 for iteration, seconds in sorted(
@@ -343,3 +355,7 @@ class AdaptiveController:
             "estimated_restore_seconds": round(
                 self.scaling_factor * mean_materialize, 6),
         }
+        if self.restore_observations:
+            stats["observed_restore_seconds"] = round(self.restore_ewma, 6)
+            stats["restore_observations"] = self.restore_observations
+        return stats

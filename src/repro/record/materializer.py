@@ -53,6 +53,7 @@ from ..exceptions import RecordError
 from ..storage.checkpoint_store import CheckpointStore
 from ..storage.serializer import ValueSnapshot, serialize_checkpoint
 from ..storage.spool import AsyncSpool
+from ..utils.timing import monotonic
 
 __all__ = ["MaterializationTicket", "Materializer", "SequentialMaterializer",
            "ThreadMaterializer", "IPCQueueMaterializer", "ForkMaterializer",
@@ -113,10 +114,10 @@ class SequentialMaterializer(Materializer):
     name = "sequential"
 
     def submit(self, block_id, execution_index, snapshots):
-        start = time.perf_counter()
+        start = monotonic()
         serialized = serialize_checkpoint(snapshots)
         self.store.put_serialized(block_id, execution_index, serialized)
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic() - start
         return self._account(MaterializationTicket(
             block_id=block_id, execution_index=execution_index,
             main_thread_seconds=elapsed, payload_nbytes=serialized.nbytes,
@@ -137,10 +138,10 @@ class ThreadMaterializer(Materializer):
         self._thread.start()
 
     def submit(self, block_id, execution_index, snapshots):
-        start = time.perf_counter()
+        start = monotonic()
         estimate = sum(snapshot.nbytes() for snapshot in snapshots)
         self._queue.put((block_id, execution_index, snapshots))
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic() - start
         return self._account(MaterializationTicket(
             block_id=block_id, execution_index=execution_index,
             main_thread_seconds=elapsed, payload_nbytes=estimate,
@@ -199,10 +200,10 @@ class IPCQueueMaterializer(Materializer):
         self._process.start()
 
     def submit(self, block_id, execution_index, snapshots):
-        start = time.perf_counter()
+        start = monotonic()
         payload = pickle.dumps(snapshots, protocol=pickle.HIGHEST_PROTOCOL)
         self._queue.put((block_id, execution_index, payload))
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic() - start
         return self._account(MaterializationTicket(
             block_id=block_id, execution_index=execution_index,
             main_thread_seconds=elapsed, payload_nbytes=len(payload),
@@ -244,13 +245,13 @@ class ForkMaterializer(Materializer):
         self._children: list[int] = []
 
     def submit(self, block_id, execution_index, snapshots):
-        start = time.perf_counter()
+        start = monotonic()
         estimate = sum(snapshot.nbytes() for snapshot in snapshots)
         self._buffer.append((block_id, execution_index, snapshots))
         self._buffered_objects += max(len(snapshots), 1)
         if self._buffered_objects >= self.batch_objects:
             self._fork_batch()
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic() - start
         return self._account(MaterializationTicket(
             block_id=block_id, execution_index=execution_index,
             main_thread_seconds=elapsed, payload_nbytes=estimate,
@@ -320,7 +321,7 @@ class SharedMemoryMaterializer(Materializer):
         self._process.start()
 
     def submit(self, block_id, execution_index, snapshots):
-        start = time.perf_counter()
+        start = monotonic()
         descriptors = []
         segments = []
         total = 0
@@ -344,7 +345,7 @@ class SharedMemoryMaterializer(Materializer):
                 total += array.nbytes
             descriptors.append(("shm", snapshot.name, snapshot.kind, array_meta))
         self._queue.put((block_id, execution_index, descriptors))
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic() - start
         # Keep references alive until the writer confirms by closing them;
         # for simplicity we let the writer unlink and drop ours on flush.
         self._pending_segments = getattr(self, "_pending_segments", [])

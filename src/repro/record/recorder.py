@@ -9,7 +9,6 @@ the original source, and the instrumentation metadata.
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -22,6 +21,7 @@ from ..modes import Mode
 from ..record.logger import LogRecord
 from ..session import Session
 from ..utils.naming import new_run_id
+from ..utils.timing import monotonic
 
 __all__ = ["RecordResult", "record_script", "record_source"]
 
@@ -113,12 +113,12 @@ def record_source(source: str, name: str | None = None,
     if script_globals:
         exec_globals.update(script_globals)
 
-    start = time.perf_counter()
+    start = monotonic()
     code = compile(instrumentation.instrumented_source, ORIGINAL_SOURCE_NAME,
                    "exec")
     with session:
         exec(code, exec_globals)  # noqa: S102 - executing the user's own script
-    wall_seconds = time.perf_counter() - start
+    wall_seconds = monotonic() - start
 
     return RecordResult(
         run_id=run_id,

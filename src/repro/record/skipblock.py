@@ -25,13 +25,14 @@ so the caller can rebind them.
 from __future__ import annotations
 
 import inspect
-import time
 from typing import TYPE_CHECKING, Mapping
 
 from ..analysis.augmentation import augment_changeset
 from ..exceptions import ReplayError
 from ..modes import Phase
 from ..storage.serializer import ValueSnapshot, restore_value, snapshot_value
+from ..telemetry import get_metrics, get_tracer
+from ..utils.timing import monotonic
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..session import Session
@@ -101,7 +102,7 @@ class SkipBlock:
 
         self._executed = decision
         if decision:
-            self._start_time = time.perf_counter()
+            self._start_time = monotonic()
         return decision
 
     def _restorable(self, weak_ok: bool) -> bool:
@@ -175,7 +176,7 @@ class SkipBlock:
     def _memoize(self, named_values: dict, namespace: Mapping | None) -> tuple:
         compute_seconds = 0.0
         if self._start_time is not None:
-            compute_seconds = time.perf_counter() - self._start_time
+            compute_seconds = monotonic() - self._start_time
 
         if self.session.phase is not Phase.RECORD:
             # Probed re-execution on replay produces hindsight logs but does
@@ -186,41 +187,49 @@ class SkipBlock:
         session.adaptive.observe_execution(self.block_id, compute_seconds,
                                            iteration=session.current_iteration)
 
-        # Runtime changeset augmentation with library knowledge.
-        capture_names = list(named_values)
-        if namespace:
-            augmented = augment_changeset(set(named_values), namespace)
-            for name in sorted(augmented - set(named_values)):
-                if name in namespace:
-                    capture_names.append(name)
+        with get_tracer().span("record.capture", block_id=self.block_id,
+                               execution_index=self.execution_index) as capture:
+            # Runtime changeset augmentation with library knowledge.
+            capture_names = list(named_values)
+            if namespace:
+                augmented = augment_changeset(set(named_values), namespace)
+                for name in sorted(augmented - set(named_values)):
+                    if name in namespace:
+                        capture_names.append(name)
 
-        snapshots: list[ValueSnapshot] = []
-        payload_nbytes = 0
-        for name in capture_names:
-            value = named_values.get(name, namespace.get(name) if namespace else None)
-            if inspect.ismodule(value):
-                # Table 1's method-call rule conservatively adds the call's
-                # receiver to the changeset, which drags modules in when the
-                # loop calls e.g. ``time.sleep``.  Modules are import
-                # machinery, not training state — never checkpoint them.
-                continue
-            snapshot = snapshot_value(name, value)
-            payload_nbytes += snapshot.nbytes()
-            snapshots.append(snapshot)
+            snapshots: list[ValueSnapshot] = []
+            payload_nbytes = 0
+            for name in capture_names:
+                value = named_values.get(name, namespace.get(name) if namespace else None)
+                if inspect.ismodule(value):
+                    # Table 1's method-call rule conservatively adds the call's
+                    # receiver to the changeset, which drags modules in when the
+                    # loop calls e.g. ``time.sleep``.  Modules are import
+                    # machinery, not training state — never checkpoint them.
+                    continue
+                snapshot = snapshot_value(name, value)
+                payload_nbytes += snapshot.nbytes()
+                snapshots.append(snapshot)
 
-        decision = session.adaptive.should_materialize(
-            self.block_id, compute_seconds, payload_nbytes)
-        if decision.materialize:
-            ticket = session.materializer.submit(
-                self.block_id, self.execution_index, snapshots)
-            # An async submit's main-thread time is just the enqueue cost;
-            # feeding nbytes/enqueue-time into the throughput model would
-            # inflate it absurdly.  Pass nbytes only for inline completions;
-            # async strategies refine throughput through the background
-            # completion callback instead.
-            session.adaptive.observe_materialization(
-                self.block_id, ticket.main_thread_seconds,
-                payload_nbytes if ticket.completed_inline else 0)
+            decision = session.adaptive.should_materialize(
+                self.block_id, compute_seconds, payload_nbytes)
+            capture.set(nbytes=payload_nbytes,
+                        materialize=decision.materialize)
+            if decision.materialize:
+                get_metrics().inc("record.checkpoints")
+                get_metrics().inc("record.checkpoint_bytes", payload_nbytes)
+                ticket = session.materializer.submit(
+                    self.block_id, self.execution_index, snapshots)
+                # An async submit's main-thread time is just the enqueue cost;
+                # feeding nbytes/enqueue-time into the throughput model would
+                # inflate it absurdly.  Pass nbytes only for inline completions;
+                # async strategies refine throughput through the background
+                # completion callback instead.
+                session.adaptive.observe_materialization(
+                    self.block_id, ticket.main_thread_seconds,
+                    payload_nbytes if ticket.completed_inline else 0)
+            else:
+                get_metrics().inc("record.checkpoints_skipped")
         return tuple(named_values.values())
 
     # -- skip-and-restore path ---------------------------------------------
@@ -231,26 +240,31 @@ class SkipBlock:
             raise ReplayError(
                 f"SkipBlock {self.block_id!r} was skipped but no checkpoint "
                 f"index was resolved")
-        start = time.perf_counter()
-        snapshots = session.store.get(self.block_id, index,
-                                      run_id=session.run_id)
-        by_name = {snapshot.name: snapshot for snapshot in snapshots}
+        start = monotonic()
+        with get_tracer().span("replay.restore", block_id=self.block_id,
+                               execution_index=self.execution_index,
+                               restore_index=index,
+                               weak=index != self.execution_index):
+            snapshots = session.store.get(self.block_id, index,
+                                          run_id=session.run_id)
+            by_name = {snapshot.name: snapshot for snapshot in snapshots}
 
-        restored = dict(named_values)
-        for name, live_value in named_values.items():
-            snapshot = by_name.pop(name, None)
-            if snapshot is not None:
-                restored[name] = restore_value(snapshot, live_value)
+            restored = dict(named_values)
+            for name, live_value in named_values.items():
+                snapshot = by_name.pop(name, None)
+                if snapshot is not None:
+                    restored[name] = restore_value(snapshot, live_value)
 
-        # Snapshots that were captured through runtime augmentation (for
-        # example the model behind the optimizer) are restored in place via
-        # the namespace when possible.
-        if namespace:
-            for name, snapshot in by_name.items():
-                live = namespace.get(name)
-                if live is not None:
-                    restore_value(snapshot, live)
+            # Snapshots that were captured through runtime augmentation (for
+            # example the model behind the optimizer) are restored in place via
+            # the namespace when possible.
+            if namespace:
+                for name, snapshot in by_name.items():
+                    live = namespace.get(name)
+                    if live is not None:
+                        restore_value(snapshot, live)
 
-        restore_seconds = time.perf_counter() - start
+        restore_seconds = monotonic() - start
+        get_metrics().inc("replay.restores")
         session.adaptive.observe_restore(self.block_id, restore_seconds)
         return tuple(restored.values())

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import time
 import traceback
 import uuid
 from dataclasses import dataclass, field
@@ -34,6 +33,8 @@ from ..exceptions import ReplayError
 from ..modes import InitStrategy, Mode
 from ..record.logger import LogRecord, read_log
 from ..session import Session, get_active_session
+from .. import telemetry
+from ..utils.timing import monotonic
 
 __all__ = ["WorkerResult", "ReplayJobSpec", "run_worker",
            "run_parallel_replay", "run_replay_jobs"]
@@ -48,6 +49,9 @@ class WorkerResult:
     iterations: list[int] = field(default_factory=list)
     log_records: list[LogRecord] = field(default_factory=list)
     error: str | None = None
+    #: Telemetry spans captured in the worker process (exported dicts),
+    #: shipped back through the pool and ingested by the dispatching side.
+    spans: list[dict] = field(default_factory=list)
 
     @property
     def succeeded(self) -> bool:
@@ -60,7 +64,7 @@ def run_worker(run_id: str, instrumented_source: str, config: FlorConfig,
                sample_iterations: list[int] | None = None,
                replay_queue_path: str | None = None) -> WorkerResult:
     """Execute one worker's share of a parallel replay (in this process)."""
-    start = time.perf_counter()
+    start = monotonic()
     session = Session(run_id=run_id, mode=Mode.REPLAY, config=config,
                       pid=pid, num_workers=num_workers,
                       init_strategy=init_strategy,
@@ -74,11 +78,11 @@ def run_worker(run_id: str, instrumented_source: str, config: FlorConfig,
         with session:
             exec(code, exec_globals)  # noqa: S102 - replaying the user's script
     except Exception:
-        return WorkerResult(pid=pid, wall_seconds=time.perf_counter() - start,
+        return WorkerResult(pid=pid, wall_seconds=monotonic() - start,
                             error=traceback.format_exc())
     return WorkerResult(
         pid=pid,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=monotonic() - start,
         iterations=list(session.iterations_run),
         log_records=list(session.logs.records),
     )
@@ -113,6 +117,9 @@ def _worker_entry(args: tuple) -> dict:
     # replay session can activate.
     from .. import session as session_module
     session_module._ACTIVE_SESSION = None
+    # A forked child also inherits the parent's telemetry ring buffer;
+    # clear it so only THIS worker's spans ship back through the summary.
+    telemetry.reset_for_worker()
     result = run_worker(run_id, instrumented_source, config, pid, num_workers,
                         InitStrategy(init_strategy), set(probed_blocks),
                         replay_queue_path=replay_queue_path)
@@ -121,6 +128,7 @@ def _worker_entry(args: tuple) -> dict:
         "wall_seconds": result.wall_seconds,
         "iterations": result.iterations,
         "error": result.error,
+        "spans": telemetry.get_tracer().drain(),
     }
 
 
@@ -197,9 +205,18 @@ def run_parallel_replay(run_id: str, instrumented_source: str,
     jobs = [(run_id, instrumented_source, config, pid, num_workers,
              init_strategy.value, sorted(probed), queue_path)
             for pid in range(num_workers)]
+    tracer = telemetry.get_tracer()
     try:
-        with ctx.Pool(processes=num_workers) as pool:
-            summaries = pool.map(_worker_entry, jobs)
+        with tracer.span("replay.parallel", run_id=run_id,
+                         workers=num_workers) as dispatch:
+            with ctx.Pool(processes=num_workers) as pool:
+                summaries = pool.map(_worker_entry, jobs)
+            for summary in summaries:
+                # Worker spans come back through the result channel;
+                # re-parent their roots under this dispatch span so the
+                # merged trace stays one tree.
+                tracer.ingest(summary.get("spans") or [],
+                              parent_id=dispatch.span_id)
     finally:
         _remove_queue_files(queue_path)
 
@@ -214,6 +231,7 @@ def run_parallel_replay(run_id: str, instrumented_source: str,
             iterations=summary["iterations"],
             log_records=read_log(log_path),
             error=summary["error"],
+            spans=summary.get("spans") or [],
         ))
     return results
 
@@ -232,6 +250,7 @@ def _job_entry(args: tuple) -> dict:
     spec, config = args
     from .. import session as session_module
     session_module._ACTIVE_SESSION = None
+    telemetry.reset_for_worker()
     result = run_worker(spec.run_id, spec.instrumented_source, config,
                         spec.pid, spec.num_workers, InitStrategy.WEAK,
                         set(spec.probed_blocks),
@@ -243,6 +262,7 @@ def _job_entry(args: tuple) -> dict:
         "log_records": [(r.name, r.value, r.iteration, r.sequence)
                         for r in result.log_records],
         "error": result.error,
+        "spans": telemetry.get_tracer().drain(),
     }
 
 
@@ -256,6 +276,7 @@ def _summary_to_result(summary: dict) -> WorkerResult:
                      for name, value, iteration, sequence
                      in summary["log_records"]],
         error=summary["error"],
+        spans=summary.get("spans") or [],
     )
 
 
@@ -288,6 +309,13 @@ def run_replay_jobs(jobs: list[ReplayJobSpec], config: FlorConfig,
     start_method = "fork" if hasattr(os, "fork") else "spawn"
     start_method = _quiesce_parent_session(start_method)
     ctx = mp.get_context(start_method)
-    with ctx.Pool(processes=max(1, min(processes, len(specs)))) as pool:
-        summaries = pool.map(_job_entry, [(spec, config) for spec in specs])
+    tracer = telemetry.get_tracer()
+    with tracer.span("replay.jobs", jobs=len(specs),
+                     processes=processes) as dispatch:
+        with ctx.Pool(processes=max(1, min(processes, len(specs)))) as pool:
+            summaries = pool.map(_job_entry,
+                                 [(spec, config) for spec in specs])
+        for summary in summaries:
+            tracer.ingest(summary.get("spans") or [],
+                          parent_id=dispatch.span_id)
     return [_summary_to_result(summary) for summary in summaries]

@@ -10,7 +10,6 @@ deferred correctness check against the record log.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -22,6 +21,7 @@ from ..record.logger import (LogRecord, iteration_order_key, merge_logs,
                              read_log)
 from ..record.recorder import ORIGINAL_SOURCE_NAME
 from ..storage.checkpoint_store import CheckpointStore
+from ..utils.timing import monotonic
 from .consistency import ConsistencyReport, check_consistency
 from .parallel import WorkerResult, run_parallel_replay
 from .probe import assert_probes_safe, detect_probed_blocks
@@ -132,7 +132,7 @@ def replay_script(run_id: str, new_source: str | Path | None = None,
     # forks worker processes; the backend reopens lazily if needed again.
     store.close()
 
-    start = time.perf_counter()
+    start = monotonic()
     worker_results = run_parallel_replay(
         run_id=run_id,
         instrumented_source=instrumentation.instrumented_source,
@@ -142,7 +142,7 @@ def replay_script(run_id: str, new_source: str | Path | None = None,
         probed_blocks=probed,
         sample_iterations=sample_iterations,
     )
-    wall_seconds = time.perf_counter() - start
+    wall_seconds = monotonic() - start
 
     failures = [worker for worker in worker_results if not worker.succeeded]
     if failures:

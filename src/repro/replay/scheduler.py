@@ -168,7 +168,12 @@ def load_iteration_costs(store: "CheckpointStore",
     mean = stats.get("mean_compute_seconds")
     if not mean or mean <= 0:
         mean = (sum(per.values()) / len(per)) if per else DEFAULT_ITERATION_SECONDS
-    restore = stats.get("estimated_restore_seconds")
+    # Prefer the restore-duration EWMA a telemetry-on replay wrote back
+    # over the record-time ``scaling_factor * materialize`` prior: it is
+    # measured on the real restore path (deserialize + reassemble + read).
+    restore = stats.get("observed_restore_seconds")
+    if not restore or restore <= 0:
+        restore = stats.get("estimated_restore_seconds")
     if not restore or restore <= 0:
         materialize = stats.get("mean_materialize_seconds") or 0.0
         restore = scaling_factor * float(materialize)

@@ -31,6 +31,7 @@ from .record.logger import LogManager, read_log
 from .record.materializer import Materializer, create_materializer
 from .record.skipblock import SkipBlock
 from .storage.checkpoint_store import CheckpointStore
+from . import telemetry
 
 __all__ = ["Session", "get_active_session", "require_active_session"]
 
@@ -81,6 +82,12 @@ class Session:
             raise ReplayError(f"num_workers must be >= 1, got {num_workers}")
         if not 0 <= self.pid < self.num_workers:
             raise ReplayError(f"pid {pid} out of range for {num_workers} workers")
+
+        telemetry.enable_from_config(self.config)
+        self._tracer = telemetry.get_tracer()
+        self._session_span = self._tracer.span(
+            f"{self.mode.value}.session", run_id=run_id, worker=pid)
+        self._iteration_span = telemetry.NOOP_SPAN
 
         self.run_dir: Path = self.config.run_dir(run_id)
         self.run_dir.mkdir(parents=True, exist_ok=True)
@@ -285,12 +292,19 @@ class Session:
     def _begin_iteration(self, index: int) -> None:
         self.current_iteration = index
         self._iteration_occurrences.clear()
+        if self._tracer.enabled:
+            name = ("record.iteration" if self.mode is Mode.RECORD
+                    else "replay.init" if self.phase is Phase.REPLAY_INIT
+                    else "replay.iteration")
+            self._iteration_span = self._tracer.start(name, iteration=index)
 
     def _end_iteration(self, index: int) -> None:
         if self.phase is not Phase.REPLAY_INIT:
             self.iterations_run.append(index)
         self.current_iteration = None
         self._iteration_occurrences.clear()
+        self._iteration_span.end()
+        self._iteration_span = telemetry.NOOP_SPAN
 
     def next_execution_index(self, block_id: str) -> int:
         """Execution index of a SkipBlock activation.
@@ -415,6 +429,29 @@ class Session:
                 self.lifecycle.run_once()
                 self.store.set_metadata("lifecycle",
                                         self.lifecycle.summary())
+        elif (self.config.telemetry
+                and self.adaptive.restore_observations > 0):
+            # Replay measured real restore times; fold the EWMA back into
+            # the run's iteration_stats so the next query plan / replay
+            # schedule prices restores from observation, not the
+            # scaling-factor prior.  Last-writer-wins across concurrent
+            # workers is fine — every worker's EWMA measures the same
+            # storage path.
+            stats = self.store.get_metadata("iteration_stats", {}) or {}
+            stats["observed_restore_seconds"] = round(
+                self.adaptive.restore_ewma, 6)
+            stats["restore_observations"] = (
+                self.adaptive.restore_observations)
+            self.store.put_metadata("iteration_stats", stats)
+        self._session_span.end()
+        if self.mode is Mode.RECORD and self._tracer.enabled:
+            # Persist the flight-recorder capture next to the run, in the
+            # same metadata channel as iteration_stats.  The buffer is
+            # process-global (bounded), so the document may also carry
+            # spans from adjacent activity in this process.
+            self.store.put_metadata(
+                telemetry.METADATA_KEY,
+                telemetry.current_document(meta={"run_id": self.run_id}))
         self.store.flush()
 
     # ------------------------------------------------------------------ #

@@ -30,7 +30,9 @@ from pathlib import Path
 
 from ..exceptions import (CheckpointNotFoundError, SerializationError,
                           StorageError)
+from ..telemetry import get_metrics, get_tracer
 from ..utils.hashing import digest_bytes
+from ..utils.timing import monotonic
 from . import compression
 from .backends import CheckpointRecord, StorageBackend, resolve_backend
 from .chunking import DEFAULT_CHUNK_NBYTES, chunk_payload
@@ -212,12 +214,15 @@ class CheckpointStore:
         """
         if not self.compress:
             return payload
-        start = time.perf_counter()
-        result = compression.compress(payload,
-                                      level=self.codec_level,
-                                      codec=self.resolve_codec(len(payload)))
+        start = monotonic()
+        with get_tracer().span("storage.encode", nbytes=len(payload)) as span:
+            result = compression.compress(
+                payload, level=self.codec_level,
+                codec=self.resolve_codec(len(payload)))
+            span.set(codec=result.codec)
+        get_metrics().inc(f"storage.codec.{result.codec}")
         self._observe_codec(result.codec, result.raw_nbytes,
-                            time.perf_counter() - start,
+                            monotonic() - start,
                             result.compressed_nbytes)
         return result.data
 
@@ -229,10 +234,14 @@ class CheckpointStore:
         # One hash serves both planes: the manifest's integrity digest and
         # (when the backend dedups) the payload's content address.
         digest = digest_bytes(encoded)
-        start = time.perf_counter()
-        location = self.backend.write_payload(block_id, execution_index,
-                                              encoded, digest=digest)
-        write_seconds = time.perf_counter() - start
+        start = monotonic()
+        with get_tracer().span("storage.put", block_id=block_id,
+                               execution_index=execution_index,
+                               nbytes=stored_nbytes):
+            location = self.backend.write_payload(block_id, execution_index,
+                                                  encoded, digest=digest)
+        write_seconds = monotonic() - start
+        get_metrics().inc("storage.bytes_stored", stored_nbytes)
 
         return CheckpointRecord(
             block_id=block_id,
@@ -264,33 +273,47 @@ class CheckpointStore:
         digest = digest_bytes(payload)
         codec = (self.resolve_codec(serialized.nbytes)
                  if self.compress else "raw")
-        start = time.perf_counter()
+        start = monotonic()
+        span = get_tracer().span("storage.chunk", block_id=block_id,
+                                 execution_index=execution_index,
+                                 codec=codec)
         recipe: list[str] = []
         stored_nbytes = 0
+        reused_chunks = 0
         compressed_raw = 0
         compressed_out = 0
         compress_seconds = 0.0
-        for view in chunk_payload(payload, mode=self.chunking,
-                                  chunk_nbytes=self.chunk_nbytes,
-                                  segments=payload_segments(payload)):
-            chunk_digest = digest_bytes(view)
-            recipe.append(chunk_digest)
-            blob_nbytes = objects.touch(chunk_digest)
-            if blob_nbytes is None:
-                # Chunk blobs are ALWAYS framed (raw codec when the store
-                # does not compress): reassembly decodes by frame id, so
-                # chunk content can never be mistaken for a codec magic.
-                encode_start = time.perf_counter()
-                result = compression.compress(bytes(view),
-                                              level=self.codec_level,
-                                              codec=codec)
-                compress_seconds += time.perf_counter() - encode_start
-                compressed_raw += result.raw_nbytes
-                compressed_out += result.compressed_nbytes
-                objects.put(chunk_digest, result.data)
-                blob_nbytes = result.compressed_nbytes
-            stored_nbytes += blob_nbytes
-        write_seconds = time.perf_counter() - start
+        with span:
+            for view in chunk_payload(payload, mode=self.chunking,
+                                      chunk_nbytes=self.chunk_nbytes,
+                                      segments=payload_segments(payload)):
+                chunk_digest = digest_bytes(view)
+                recipe.append(chunk_digest)
+                blob_nbytes = objects.touch(chunk_digest)
+                if blob_nbytes is None:
+                    # Chunk blobs are ALWAYS framed (raw codec when the store
+                    # does not compress): reassembly decodes by frame id, so
+                    # chunk content can never be mistaken for a codec magic.
+                    encode_start = monotonic()
+                    result = compression.compress(bytes(view),
+                                                  level=self.codec_level,
+                                                  codec=codec)
+                    compress_seconds += monotonic() - encode_start
+                    compressed_raw += result.raw_nbytes
+                    compressed_out += result.compressed_nbytes
+                    objects.put(chunk_digest, result.data)
+                    blob_nbytes = result.compressed_nbytes
+                else:
+                    reused_chunks += 1
+                stored_nbytes += blob_nbytes
+            span.set(chunks=len(recipe), reused=reused_chunks)
+        write_seconds = monotonic() - start
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("storage.chunks_reused", reused_chunks)
+            metrics.inc("storage.chunks_new", len(recipe) - reused_chunks)
+            metrics.inc("storage.bytes_stored", compressed_out)
+            metrics.inc(f"storage.codec.{codec}")
         if compressed_raw:
             self._observe_codec(codec, compressed_raw, compress_seconds,
                                 compressed_out)
@@ -328,15 +351,19 @@ class CheckpointStore:
         store opened with any chunking/codec setting replays runs
         recorded under any other (including legacy recipe-less runs).
         """
-        record = self.describe(block_id, execution_index, run_id=run_id)
-        if record.is_chunked():
-            payload = self._reassemble(record)
-        else:
-            payload = self.backend.read_payload(str(record.path))
-            # Frame/gzip-magic dispatch; legacy uncompressed payloads pass
-            # through untouched.
-            payload = compression.decompress(payload)
-        return deserialize_checkpoint(payload)
+        with get_tracer().span("storage.get", block_id=block_id,
+                               execution_index=execution_index) as span:
+            record = self.describe(block_id, execution_index, run_id=run_id)
+            if record.is_chunked():
+                payload = self._reassemble(record)
+            else:
+                payload = self.backend.read_payload(str(record.path))
+                # Frame/gzip-magic dispatch; legacy uncompressed payloads
+                # pass through untouched.
+                payload = compression.decompress(payload)
+            span.set(nbytes=len(payload), chunked=record.is_chunked())
+            get_metrics().inc("storage.bytes_read", len(payload))
+            return deserialize_checkpoint(payload)
 
     def _reassemble(self, record: CheckpointRecord) -> bytes:
         """Join a chunked row's payload back together, verifying each chunk.

@@ -39,6 +39,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from ..exceptions import StorageError
+from ..telemetry import get_tracer
+from ..utils.timing import monotonic
 from .backends import (SHARD_MANIFEST_NAME, StorageBackend,
                        registered_memory_backends)
 from .objectstore import (FileObjectStore, MemoryObjectStore,
@@ -343,12 +345,14 @@ def prune_store(store: "CheckpointStore", policy: RetentionPolicy,
     :func:`collect_garbage` pass, which alone may decide a blob is
     unreferenced across the whole home.
     """
-    report = PruneReport(examined=store.checkpoint_count())
-    plan = plan_retention(store, policy, now=now)
-    if plan:
-        report.released_at = time.time()
-        _delete_records(store, plan, report)
-    report.kept = report.examined - report.pruned
+    with get_tracer().span("lifecycle.prune") as span:
+        report = PruneReport(examined=store.checkpoint_count())
+        plan = plan_retention(store, policy, now=now)
+        if plan:
+            report.released_at = time.time()
+            _delete_records(store, plan, report)
+        report.kept = report.examined - report.pruned
+        span.set(examined=report.examined, pruned=report.pruned)
     return report
 
 
@@ -466,6 +470,19 @@ def collect_garbage(home: str | Path, *, grace_seconds: float = 0.0,
     mark.
     """
     home = Path(home)
+    with get_tracer().span("lifecycle.gc", dry_run=dry_run) as gc_span:
+        report = _collect_garbage(
+            home, grace_seconds=grace_seconds, dry_run=dry_run,
+            extra_referenced=extra_referenced, release_hints=release_hints,
+            hints_released_at=hints_released_at)
+        gc_span.set(swept=report.swept_objects, kept=report.kept_objects)
+    return report
+
+
+def _collect_garbage(home: Path, *, grace_seconds: float, dry_run: bool,
+                     extra_referenced: Iterable[str],
+                     release_hints: Iterable[str],
+                     hints_released_at: float | None) -> GCReport:
     report = GCReport(home=str(home), dry_run=dry_run)
     # The mark timestamp is taken BEFORE the mark phase: anything placed
     # or re-referenced while we scan manifests shows up as newer-than-mark
@@ -592,13 +609,13 @@ class LifecycleManager:
         self.last_prune: PruneReport | None = None
         self.last_gc: GCReport | None = None
         self._running = threading.Lock()
-        self._last_pass = time.monotonic() if gc_interval is not None else 0.0
+        self._last_pass = monotonic() if gc_interval is not None else 0.0
 
     def on_manifest_commit(self) -> None:
         """Spool hook: maybe run a background pass after a batch commit."""
         if self.gc_interval is None:
             return
-        if time.monotonic() - self._last_pass < self.gc_interval:
+        if monotonic() - self._last_pass < self.gc_interval:
             return
         self.run_once(grace_seconds=self.grace_seconds)
 
@@ -608,7 +625,7 @@ class LifecycleManager:
         if not self._running.acquire(blocking=False):
             return None, None
         try:
-            self._last_pass = time.monotonic()
+            self._last_pass = monotonic()
             # Hints are one-shot: only what THIS pass's prune released may
             # bypass the grace.  A digest released in an earlier pass can
             # be legitimately *re*-referenced later (identical payload

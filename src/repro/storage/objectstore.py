@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..exceptions import StorageError
+from ..telemetry import get_metrics
 
 __all__ = ["OBJECTS_DIR_NAME", "ObjectStoreStats", "PayloadObjectStore",
            "FileObjectStore", "MemoryObjectStore", "default_objects_dir"]
@@ -180,6 +181,7 @@ class FileObjectStore(PayloadObjectStore):
             else:
                 with self._counter_lock:
                     self._dedup_hits += 1
+                    get_metrics().inc("storage.dedup_hits")
                 return str(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Unique temp name per writer, then an atomic rename: concurrent
@@ -215,6 +217,7 @@ class FileObjectStore(PayloadObjectStore):
             return None
         with self._counter_lock:
             self._dedup_hits += 1
+            get_metrics().inc("storage.dedup_hits")
         return nbytes
 
     # -- enumeration ------------------------------------------------------
@@ -361,6 +364,7 @@ class MemoryObjectStore(PayloadObjectStore):
         with self._lock:
             if digest in self._blobs:
                 self._dedup_hits += 1
+                get_metrics().inc("storage.dedup_hits")
                 # Re-referencing resets the GC grace window (see the
                 # file store's put for why).
                 self._placed_at[digest] = time.time()
@@ -389,6 +393,7 @@ class MemoryObjectStore(PayloadObjectStore):
                 return None
             self._placed_at[digest] = time.time()
             self._dedup_hits += 1
+            get_metrics().inc("storage.dedup_hits")
             return len(blob)
 
     # -- enumeration ------------------------------------------------------

@@ -22,12 +22,13 @@ from __future__ import annotations
 import copy
 import pickle
 import struct
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..exceptions import SerializationError
+from ..telemetry import get_tracer
+from ..utils.timing import monotonic
 
 __all__ = ["ValueSnapshot", "SerializedCheckpoint", "snapshot_value",
            "restore_value", "serialize_checkpoint", "deserialize_checkpoint",
@@ -225,19 +226,24 @@ def serialize_checkpoint(snapshots: list["ValueSnapshot"]
     The single ``b"".join`` is the only copy of the tensor bytes on this
     path (the seed pickled a deepcopy — two copies per tensor).
     """
-    start = time.perf_counter()
-    buffers: list = []
-    try:
-        head = pickle.dumps(snapshots, protocol=5,
-                            buffer_callback=lambda pb:
-                            _collect_buffer(buffers, pb))
-    except Exception as exc:
-        raise SerializationError(f"cannot serialize checkpoint: {exc}") from exc
-    lengths = struct.pack(f"<{len(buffers)}Q",
-                          *(len(memoryview(buffer)) for buffer in buffers))
-    data = b"".join([_FRAME_HEAD.pack(SERIALIZED_MAGIC, len(head),
-                                      len(buffers)), lengths, head, *buffers])
-    elapsed = time.perf_counter() - start
+    start = monotonic()
+    with get_tracer().span("storage.serialize",
+                           values=len(snapshots)) as span:
+        buffers: list = []
+        try:
+            head = pickle.dumps(snapshots, protocol=5,
+                                buffer_callback=lambda pb:
+                                _collect_buffer(buffers, pb))
+        except Exception as exc:
+            raise SerializationError(
+                f"cannot serialize checkpoint: {exc}") from exc
+        lengths = struct.pack(f"<{len(buffers)}Q",
+                              *(len(memoryview(buffer)) for buffer in buffers))
+        data = b"".join([_FRAME_HEAD.pack(SERIALIZED_MAGIC, len(head),
+                                          len(buffers)), lengths, head,
+                         *buffers])
+        span.set(nbytes=len(data))
+    elapsed = monotonic() - start
     return SerializedCheckpoint(data=data, nbytes=len(data),
                                 serialize_seconds=elapsed)
 

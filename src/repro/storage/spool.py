@@ -28,13 +28,14 @@ from __future__ import annotations
 import queue
 import shutil
 import threading
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from ..exceptions import StorageError
+from ..telemetry import get_metrics, get_tracer
+from ..utils.timing import monotonic
 from . import compression
 from .backends import CheckpointRecord
 from .costs import storage_cost_per_month
@@ -178,27 +179,36 @@ class AsyncSpool:
         """
         if self._closed:
             raise StorageError("submit() on a closed AsyncSpool")
-        start = time.perf_counter()
+        start = monotonic()
         estimate = sum(snapshot.nbytes() for snapshot in snapshots)
-        if self.mode == "thread":
-            self._enqueue_bounded((block_id, execution_index, snapshots))
-        else:
-            self._submit_process(block_id, execution_index, snapshots)
-        elapsed = time.perf_counter() - start
+        with get_tracer().span("spool.enqueue", block_id=block_id,
+                               execution_index=execution_index,
+                               nbytes=estimate):
+            if self.mode == "thread":
+                self._enqueue_bounded((block_id, execution_index, snapshots))
+            else:
+                self._submit_process(block_id, execution_index, snapshots)
+        elapsed = monotonic() - start
         with self._stats_lock:
             self.stats.submitted += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            depth = (self._queue.qsize() if self.mode == "thread"
+                     else self._pending)
+            metrics.set_gauge("spool.queue_depth", depth)
         return elapsed, estimate
 
     def _enqueue_bounded(self, item) -> None:
         try:
             self._queue.put_nowait(item)
         except queue.Full:
-            blocked = time.perf_counter()
+            blocked = monotonic()
             self._queue.put(item)
+            get_metrics().inc("spool.backpressure_waits")
             with self._stats_lock:
                 self.stats.backpressure_waits += 1
                 self.stats.backpressure_seconds += (
-                    time.perf_counter() - blocked)
+                    monotonic() - blocked)
 
     # ------------------------------------------------------------------ #
     # Thread mode
@@ -210,14 +220,17 @@ class AsyncSpool:
                 if item is self._STOP:
                     return
                 block_id, execution_index, snapshots = item
-                started = time.perf_counter()
+                started = monotonic()
                 try:
                     # The store's write path routes to delta chunking or
                     # whole-payload encoding; either way the CPU-bound
                     # work happens here, on the worker.
-                    serialized = serialize_checkpoint(snapshots)
-                    self._persist_serialized(block_id, execution_index,
-                                             serialized, started)
+                    with get_tracer().span("spool.materialize",
+                                           block_id=block_id,
+                                           execution_index=execution_index):
+                        serialized = serialize_checkpoint(snapshots)
+                        self._persist_serialized(block_id, execution_index,
+                                                 serialized, started)
                 except Exception as exc:
                     with self._stats_lock:
                         self.stats.errors.append(
@@ -232,15 +245,16 @@ class AsyncSpool:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         if not self._slots.acquire(blocking=False):
-            blocked = time.perf_counter()
+            blocked = monotonic()
             self._slots.acquire()
+            get_metrics().inc("spool.backpressure_waits")
             with self._stats_lock:
                 self.stats.backpressure_waits += 1
                 self.stats.backpressure_seconds += (
-                    time.perf_counter() - blocked)
+                    monotonic() - blocked)
         with self._pending_cond:
             self._pending += 1
-        started = time.perf_counter()
+        started = monotonic()
         if self.store.chunking_active():
             # Delta path: serialize in the pool, chunk + encode on the
             # committer (chunk dedup needs the object store).
@@ -298,7 +312,7 @@ class AsyncSpool:
         self._finish(record, started)
 
     def _finish(self, record: CheckpointRecord, started: float) -> None:
-        spool_seconds = time.perf_counter() - started
+        spool_seconds = monotonic() - started
         with self._stats_lock:
             self.stats.completed += 1
             self.stats.raw_nbytes += record.raw_nbytes
@@ -328,7 +342,8 @@ class AsyncSpool:
 
     def _commit(self, batch: list[CheckpointRecord]) -> None:
         """Commit one batch of manifest rows in one backend transaction."""
-        self.store.backend.index_many(batch)
+        with get_tracer().span("spool.batch_commit", rows=len(batch)):
+            self.store.backend.index_many(batch)
         with self._stats_lock:
             self.stats.manifest_commits += 1
             self.stats.indexed += len(batch)
@@ -344,15 +359,16 @@ class AsyncSpool:
     # ------------------------------------------------------------------ #
     def flush(self) -> None:
         """Block until every submitted checkpoint is durable AND indexed."""
-        if self.mode == "thread":
-            self._queue.join()
-        else:
-            with self._pending_cond:
-                self._pending_cond.wait_for(lambda: self._pending == 0)
-        with self._buffer_lock:
-            batch, self._buffer = self._buffer, []
-        if batch:
-            self._commit(batch)
+        with get_tracer().span("spool.flush"):
+            if self.mode == "thread":
+                self._queue.join()
+            else:
+                with self._pending_cond:
+                    self._pending_cond.wait_for(lambda: self._pending == 0)
+            with self._buffer_lock:
+                batch, self._buffer = self._buffer, []
+            if batch:
+                self._commit(batch)
 
     def close(self) -> None:
         """Flush, then stop the worker pool.  Idempotent."""

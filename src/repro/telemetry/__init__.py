@@ -1,0 +1,80 @@
+"""Flight recorder: unified tracing and metrics for record/replay/query.
+
+Public surface:
+
+* :func:`span` / :func:`trace` / :func:`configure` / :func:`get_tracer` —
+  the process-wide span tracer (off by default; ``FlorConfig.telemetry``
+  turns it on for sessions and queries).
+* :func:`get_metrics` — the process-wide counters/gauges/histograms.
+* :func:`current_document` / :func:`chrome_trace` / :func:`render_timeline`
+  — persistence and export of captured telemetry.
+"""
+
+from .document import (
+    DOCUMENT_SCHEMA,
+    METADATA_KEY,
+    chrome_trace,
+    current_document,
+    document_spans,
+    render_timeline,
+    spans_from_chrome_trace,
+)
+from .metrics import MetricsRegistry, get_metrics
+from .tracer import (
+    DEFAULT_CAPACITY,
+    NOOP_SPAN,
+    ActiveSpan,
+    Span,
+    SpanTracer,
+    configure,
+    get_tracer,
+    span,
+    trace,
+    walk_children,
+)
+
+__all__ = [
+    "ActiveSpan",
+    "NOOP_SPAN",
+    "DEFAULT_CAPACITY",
+    "DOCUMENT_SCHEMA",
+    "METADATA_KEY",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "chrome_trace",
+    "configure",
+    "current_document",
+    "document_spans",
+    "get_metrics",
+    "get_tracer",
+    "render_timeline",
+    "span",
+    "spans_from_chrome_trace",
+    "trace",
+    "walk_children",
+]
+
+
+def enable_from_config(config) -> None:
+    """Turn the flight recorder on when ``config.telemetry`` asks for it.
+
+    Called by sessions and queries at open.  Never turns telemetry *off*:
+    an explicitly enabled tracer (e.g. a bench harness calling
+    :func:`configure`) survives sessions whose config leaves the knob at
+    its default.
+    """
+    if getattr(config, "telemetry", False):
+        capacity = getattr(config, "telemetry_buffer", None)
+        configure(enabled=True, capacity=capacity)
+        get_metrics().configure(enabled=True)
+
+
+def reset_for_worker() -> None:
+    """Clear inherited telemetry state at worker-process entry.
+
+    A forked replay worker inherits the parent's span buffer; without a
+    reset it would ship the parent's spans back and double-count them.
+    """
+    get_tracer().reset()
+    get_metrics().reset()

@@ -1,0 +1,144 @@
+"""Telemetry documents: persistence format and exporters.
+
+A telemetry document is the compact, JSON-ready capture of a session's or
+query's flight recorder — the span ring buffer plus the metrics snapshot
+— written as store metadata next to the run (the same channel as
+``iteration_stats``) and consumed by ``python -m repro.trace``.
+
+Two export shapes:
+
+* :func:`chrome_trace` — Chrome trace-event format (the ``traceEvents``
+  envelope with ``ph: "X"`` complete events), loadable in
+  ``chrome://tracing`` and Perfetto.  Timestamps are the spans' epoch
+  wall-clock starts in microseconds, so spans recorded in different
+  processes line up on one timeline.
+* :func:`render_timeline` — a monospaced timeline table (offset,
+  duration, pid, nesting-indented name, attrs) for terminal use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..utils.timing import format_duration
+from .metrics import get_metrics
+from .tracer import Span, get_tracer
+
+#: Version of the persisted telemetry document.
+DOCUMENT_SCHEMA = 1
+
+#: Store-metadata key under which sessions persist their document.
+METADATA_KEY = "telemetry"
+
+
+def current_document(meta: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Capture the process-wide tracer + metrics as a persistable document.
+
+    The span buffer is process-global, so a document captured at session
+    close can also carry spans from earlier activity in the same process;
+    the ring bound keeps it compact either way.
+    """
+    document = {
+        "schema": DOCUMENT_SCHEMA,
+        "captured_at": round(time.time(), 6),
+        "spans": get_tracer().export(),
+        "metrics": get_metrics().snapshot(),
+    }
+    if meta:
+        document["meta"] = dict(meta)
+    return document
+
+
+def document_spans(document: dict[str, Any]) -> list[Span]:
+    """Decode a document's span payloads back into :class:`Span` objects."""
+    return [Span.from_dict(payload)
+            for payload in document.get("spans") or []]
+
+
+def chrome_trace(spans: list[Span]) -> dict[str, Any]:
+    """Convert spans to Chrome trace-event JSON (complete ``"X"`` events).
+
+    Span ids ride in ``args`` so the original tree round-trips through
+    the export (see :func:`spans_from_chrome_trace`).
+    """
+    events = []
+    for span in spans:
+        args = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": int(span.start * 1e6),
+            "dur": max(1, int(span.duration * 1e6)),
+            "pid": span.pid,
+            "tid": span.thread_id,
+            "args": args,
+        })
+    events.sort(key=lambda event: event["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_from_chrome_trace(trace: dict[str, Any]) -> list[Span]:
+    """Inverse of :func:`chrome_trace` (schema round-trip support)."""
+    spans = []
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args") or {})
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        spans.append(Span(
+            name=str(event["name"]),
+            span_id=str(span_id) if span_id is not None else "",
+            parent_id=parent_id,
+            start=event.get("ts", 0) / 1e6,
+            duration=event.get("dur", 0) / 1e6,
+            pid=int(event.get("pid", 0)),
+            thread_id=int(event.get("tid", 0)),
+            attrs=args,
+        ))
+    return spans
+
+
+def render_timeline(spans: list[Span], limit: int | None = None) -> str:
+    """Render spans as a nesting-indented timeline table.
+
+    Offsets are relative to the earliest span so the column stays
+    readable for epoch timestamps; children are indented under their
+    parent when the parent is present in the capture.
+    """
+    if not spans:
+        return "(no spans)"
+    ordered = sorted(spans, key=lambda span: span.start)
+    if limit is not None:
+        ordered = ordered[:limit]
+    base = ordered[0].start
+    depths: dict[str, int] = {}
+    by_id = {span.span_id: span for span in ordered}
+    def depth_of(span: Span) -> int:
+        seen = 0
+        current = span
+        while current.parent_id is not None and seen < 32:
+            parent = by_id.get(current.parent_id)
+            if parent is None:
+                break
+            seen += 1
+            current = parent
+        return seen
+    for span in ordered:
+        depths[span.span_id] = depth_of(span)
+    lines = [f"{'OFFSET':>10}  {'DURATION':>9}  {'PID':>7}  NAME"]
+    for span in ordered:
+        indent = "  " * depths[span.span_id]
+        attrs = " ".join(f"{key}={value}"
+                         for key, value in sorted(span.attrs.items()))
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(
+            f"{'+' + format_duration(span.start - base):>10}  "
+            f"{format_duration(span.duration):>9}  "
+            f"{span.pid:>7}  {indent}{span.name}{suffix}")
+    return "\n".join(lines)

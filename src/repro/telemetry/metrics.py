@@ -1,0 +1,150 @@
+"""Metrics registry: cheap named counters, gauges and histograms.
+
+Complements the span tracer with aggregate numbers that would be wasteful
+to record as individual spans — dedup hits, chunk reuse, bytes in/out,
+spool queue depth, codec choice distribution.  Updates are a dict lookup
+plus an addition under a lock (uncontended in practice: the hot updaters
+are the spool workers and the record thread, touching different names),
+and the whole registry snapshots to a plain dict for persistence.
+
+Like the tracer, the registry is disabled by default and every mutator
+returns immediately after one attribute check when disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (queue depth)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observations: count/sum/min/max.
+
+    Full quantile sketches are overkill here — the span buffer already
+    holds individual durations; histograms cover high-volume observations
+    (payload sizes) where only the envelope matters.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.total / self.count, 9),
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created lazily on first update."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def configure(self, enabled: bool | None = None) -> "MetricsRegistry":
+        if enabled is not None:
+            self.enabled = bool(enabled)
+        return self
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- updates (no-ops when disabled) ------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            counter.inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            gauge.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict snapshot, stable key order for readable JSON."""
+        with self._lock:
+            return {
+                "counters": {name: self._counters[name].value
+                             for name in sorted(self._counters)},
+                "gauges": {name: self._gauges[name].value
+                           for name in sorted(self._gauges)},
+                "histograms": {name: self._histograms[name].summary()
+                               for name in sorted(self._histograms)},
+            }
+
+
+_metrics = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry all instrumentation sites share."""
+    return _metrics

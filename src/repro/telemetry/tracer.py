@@ -1,0 +1,364 @@
+"""Low-overhead span tracer: the flight recorder's timing backbone.
+
+A *span* is one timed operation — a record-loop iteration, a checkpoint
+serialize, a replay restore, a query plan — with a name, free-form
+attributes, a wall-clock start, a monotonic duration, and a parent link so
+nested operations form a tree.  Spans land in a bounded in-memory ring
+buffer (a ``deque`` with ``maxlen``), so tracing an arbitrarily long
+training run costs bounded memory: old spans fall off the back.
+
+Design constraints, in priority order:
+
+1. **Near-zero cost when disabled.**  Tracing is off by default
+   (``FlorConfig.telemetry``); every instrumentation site goes through
+   :meth:`SpanTracer.span` / :meth:`SpanTracer.start`, which return a
+   shared no-op singleton after a single attribute check when disabled.
+   No allocation, no clock read, no lock.
+2. **Cross-process composition.**  Replay workers run in separate
+   processes; their spans are exported as plain dicts, shipped back
+   through the existing worker-result channel, and re-parented under the
+   dispatching span with :meth:`SpanTracer.ingest` so one trace covers
+   the whole fan-out.  Span ids embed the pid, so ids never collide
+   across processes.
+3. **Two clocks, deliberately.**  ``start`` is ``time.time()`` (epoch
+   seconds) so spans from different processes align on one timeline;
+   ``duration`` is measured with :func:`repro.utils.timing.monotonic`
+   so it is immune to clock steps.  The Chrome-trace exporter consumes
+   exactly this pair.
+
+Thread-safety: the ring buffer append is guarded by a lock; the parent
+stack is thread-local, so concurrent threads (e.g. spool workers) each
+get their own span nesting and never see each other's parents.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from collections import deque
+from typing import Any, Callable, Iterator
+
+from ..utils.timing import monotonic
+
+#: Default ring-buffer capacity (spans). Matches FlorConfig.telemetry_buffer.
+DEFAULT_CAPACITY = 4096
+
+#: Payload schema version for exported span dicts.
+SPAN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed, timed operation."""
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    start: float          # wall-clock epoch seconds (time.time)
+    duration: float       # seconds, measured on the monotonic clock
+    pid: int
+    thread_id: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form used for persistence and cross-process transport."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": round(self.start, 6),
+            "duration": round(self.duration, 9),
+            "pid": self.pid,
+            "thread_id": self.thread_id,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Span":
+        return cls(
+            name=str(payload["name"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            start=float(payload.get("start", 0.0)),
+            duration=float(payload.get("duration", 0.0)),
+            pid=int(payload.get("pid", 0)),
+            thread_id=int(payload.get("thread_id", 0)),
+            attrs=dict(payload.get("attrs") or {}),
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing handle returned by a disabled tracer.
+
+    Supports the full ActiveSpan surface (context manager, ``set``,
+    ``end``) so instrumentation sites never branch on the enabled flag.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def end(self) -> None:
+        return None
+
+    @property
+    def span_id(self) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class ActiveSpan:
+    """A span that has started but not yet ended.
+
+    Usable as a context manager or via explicit :meth:`end` for
+    begin/end seams that do not nest lexically (e.g. the record loop's
+    per-iteration bracket).
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs",
+                 "_wall_start", "_mono_start", "_ended")
+
+    def __init__(self, tracer: "SpanTracer", name: str,
+                 parent_id: str | None, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._wall_start = time.time()
+        self._mono_start = monotonic()
+        self._ended = False
+
+    def set(self, **attrs) -> "ActiveSpan":
+        """Attach or update attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self) -> None:
+        """Close the span and append it to the tracer's ring buffer."""
+        if self._ended:
+            return
+        self._ended = True
+        duration = monotonic() - self._mono_start
+        self._tracer._finish(self, duration)
+
+    def __enter__(self) -> "ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+
+
+class SpanTracer:
+    """Bounded ring-buffer span collector with thread-local nesting."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._capacity = max(16, int(capacity))
+        self._buffer: deque[Span] = deque(maxlen=self._capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._seq = itertools.count(1)
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def configure(self, enabled: bool | None = None,
+                  capacity: int | None = None) -> "SpanTracer":
+        """Flip the enabled flag and/or resize the ring buffer.
+
+        Enabling never clears collected spans; resizing keeps the newest
+        spans that fit.  Returns ``self`` for chaining.
+        """
+        with self._lock:
+            if capacity is not None and int(capacity) != self._capacity:
+                self._capacity = max(16, int(capacity))
+                self._buffer = deque(self._buffer, maxlen=self._capacity)
+            if enabled is not None:
+                self.enabled = bool(enabled)
+        return self
+
+    def reset(self) -> None:
+        """Drop all collected spans and any open parent stacks.
+
+        Called at worker-process entry: a forked child inherits the
+        parent's buffer and must not re-ship the parent's spans.
+        """
+        with self._lock:
+            self._buffer.clear()
+        self._local = threading.local()
+
+    # -- span creation -----------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Start a span; use as a context manager.
+
+        Returns the shared no-op singleton when tracing is disabled, so
+        the disabled cost is one attribute check and one call.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        return self.start(name, **attrs)
+
+    def start(self, name: str, **attrs):
+        """Start a span for an explicit begin/end seam (non-lexical nesting).
+
+        The caller must invoke ``.end()`` on the returned handle; until
+        then the span is the parent of any span started on this thread.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = self._stack()
+        handle = ActiveSpan(self, name, stack[-1] if stack else None,
+                            dict(attrs))
+        stack.append(handle.span_id)
+        return handle
+
+    def trace(self, name: str | None = None) -> Callable:
+        """Decorator: wrap a callable in a span named after it."""
+        def decorate(fn: Callable) -> Callable:
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with self.start(label):
+                    return fn(*args, **kwargs)
+            return wrapper
+        return decorate
+
+    # -- collection --------------------------------------------------------
+
+    def _finish(self, handle: ActiveSpan, duration: float) -> None:
+        stack = self._stack()
+        # Tolerate out-of-order ends: remove this id wherever it sits.
+        try:
+            stack.remove(handle.span_id)
+        except ValueError:
+            pass
+        span = Span(
+            name=handle.name,
+            span_id=handle.span_id,
+            parent_id=handle.parent_id,
+            start=handle._wall_start,
+            duration=duration,
+            pid=os.getpid(),
+            thread_id=threading.get_ident(),
+            attrs=handle.attrs,
+        )
+        with self._lock:
+            self._buffer.append(span)
+
+    def ingest(self, payloads: list[dict[str, Any]],
+               parent_id: str | None = None) -> int:
+        """Append spans exported by another process.
+
+        Root spans in ``payloads`` (those with no parent) are re-parented
+        under ``parent_id`` — the dispatching span on this side — so the
+        merged trace stays a single tree.  Returns the number ingested.
+        """
+        if not payloads:
+            return 0
+        spans = []
+        for payload in payloads:
+            span = Span.from_dict(payload)
+            if span.parent_id is None and parent_id is not None:
+                span = Span(name=span.name, span_id=span.span_id,
+                            parent_id=parent_id, start=span.start,
+                            duration=span.duration, pid=span.pid,
+                            thread_id=span.thread_id, attrs=span.attrs)
+            spans.append(span)
+        with self._lock:
+            self._buffer.extend(spans)
+        return len(spans)
+
+    # -- export ------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Snapshot the ring buffer, oldest first."""
+        with self._lock:
+            return list(self._buffer)
+
+    def export(self) -> list[dict[str, Any]]:
+        """Snapshot as plain dicts (persistence / cross-process transport)."""
+        return [span.to_dict() for span in self.spans()]
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Export and clear — the worker-side half of span shipping."""
+        with self._lock:
+            spans = list(self._buffer)
+            self._buffer.clear()
+        return [span.to_dict() for span in spans]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    # -- internals ---------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._seq):x}"
+
+
+_tracer = SpanTracer()
+
+
+def get_tracer() -> SpanTracer:
+    """The process-wide tracer all instrumentation sites share."""
+    return _tracer
+
+
+def configure(enabled: bool | None = None,
+              capacity: int | None = None) -> SpanTracer:
+    """Configure the process-wide tracer (see :meth:`SpanTracer.configure`)."""
+    return _tracer.configure(enabled=enabled, capacity=capacity)
+
+
+def span(name: str, **attrs):
+    """Start a span on the process-wide tracer (context manager)."""
+    return _tracer.span(name, **attrs)
+
+
+def trace(name: str | None = None) -> Callable:
+    """Decorator tracing a callable on the process-wide tracer."""
+    return _tracer.trace(name)
+
+
+def walk_children(spans: list[Span], root_id: str) -> Iterator[Span]:
+    """Yield every span in ``spans`` whose parent chain reaches ``root_id``."""
+    by_parent: dict[str | None, list[Span]] = {}
+    for item in spans:
+        by_parent.setdefault(item.parent_id, []).append(item)
+    frontier = [root_id]
+    while frontier:
+        current = frontier.pop()
+        for child in by_parent.get(current, ()):
+            yield child
+            frontier.append(child.span_id)

@@ -1,0 +1,125 @@
+"""``python -m repro.trace`` — the flight-recorder timeline CLI.
+
+Targets may be recorded run ids (any unambiguous prefix; the telemetry
+document a ``telemetry=True`` session persisted at close is read from the
+run's store metadata) or JSON files holding either a persisted telemetry
+document or a previously exported Chrome trace.  Spans from every target
+merge onto one timeline.
+
+Output formats: ``table`` (default) renders the nesting-indented terminal
+timeline; ``chrome`` emits Chrome trace-event JSON loadable in
+``chrome://tracing`` or Perfetto.  Exit status: 0 when spans were found
+and rendered, 1 when the targets resolved but carried no spans, 2 on
+usage or target-resolution errors.
+
+Examples::
+
+    python -m repro.trace my-run-id
+    python -m repro.trace my-run-id --format chrome --output trace.json
+    python -m repro.trace bench_trace.json --limit 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .config import get_config
+from .exceptions import FlorError
+from .query.catalog import RunCatalog
+from .storage.checkpoint_store import CheckpointStore
+from .telemetry import METADATA_KEY, chrome_trace, render_timeline
+from .telemetry.document import document_spans, spans_from_chrome_trace
+from .telemetry.tracer import Span
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Render captured flight-recorder telemetry.")
+    parser.add_argument("targets", nargs="+",
+                        help="recorded run ids, telemetry-document JSON "
+                             "files, or Chrome trace JSON files")
+    parser.add_argument("--format", choices=["table", "chrome"],
+                        default="table",
+                        help="timeline table (default) or Chrome "
+                             "trace-event JSON")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the rendering to FILE instead of "
+                             "stdout")
+    parser.add_argument("--limit", type=int, metavar="N",
+                        help="table format: render at most N spans")
+    return parser
+
+
+def _spans_from_file(path: Path) -> list[Span]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FlorError(f"cannot read trace file {path}: {exc}") from exc
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return spans_from_chrome_trace(payload)
+    if isinstance(payload, dict) and "spans" in payload:
+        return document_spans(payload)
+    raise FlorError(
+        f"{path} is neither a telemetry document nor a Chrome trace")
+
+
+def _spans_from_run(run_id: str, catalog: RunCatalog) -> list[Span]:
+    matches = catalog.select(run_id)
+    if not matches:
+        raise FlorError(
+            f"target {run_id!r} is neither a file nor a cataloged run")
+    if len(matches) > 1:
+        raise FlorError(
+            f"run id prefix {run_id!r} is ambiguous: "
+            f"{', '.join(entry.run_id for entry in matches)}")
+    entry = matches[0]
+    store = CheckpointStore.for_config(Path(entry.run_dir),
+                                       catalog.config)
+    try:
+        document = store.get_metadata(METADATA_KEY)
+    finally:
+        store.close()
+    if not isinstance(document, dict):
+        raise FlorError(
+            f"run {entry.run_id} has no persisted telemetry (record it "
+            "with FlorConfig(telemetry=True))")
+    return document_spans(document)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    spans: list[Span] = []
+    catalog: RunCatalog | None = None
+    try:
+        for target in args.targets:
+            path = Path(target)
+            if path.is_file():
+                spans.extend(_spans_from_file(path))
+                continue
+            if catalog is None:
+                catalog = RunCatalog.open(get_config())
+            spans.extend(_spans_from_run(target, catalog))
+    except FlorError as exc:
+        print(f"repro.trace: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "chrome":
+        text = json.dumps(chrome_trace(spans), indent=2)
+    else:
+        text = render_timeline(spans, limit=args.limit)
+
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return 0 if spans else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,12 +7,27 @@ Two clocks appear in this codebase:
 * :class:`VirtualClock` is a deterministic, manually-advanced clock used by
   the paper-scale simulator (``repro.sim``) so experiments are reproducible
   and fast regardless of the machine running them.
+
+Every duration measurement in the package routes through :func:`monotonic`,
+so telemetry spans, adaptive-controller stats and lifecycle bookkeeping are
+all on the same clock and directly comparable.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+
+def monotonic() -> float:
+    """The package-wide monotonic clock for measuring durations.
+
+    ``time.perf_counter`` is monotonic with the highest resolution the
+    platform offers; differences between two calls are wall-clock seconds
+    unaffected by system clock adjustments.  Do not mix differences of
+    :func:`monotonic` readings with ``time.time()`` epochs.
+    """
+    return time.perf_counter()
 
 
 class Stopwatch:
@@ -33,14 +48,14 @@ class Stopwatch:
         self._elapsed: float = 0.0
 
     def start(self) -> "Stopwatch":
-        self._start = time.perf_counter()
+        self._start = monotonic()
         return self
 
     def stop(self) -> float:
         """Stop the stopwatch and return the elapsed seconds since start."""
         if self._start is None:
             raise RuntimeError("stopwatch was never started")
-        self._elapsed = time.perf_counter() - self._start
+        self._elapsed = monotonic() - self._start
         self._start = None
         return self._elapsed
 
@@ -48,7 +63,7 @@ class Stopwatch:
         """Return seconds elapsed since ``start`` without stopping."""
         if self._start is None:
             raise RuntimeError("stopwatch was never started")
-        return time.perf_counter() - self._start
+        return monotonic() - self._start
 
     @property
     def elapsed(self) -> float:
@@ -89,9 +104,26 @@ class VirtualClock:
 
 
 def format_duration(seconds: float) -> str:
-    """Human-readable duration, e.g. ``format_duration(3725) == '1h 2m 5s'``."""
+    """Human-readable duration, e.g. ``format_duration(3725) == '1h 2m 5s'``.
+
+    Sub-second durations get millisecond/microsecond granularity
+    (``format_duration(0.25) == '250ms'``) instead of rounding to ``'0s'``,
+    so bench output and trace timelines stay legible for fast spans.
+    """
     if seconds < 0:
         return "-" + format_duration(-seconds)
+    if seconds == 0:
+        return "0s"
+    if seconds < 1.0:
+        millis = seconds * 1e3
+        if millis >= 1.0:
+            if round(millis) >= 1000:
+                return "1s"
+            return f"{millis:.0f}ms" if millis >= 10 else f"{millis:.2g}ms"
+        micros = seconds * 1e6
+        if micros >= 1.0:
+            return f"{micros:.0f}µs"
+        return "<1µs"
     whole = int(round(seconds))
     hours, rem = divmod(whole, 3600)
     minutes, secs = divmod(rem, 60)

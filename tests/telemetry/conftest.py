@@ -1,0 +1,39 @@
+"""Telemetry test fixtures: restore the process-global recorder state.
+
+The tracer and metrics registry are process-wide singletons and
+``enable_from_config`` never turns them off, so every test here snapshots
+and restores enabled/capacity state to keep telemetry from leaking into
+unrelated tests in the same pytest process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import DEFAULT_CAPACITY, configure, get_metrics, \
+    get_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    tracer = get_tracer()
+    metrics = get_metrics()
+    was_enabled = tracer.enabled
+    was_capacity = tracer.capacity
+    metrics_enabled = metrics.enabled
+    tracer.reset()
+    metrics.reset()
+    yield
+    configure(enabled=was_enabled, capacity=was_capacity)
+    metrics.configure(enabled=metrics_enabled)
+    tracer.reset()
+    metrics.reset()
+
+
+@pytest.fixture()
+def enabled_telemetry(clean_telemetry):
+    configure(enabled=True, capacity=DEFAULT_CAPACITY)
+    get_metrics().configure(enabled=True)
+    yield get_tracer()
+    configure(enabled=False)
+    get_metrics().configure(enabled=False)

@@ -1,0 +1,120 @@
+"""Metrics registry and telemetry-document tests (Chrome-trace round-trip)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (chrome_trace, current_document, document_spans,
+                             get_metrics, render_timeline,
+                             spans_from_chrome_trace)
+from repro.telemetry.document import DOCUMENT_SCHEMA
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import SpanTracer
+
+
+class TestMetrics:
+    def test_disabled_registry_ignores_updates(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("a")
+        registry.set_gauge("b", 3)
+        registry.observe("c", 1.5)
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {},
+                            "histograms": {}}
+
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("hits")
+        registry.inc("hits", 2)
+        registry.set_gauge("depth", 5)
+        registry.set_gauge("depth", 2)
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("nbytes", value)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["hits"] == 3
+        assert snapshot["gauges"]["depth"] == 2
+        histogram = snapshot["histograms"]["nbytes"]
+        assert histogram["count"] == 3
+        assert histogram["min"] == 1.0
+        assert histogram["max"] == 3.0
+        assert histogram["mean"] == 2.0
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("x")
+        json.dumps(registry.snapshot())
+
+    def test_reset_clears_instruments(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("x")
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+def _sample_tracer() -> SpanTracer:
+    tracer = SpanTracer(enabled=True)
+    with tracer.span("record.session") as root:
+        with tracer.span("record.capture", nbytes=21):
+            pass
+        with tracer.span("storage.put", nbytes=9):
+            pass
+    assert root.span_id is not None
+    return tracer
+
+
+class TestChromeTrace:
+    def test_chrome_trace_schema(self):
+        trace = chrome_trace(_sample_tracer().spans())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        for event in trace["traceEvents"]:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], int)
+            assert event["dur"] >= 1
+            assert "pid" in event and "tid" in event
+            assert "span_id" in event["args"]
+        json.dumps(trace)
+
+    def test_round_trip_preserves_tree_and_attrs(self):
+        spans = _sample_tracer().spans()
+        back = spans_from_chrome_trace(
+            json.loads(json.dumps(chrome_trace(spans))))
+        assert {span.name for span in back} == {span.name for span in spans}
+        original = {span.span_id: span for span in spans}
+        for span in back:
+            assert span.parent_id == original[span.span_id].parent_id
+        by_name = {span.name: span for span in back}
+        assert by_name["record.capture"].attrs["nbytes"] == 21
+
+    def test_non_complete_events_are_skipped(self):
+        trace = {"traceEvents": [{"ph": "M", "name": "metadata"}]}
+        assert spans_from_chrome_trace(trace) == []
+
+
+class TestDocument:
+    def test_current_document_shape(self, enabled_telemetry):
+        with enabled_telemetry.span("record.capture"):
+            pass
+        get_metrics().inc("record.checkpoints")
+        document = current_document(meta={"run_id": "r1"})
+        assert document["schema"] == DOCUMENT_SCHEMA
+        assert document["meta"] == {"run_id": "r1"}
+        assert document["metrics"]["counters"]["record.checkpoints"] == 1
+        spans = document_spans(document)
+        assert [span.name for span in spans] == ["record.capture"]
+        json.dumps(document)
+
+    def test_render_timeline(self):
+        text = render_timeline(_sample_tracer().spans())
+        lines = text.splitlines()
+        assert lines[0].split() == ["OFFSET", "DURATION", "PID", "NAME"]
+        assert any("record.capture" in line and "nbytes=21" in line
+                   for line in lines)
+        # Children are indented under the session root.
+        (capture_line,) = [line for line in lines
+                           if "record.capture" in line]
+        assert "  record.capture" in capture_line
+
+    def test_render_timeline_empty_and_limited(self):
+        assert render_timeline([]) == "(no spans)"
+        limited = render_timeline(_sample_tracer().spans(), limit=1)
+        assert len(limited.splitlines()) == 2  # header + one span

@@ -1,0 +1,101 @@
+"""``python -m repro.trace`` CLI tests: formats, targets, exit codes."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+import repro
+from repro.config import FlorConfig
+from repro.record.recorder import record_source
+from repro.trace import main
+
+SCRIPT = textwrap.dedent("""
+    import numpy as np
+    from repro import api as flor
+
+    state = np.zeros(8, dtype='float32')
+    for epoch in range(4):
+        for _step in range(1):
+            state = state + 1.0
+        flor.log("loss", float(state.sum()))
+""")
+
+
+@pytest.fixture()
+def traced_run(tmp_path):
+    config = FlorConfig(home=tmp_path / "flor_home", telemetry=True)
+    repro.set_config(config)
+    result = record_source(SCRIPT, name="traced", config=config)
+    yield result.run_id
+    repro.reset_config()
+
+
+class TestTraceCLI:
+    def test_table_output_for_a_run(self, traced_run, capsys):
+        assert main([traced_run]) == 0
+        out = capsys.readouterr().out
+        assert "record.session" in out
+        assert out.splitlines()[0].split() == \
+            ["OFFSET", "DURATION", "PID", "NAME"]
+
+    def test_chrome_output_is_valid_trace_json(self, traced_run, tmp_path):
+        out_file = tmp_path / "trace.json"
+        assert main([traced_run, "--format", "chrome",
+                     "--output", str(out_file)]) == 0
+        trace = json.loads(out_file.read_text(encoding="utf-8"))
+        assert trace["traceEvents"]
+        assert all(event["ph"] == "X" for event in trace["traceEvents"])
+        categories = {event["cat"] for event in trace["traceEvents"]}
+        assert {"record", "spool", "storage"} <= categories
+
+    def test_chrome_trace_spans_record_through_query(self, traced_run,
+                                                     tmp_path):
+        """One document covering record, spool, storage, AND query seams."""
+        probe = SCRIPT.replace(
+            'flor.log("loss", float(state.sum()))',
+            'flor.log("loss", float(state.sum()))\n'
+            '    flor.log("norm", float(np.linalg.norm(state)))')
+        repro.query(values="norm", runs=traced_run, source=probe)
+        from repro.telemetry import current_document
+        document_file = tmp_path / "document.json"
+        document_file.write_text(json.dumps(current_document()),
+                                 encoding="utf-8")
+        out_file = tmp_path / "trace.json"
+        assert main([str(document_file), "--format", "chrome",
+                     "--output", str(out_file)]) == 0
+        trace = json.loads(out_file.read_text(encoding="utf-8"))
+        categories = {event["cat"] for event in trace["traceEvents"]}
+        assert {"record", "spool", "storage", "query"} <= categories
+
+    def test_file_target_round_trips(self, traced_run, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        main([traced_run, "--format", "chrome", "--output", str(out_file)])
+        assert main([str(out_file), "--limit", "5"]) == 0
+        assert "record.session" in capsys.readouterr().out
+
+    def test_unknown_target_exits_2(self, flor_config, capsys):
+        assert main(["definitely-not-a-run"]) == 2
+        assert "neither a file nor a cataloged run" in \
+            capsys.readouterr().err
+
+    def test_run_without_telemetry_exits_2(self, flor_config, capsys):
+        result = record_source(SCRIPT, name="dark", config=flor_config)
+        assert main([result.run_id]) == 2
+        assert "no persisted telemetry" in capsys.readouterr().err
+
+    def test_empty_document_file_exits_1(self, flor_config, tmp_path,
+                                         capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"schema": 1, "spans": []}),
+                         encoding="utf-8")
+        assert main([str(empty)]) == 1
+        assert "(no spans)" in capsys.readouterr().out
+
+    def test_malformed_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"neither\": true}", encoding="utf-8")
+        assert main([str(bad)]) == 2
+        capsys.readouterr()

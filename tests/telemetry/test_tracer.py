@@ -1,0 +1,163 @@
+"""Unit tests for the span tracer: ring bound, nesting, disabled cost."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.telemetry import NOOP_SPAN, get_tracer, walk_children
+from repro.telemetry.tracer import Span, SpanTracer
+
+
+class TestDisabled:
+    def test_disabled_tracer_returns_the_shared_noop(self):
+        tracer = SpanTracer(enabled=False)
+        handle = tracer.span("anything", x=1)
+        assert handle is NOOP_SPAN
+        assert tracer.start("anything") is NOOP_SPAN
+        assert len(tracer) == 0
+
+    def test_noop_span_supports_the_full_surface(self):
+        with NOOP_SPAN as handle:
+            assert handle.set(a=1) is handle
+            handle.end()
+        assert NOOP_SPAN.span_id is None
+
+    def test_disabled_decorator_adds_no_spans(self):
+        tracer = SpanTracer(enabled=False)
+
+        @tracer.trace("work")
+        def work():
+            return 42
+
+        assert work() == 42
+        assert len(tracer) == 0
+
+
+class TestNesting:
+    def test_context_manager_nesting_builds_a_tree(self):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild"):
+                    pass
+        spans = tracer.spans()
+        by_name = {span.name: span for span in spans}
+        assert by_name["root"].parent_id is None
+        assert by_name["child"].parent_id == root.span_id
+        assert by_name["grandchild"].parent_id == child.span_id
+        descendants = {span.name
+                       for span in walk_children(spans, root.span_id)}
+        assert descendants == {"child", "grandchild"}
+
+    def test_explicit_start_end_brackets_parent_correctly(self):
+        tracer = SpanTracer(enabled=True)
+        outer = tracer.start("iteration")
+        with tracer.span("capture"):
+            pass
+        outer.end()
+        by_name = {span.name: span for span in tracer.spans()}
+        assert by_name["capture"].parent_id == outer.span_id
+        assert by_name["iteration"].parent_id is None
+
+    def test_exception_marks_the_span_and_still_records_it(self):
+        tracer = SpanTracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_set_attaches_attributes(self):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("op", fixed=1) as handle:
+            handle.set(late=2)
+        (span,) = tracer.spans()
+        assert span.attrs == {"fixed": 1, "late": 2}
+
+    def test_end_is_idempotent(self):
+        tracer = SpanTracer(enabled=True)
+        handle = tracer.start("once")
+        handle.end()
+        handle.end()
+        assert len(tracer) == 1
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_the_buffer_keeping_newest(self):
+        tracer = SpanTracer(capacity=16, enabled=True)
+        for index in range(40):
+            with tracer.span("op", index=index):
+                pass
+        spans = tracer.spans()
+        assert len(spans) == 16
+        assert [span.attrs["index"] for span in spans] == list(range(24, 40))
+
+    def test_resize_keeps_the_newest_spans(self):
+        tracer = SpanTracer(capacity=32, enabled=True)
+        for index in range(20):
+            with tracer.span("op", index=index):
+                pass
+        tracer.configure(capacity=16)
+        assert [span.attrs["index"] for span in tracer.spans()] == \
+            list(range(4, 20))
+
+    def test_capacity_floor(self):
+        assert SpanTracer(capacity=1).capacity == 16
+
+
+class TestExportIngest:
+    def test_span_dict_round_trip(self):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("op", nbytes=7):
+            pass
+        (payload,) = tracer.export()
+        span = Span.from_dict(payload)
+        assert span.name == "op"
+        assert span.attrs == {"nbytes": 7}
+        assert span.pid == os.getpid()
+
+    def test_drain_exports_and_clears(self):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("op"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert len(tracer) == 0
+
+    def test_ingest_reparents_roots_under_the_dispatch_span(self):
+        worker = SpanTracer(enabled=True)
+        with worker.span("replay.worker") as worker_root:
+            with worker.span("replay.restore"):
+                pass
+        payloads = worker.drain()
+
+        parent = SpanTracer(enabled=True)
+        with parent.span("replay.parallel") as dispatch:
+            parent.ingest(payloads, parent_id=dispatch.span_id)
+        by_name = {span.name: span for span in parent.spans()}
+        assert by_name["replay.worker"].parent_id == dispatch.span_id
+        # Non-root worker spans keep their in-worker parent link.
+        assert by_name["replay.restore"].parent_id == worker_root.span_id
+
+    def test_decorator_records_when_enabled(self):
+        tracer = SpanTracer(enabled=True)
+
+        @tracer.trace()
+        def compute():
+            return 7
+
+        assert compute() == 7
+        (span,) = tracer.spans()
+        assert "compute" in span.name
+
+
+class TestOverhead:
+    def test_disabled_span_call_is_cheap(self):
+        """The disabled fast path must not allocate spans or read clocks."""
+        tracer = get_tracer()
+        assert not tracer.enabled  # suite default: telemetry off
+        before = len(tracer)
+        for _ in range(10_000):
+            tracer.span("hot.seam", a=1)
+        assert len(tracer) == before

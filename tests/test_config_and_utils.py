@@ -166,3 +166,14 @@ class TestTiming:
         assert format_duration(0) == "0s"
         assert format_duration(-65) == "-1m 5s"
         assert format_duration(3600) == "1h"
+
+    def test_format_duration_sub_second(self):
+        # Sub-second durations get millisecond/microsecond granularity
+        # instead of collapsing to "0s" (span durations live down here).
+        assert format_duration(0.25) == "250ms"
+        assert format_duration(0.0021) == "2.1ms"
+        assert format_duration(0.010) == "10ms"
+        assert format_duration(0.00003) == "30µs"
+        assert format_duration(0.0000005) == "<1µs"
+        assert format_duration(0.9999) == "1s"
+        assert format_duration(-0.25) == "-250ms"
