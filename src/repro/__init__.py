@@ -41,8 +41,10 @@ from .exceptions import (CheckpointNotFoundError, ConfigError, FlorError,
                          InstrumentationError, QueryError, RecordError,
                          ReplayAnomalyError, ReplayError,
                          ReplaySafetyError, ReplaySafetyWarning,
-                         SerializationError, SideEffectAnalysisError,
-                         SimulationError, StorageError, WorkloadError)
+                         SerializationError, ServiceBusy, ServiceError,
+                         SideEffectAnalysisError, SimulationError,
+                         StorageError, WorkloadError)
+from .service import ServiceClient, connect
 from .modes import InitStrategy, Mode, Phase
 from .session import Session, get_active_session
 
@@ -60,6 +62,7 @@ __all__ = [
     "JobGroup",
     "explain", "ExplainReport",
     "diff", "DiffResult", "DiffStats", "ValueDrift",
+    "connect", "ServiceClient",
     "gc", "prune", "storage_stats",
     "RetentionPolicy", "PruneReport", "GCReport", "StorageStats",
     "lint_source", "lint_path", "lint_run",
@@ -72,5 +75,6 @@ __all__ = [
     "ReplaySafetyError", "ReplaySafetyWarning",
     "CheckpointNotFoundError", "InstrumentationError",
     "SideEffectAnalysisError", "StorageError", "SerializationError",
-    "ConfigError", "QueryError", "SimulationError", "WorkloadError",
+    "ConfigError", "QueryError", "ServiceError", "ServiceBusy",
+    "SimulationError", "WorkloadError",
 ]

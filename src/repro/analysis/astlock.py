@@ -1,0 +1,24 @@
+"""A process-wide lock serializing ``ast.parse`` calls.
+
+CPython's C-level AST constructor tracks recursion depth in state that is
+not thread-safe (observed on 3.11: ``SystemError: AST constructor
+recursion depth mismatch`` when several threads parse concurrently).  The
+query service plans on one connection thread per client, so every
+``ast.parse`` in the analysis layer takes this lock.  Parsing is
+GIL-bound and fast; serializing it costs microseconds per plan.
+"""
+
+from __future__ import annotations
+
+import ast
+import threading
+
+__all__ = ["AST_LOCK", "locked_parse"]
+
+AST_LOCK = threading.Lock()
+
+
+def locked_parse(source: str) -> ast.Module:
+    """``ast.parse`` under the lock; ``SyntaxError`` propagates as usual."""
+    with AST_LOCK:
+        return ast.parse(source)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import ast
 
+from .astlock import locked_parse
 from .diagnostics import Diagnostic, DiagnosticReport, Severity, \
     filter_suppressed
 
@@ -325,7 +326,7 @@ def lint_determinism(source: str,
     """
     source_lines = source.splitlines()
     try:
-        tree = ast.parse(source)
+        tree = locked_parse(source)
     except SyntaxError as exc:
         return DiagnosticReport([Diagnostic(
             code="RPL100", severity=Severity.ERROR,

@@ -28,6 +28,7 @@ import copy
 from dataclasses import dataclass, field
 
 from ..exceptions import InstrumentationError
+from .astlock import locked_parse
 from .loop_finder import LoopAnalysis, ScriptAnalysis, analyze_script
 
 __all__ = ["BlockSpec", "InstrumentationResult", "instrument_source",
@@ -104,7 +105,7 @@ def instrument_source(source: str, filename: str = "<training-script>"
     result.main_loop_line = main.lineno
 
     # Work on a private copy of the tree so `analysis.tree` keeps original nodes.
-    tree = ast.parse(source)
+    tree = locked_parse(source)
     loops_by_line = _index_loops(tree)
 
     # 1. Wrap the main loop's iterator in the Flor generator.
@@ -203,7 +204,7 @@ def _wrap_in_skipblock(tree: ast.Module, loop_node: ast.stmt, block_id: str,
                    f"{{**globals(), **locals()}})\n")
         rebind_src = ""
 
-    template = ast.parse(guard_src + end_src + rebind_src).body
+    template = locked_parse(guard_src + end_src + rebind_src).body
     assign_stmt, if_stmt = template[0], template[1]
     trailing = template[2:]
     if_stmt.body = [copy.deepcopy(loop_node)]

@@ -15,6 +15,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 
+from .astlock import locked_parse
 from .changeset import Changeset
 from .rules import build_changeset
 from .scope import loop_scoped_names, names_bound_before, names_read_after
@@ -160,7 +161,7 @@ def analyze_script(source: str) -> ScriptAnalysis:
     loop contains a nested loop, the script has no main loop and nothing is
     eligible for SkipBlock instrumentation.
     """
-    tree = ast.parse(source)
+    tree = locked_parse(source)
     raw_loops = find_loops(tree)
 
     main_node: ast.For | ast.While | None = None

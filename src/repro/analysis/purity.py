@@ -33,6 +33,7 @@ import difflib
 import enum
 from dataclasses import dataclass, field
 
+from .astlock import locked_parse
 from .diagnostics import Diagnostic, DiagnosticReport, Severity
 from .loop_finder import analyze_script
 
@@ -170,7 +171,7 @@ def extract_probe_statements(record_source: str,
     modified = _modified_new_lines(record_source, probe_source)
     if not modified:
         return []
-    tree = ast.parse(probe_source)
+    tree = locked_parse(probe_source)
     probes: list[ast.stmt] = []
 
     def visit(body: list[ast.stmt]) -> None:
@@ -330,7 +331,7 @@ def analyze_probe(record_source: str, probe_source: str,
     source_lines = probe_source.splitlines()
     try:
         statements = extract_probe_statements(record_source, probe_source)
-        flor_aliases = _flor_aliases(ast.parse(probe_source))
+        flor_aliases = _flor_aliases(locked_parse(probe_source))
     except SyntaxError as exc:
         report = DiagnosticReport([Diagnostic(
             code="RPL100", severity=Severity.ERROR,

@@ -60,6 +60,15 @@ DEFAULT_CHUNK_NBYTES = 1 << 18
 #: Default span ring-buffer capacity for the telemetry flight recorder.
 DEFAULT_TELEMETRY_BUFFER = 4096
 
+#: Default replay-worker pool size of the hindsight query service.
+DEFAULT_SERVICE_WORKERS = 2
+
+#: Default admission-queue bound of the hindsight query service.
+DEFAULT_SERVICE_QUEUE_SIZE = 16
+
+#: Default seconds a draining service waits for in-flight requests.
+DEFAULT_SERVICE_DRAIN_SECONDS = 30.0
+
 
 @dataclass(frozen=True)
 class FlorConfig:
@@ -195,6 +204,20 @@ class FlorConfig:
         Capacity (in spans) of the telemetry ring buffer.  Old spans
         fall off the back, so tracing an arbitrarily long run costs
         bounded memory.
+    service_workers:
+        Replay-worker pool size of the hindsight query service
+        (``python -m repro.serve``): how many query-driven replay jobs
+        execute concurrently across *all* connected clients.  One bounded
+        pool serves every tenant; the service's weighted round-robin
+        scheduler decides whose job gets the next free slot.
+    service_queue_size:
+        Bound on admitted-but-unfinished service requests.  A request
+        arriving past the bound is rejected immediately with a typed
+        ``SERVICE_BUSY`` error carrying a retry-after hint — admission
+        control never queues unboundedly and never hangs the client.
+    service_drain_seconds:
+        How long a draining service (SIGTERM or ``shutdown`` op) waits
+        for in-flight requests to finish before closing anyway.
     strict_analysis:
         When True, record open fails with a :class:`RecordError` if the
         replay-safety lint (``repro.analysis.lint``) finds any
@@ -223,6 +246,9 @@ class FlorConfig:
     query_workers: int = DEFAULT_QUERY_WORKERS
     query_memoize: bool = True
     query_planner: str = "cost"
+    service_workers: int = DEFAULT_SERVICE_WORKERS
+    service_queue_size: int = DEFAULT_SERVICE_QUEUE_SIZE
+    service_drain_seconds: float = DEFAULT_SERVICE_DRAIN_SECONDS
     dedup: bool = True
     chunking: str = "fixed"
     chunk_nbytes: int = DEFAULT_CHUNK_NBYTES
@@ -281,6 +307,15 @@ class FlorConfig:
                                  self.manifest_batch_size)
         self._check_at_least_one("replay_chunk_size", self.replay_chunk_size)
         self._check_at_least_one("query_workers", self.query_workers)
+        self._check_at_least_one("service_workers", self.service_workers)
+        self._check_at_least_one("service_queue_size",
+                                 self.service_queue_size)
+        if (not isinstance(self.service_drain_seconds, (int, float))
+                or isinstance(self.service_drain_seconds, bool)
+                or self.service_drain_seconds <= 0):
+            raise ConfigError(
+                f"service_drain_seconds must be a positive number of "
+                f"seconds, got {self.service_drain_seconds!r}")
         if not isinstance(self.dedup, bool):
             raise ConfigError(f"dedup must be a bool, got {self.dedup!r}")
         self._check_choice("chunking", self.chunking, self._VALID_CHUNKING)

@@ -110,6 +110,32 @@ class QueryError(FlorError):
     """
 
 
+class ServiceError(FlorError):
+    """Raised for hindsight-query-service failures (client or server side).
+
+    Carries the wire-protocol error ``code`` (see ``docs/api.md``) so
+    callers can branch on the contract rather than on message text.
+    """
+
+    def __init__(self, message: str, code: str = "INTERNAL"):
+        self.code = code
+        super().__init__(message)
+
+
+class ServiceBusy(ServiceError):
+    """The daemon's admission queue is full; retry after ``retry_after``.
+
+    A typed rejection, not a hang: the server answers immediately with a
+    ``Retry-After``-style hint (seconds) derived from its measured request
+    throughput, and :class:`~repro.service.client.ServiceClient` honours it
+    in its retry/backoff loop before surfacing this error.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.1):
+        self.retry_after = float(retry_after)
+        super().__init__(message, code="SERVICE_BUSY")
+
+
 class SimulationError(FlorError):
     """Raised by the paper-scale evaluation simulator for invalid setups."""
 

@@ -22,6 +22,8 @@ through the storage backend so the next query skips the recompute.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -40,11 +42,12 @@ from ..storage.checkpoint_store import CheckpointStore
 from ..utils.timing import monotonic
 from .catalog import RunCatalog, RunEntry
 from .dataframe import QueryResult, QueryRow, QueryStats
-from .executor import execute_span_jobs
+from .executor import ExecutionOutcome, execute_span_jobs
 from .memo import MemoCache, source_digest
 from .planner import QueryPlan, balance_spans, plan_run
 
-__all__ = ["PreparedQuery", "prepare_query", "query"]
+__all__ = ["PreparedQuery", "assemble_result", "planned_rows",
+           "prepare_query", "query", "replay_rows"]
 
 
 @dataclass
@@ -52,9 +55,11 @@ class PreparedQuery:
     """Everything the planner decided, before a single replay job runs.
 
     The shared output of the planning stage: :func:`query` executes it,
-    :func:`repro.query.explain.explain` reports it without executing.
-    Memo caches stay open (their stores reopen lazily); call
-    :meth:`close` when done with them.
+    :func:`repro.query.explain.explain` reports it without executing, and
+    the multi-tenant service (:mod:`repro.service`) coalesces identical
+    in-flight executions on :meth:`dedup_digest` and streams partial
+    results span by span.  Memo caches stay open (their stores reopen
+    lazily); call :meth:`close` when done with them.
     """
 
     config: FlorConfig
@@ -74,6 +79,43 @@ class PreparedQuery:
     def requested_cells(self) -> int:
         return sum(len(run_plan.names) * len(run_plan.wanted_iterations)
                    for run_plan in self.plan.runs)
+
+    def balanced_jobs(self, target_jobs: int | None = None
+                      ) -> list[tuple[str, "object"]]:
+        """The plan's replay spans, split to fill ``target_jobs`` workers."""
+        return balance_spans(self.plan.span_jobs, self.aligned_by_run,
+                             self.costs_by_run,
+                             target_jobs=(self.processes
+                                          if target_jobs is None
+                                          else target_jobs))
+
+    def dedup_digest(self) -> str:
+        """Digest under which identical prepared queries coalesce.
+
+        Two prepared queries share a digest iff their *normalized plans*
+        are equal: the same requested value names, the same run set, the
+        same wanted iterations per run, and the same probe-source digest
+        per run (the memo key — already normalized for whitespace and
+        blank lines).  Anything else (client id, planner timings, worker
+        counts) is execution detail and deliberately excluded, so the
+        service can serve concurrent identical queries from one
+        execution.
+        """
+        document = {
+            "names": sorted(self.names),
+            "runs": [
+                {
+                    "run_id": run_plan.run_id,
+                    "iterations": sorted(run_plan.wanted_iterations),
+                    "source_digest": self.memos[run_plan.run_id].digest,
+                }
+                for run_plan in sorted(self.plan.runs,
+                                       key=lambda plan: plan.run_id)
+            ],
+        }
+        canonical = json.dumps(document, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def close(self) -> None:
         for memo in self.memos.values():
@@ -128,68 +170,110 @@ def query(values: str | Sequence[str],
             prepared = prepare_query(values, runs, iterations, source,
                                      workload, config, workers, memoize,
                                      catalog)
-        plan = prepared.plan
-        names = prepared.names
         query_span.set(runs=len(prepared.entries),
-                       values=",".join(names))
+                       values=",".join(prepared.names))
 
-        jobs = balance_spans(plan.span_jobs, prepared.aligned_by_run,
-                             prepared.costs_by_run,
-                             target_jobs=prepared.processes)
+        jobs = prepared.balanced_jobs()
         with tracer.span("query.execute", jobs=len(jobs)):
             outcome = execute_span_jobs(jobs, prepared.sources_by_run,
                                         prepared.probed_by_run, config,
                                         processes=prepared.processes)
 
-        rows: list[QueryRow] = []
-        stats = QueryStats(runs=len(prepared.entries), values=names,
-                           requested_cells=prepared.requested_cells,
-                           replay_jobs=outcome.job_records,
-                           planner_seconds=prepared.planner_seconds,
-                           replay_seconds=outcome.replay_seconds)
-
-        for run_plan in plan.runs:
-            run_id = run_plan.run_id
-            resolved: dict[tuple[str, int], QueryRow] = {}
-            for resolution in run_plan.resolutions:
-                resolved[(resolution.name, resolution.iteration)] = QueryRow(
-                    run_id=run_id, iteration=resolution.iteration,
-                    name=resolution.name, value=resolution.value,
-                    source=resolution.source)
-                if resolution.source == "logged":
-                    stats.resolved_logged += 1
-                elif resolution.source == "analysis":
-                    stats.analysis_resolved += 1
-                else:
-                    stats.resolved_memo += 1
-
-            replayed = outcome.records_by_run.get(run_id, [])
-            replay_index = _replay_index(replayed)
-            for name, iteration in run_plan.unresolved_cells:
-                if (name, iteration) in replay_index:
-                    resolved[(name, iteration)] = QueryRow(
-                        run_id=run_id, iteration=iteration, name=name,
-                        value=replay_index[(name, iteration)],
-                        source="replay")
-                    stats.resolved_replay += 1
-                else:
-                    stats.missing_cells += 1
-
-            if prepared.should_memoize and replayed:
-                stats.memo_cells_written += \
-                    prepared.memos[run_id].write_back(replayed)
-            prepared.memos[run_id].store.close()
-
-            for iteration in run_plan.wanted_iterations:
-                for name in names:
-                    row = resolved.get((name, iteration))
-                    if row is not None:
-                        rows.append(row)
-
-        query_span.set(rows=len(rows),
+        result = assemble_result(prepared, outcome, started=started)
+        query_span.set(rows=len(result.rows),
                        replay_jobs=len(outcome.job_records))
+    return result
 
-    stats.total_seconds = monotonic() - started
+
+def planned_rows(prepared: PreparedQuery,
+                 run_id: str | None = None) -> list[QueryRow]:
+    """Rows the planner resolved without replay (logged / memo / analysis).
+
+    The service streams these as a query's first batch, before any replay
+    job lands.  ``run_id`` restricts to one run; None yields every run.
+    """
+    rows: list[QueryRow] = []
+    for run_plan in prepared.plan.runs:
+        if run_id is not None and run_plan.run_id != run_id:
+            continue
+        for resolution in run_plan.resolutions:
+            rows.append(QueryRow(
+                run_id=run_plan.run_id, iteration=resolution.iteration,
+                name=resolution.name, value=resolution.value,
+                source=resolution.source))
+    return rows
+
+
+def replay_rows(prepared: PreparedQuery, run_id: str,
+                records: list[LogRecord]) -> list[QueryRow]:
+    """Requested cells of ``run_id`` that ``records`` (one or more replay
+    jobs' output) satisfies.  The service calls this per finished span to
+    stream partial batches; passing a run's full replay output yields the
+    same rows :func:`assemble_result` would."""
+    index = _replay_index(records)
+    rows: list[QueryRow] = []
+    for run_plan in prepared.plan.runs:
+        if run_plan.run_id != run_id:
+            continue
+        for name, iteration in run_plan.unresolved_cells:
+            if (name, iteration) in index:
+                rows.append(QueryRow(run_id=run_id, iteration=iteration,
+                                     name=name,
+                                     value=index[(name, iteration)],
+                                     source="replay"))
+    return rows
+
+
+def assemble_result(prepared: PreparedQuery, outcome: ExecutionOutcome,
+                    started: float | None = None) -> QueryResult:
+    """Join planner resolutions with replay output into a QueryResult.
+
+    Counts per-source stats, writes replayed values back through each
+    run's memo cache (when memoization is on), closes the memo stores,
+    and orders rows by each run's wanted iterations × requested names.
+    Shared by :func:`query` and the service's request handler.
+    """
+    names = prepared.names
+    rows: list[QueryRow] = []
+    stats = QueryStats(runs=len(prepared.entries), values=names,
+                       requested_cells=prepared.requested_cells,
+                       replay_jobs=outcome.job_records,
+                       planner_seconds=prepared.planner_seconds,
+                       replay_seconds=outcome.replay_seconds)
+
+    for run_plan in prepared.plan.runs:
+        run_id = run_plan.run_id
+        resolved: dict[tuple[str, int], QueryRow] = {}
+        for row in planned_rows(prepared, run_id):
+            resolved[(row.name, row.iteration)] = row
+            if row.source == "logged":
+                stats.resolved_logged += 1
+            elif row.source == "analysis":
+                stats.analysis_resolved += 1
+            else:
+                stats.resolved_memo += 1
+
+        replayed = outcome.records_by_run.get(run_id, [])
+        satisfied = replay_rows(prepared, run_id, replayed)
+        for row in satisfied:
+            resolved[(row.name, row.iteration)] = row
+            stats.resolved_replay += 1
+        stats.missing_cells += (len(run_plan.unresolved_cells)
+                                - len(satisfied))
+
+        if prepared.should_memoize and replayed:
+            stats.memo_cells_written += \
+                prepared.memos[run_id].write_back(replayed)
+        prepared.memos[run_id].store.close()
+
+        for iteration in run_plan.wanted_iterations:
+            for name in names:
+                row = resolved.get((name, iteration))
+                if row is not None:
+                    rows.append(row)
+
+    if started is not None:
+        stats.total_seconds = monotonic() - started
     return QueryResult(rows=rows, stats=stats)
 
 

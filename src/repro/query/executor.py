@@ -21,7 +21,8 @@ from ..utils.timing import monotonic
 from .dataframe import ReplayJobRecord
 from .planner import ReplaySpan
 
-__all__ = ["ExecutionOutcome", "execute_span_jobs"]
+__all__ = ["ExecutionOutcome", "build_span_specs", "execute_span_jobs",
+           "outcome_from_results"]
 
 
 @dataclass
@@ -48,12 +49,30 @@ def execute_span_jobs(jobs: list[tuple[str, ReplaySpan]],
     across runs in one query).  A failed job raises :class:`QueryError`
     carrying the worker traceback.
     """
-    outcome = ExecutionOutcome()
     if not jobs:
-        return outcome
+        return ExecutionOutcome()
+    specs = build_span_specs(jobs, sources_by_run, probed_by_run)
+    start = monotonic()
+    results = run_replay_jobs(specs, config,
+                              processes=(processes
+                                         if processes is not None
+                                         else config.query_workers))
+    return outcome_from_results(jobs, specs, results,
+                                replay_seconds=monotonic() - start)
 
-    # pid/num_workers only keep concurrent jobs of one run from sharing a
-    # replay-log filename; sampling replay does not partition by them.
+
+def build_span_specs(jobs: list[tuple[str, ReplaySpan]],
+                     sources_by_run: dict[str, str],
+                     probed_by_run: dict[str, tuple[str, ...]],
+                     ) -> list[ReplayJobSpec]:
+    """Turn balanced span jobs into pool-ready :class:`ReplayJobSpec` rows.
+
+    The service's fair scheduler submits these specs one at a time to its
+    shared worker pool; the in-library path hands the whole list to
+    :func:`~repro.replay.parallel.run_replay_jobs`.  ``pid``/``num_workers``
+    only keep concurrent jobs of one run from sharing a replay-log
+    filename; sampling replay does not partition by them.
+    """
     per_run_total: dict[str, int] = {}
     for run_id, _span in jobs:
         per_run_total[run_id] = per_run_total.get(run_id, 0) + 1
@@ -70,14 +89,19 @@ def execute_span_jobs(jobs: list[tuple[str, ReplaySpan]],
             pid=pid,
             num_workers=per_run_total[run_id],
         ))
+    return specs
 
-    start = monotonic()
-    results = run_replay_jobs(specs, config,
-                              processes=(processes
-                                         if processes is not None
-                                         else config.query_workers))
-    outcome.replay_seconds = monotonic() - start
 
+def outcome_from_results(jobs: list[tuple[str, ReplaySpan]],
+                         specs: list[ReplayJobSpec],
+                         results: list,
+                         replay_seconds: float = 0.0) -> ExecutionOutcome:
+    """Collect per-job worker results into one :class:`ExecutionOutcome`.
+
+    ``results`` aligns with ``jobs``/``specs``.  A failed job raises
+    :class:`QueryError` carrying every failing worker traceback.
+    """
+    outcome = ExecutionOutcome(replay_seconds=replay_seconds)
     failures = [(spec, result) for spec, result in zip(specs, results)
                 if not result.succeeded]
     if failures:

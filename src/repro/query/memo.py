@@ -97,30 +97,54 @@ class MemoCache:
         are the cells queries address.  Values are already JSON-normalized
         by the log manager, so they round-trip through the backend's
         metadata plane unchanged.
+
+        The merge runs through :meth:`CheckpointStore.update_metadata`,
+        one backend writer transaction around the read-modify-write — so
+        two concurrent queries (the multi-tenant service coalesces
+        executions, but distinct overlapping queries still race here)
+        merge into the *latest stored* entry instead of each clobbering
+        the other's cells with its own stale snapshot.
         """
+        fresh = [(record.name, record.iteration, record.value)
+                 for record in records if record.iteration is not None]
+        if not fresh:
+            return 0
+        added_cells = 0
+
+        def merge(stored):
+            nonlocal added_cells
+            if (not isinstance(stored, dict)
+                    or stored.get("source_digest") != self.digest):
+                values: dict[str, dict[str, object]] = {}
+            else:
+                values = {name: dict(per_name) for name, per_name in
+                          (stored.get("values") or {}).items()}
+            added_cells = 0  # recomputed per transaction attempt
+            for name, iteration, value in fresh:
+                per_name = values.setdefault(name, {})
+                if str(iteration) not in per_name:
+                    added_cells += 1
+                per_name[str(iteration)] = value
+            return {
+                "schema_version": MEMO_SCHEMA_VERSION,
+                "source_digest": self.digest,
+                "values": values,
+            }
+
         with get_tracer().span("query.memo_writeback",
                                key=self.key) as span:
-            values = self.load()
-            added = 0
-            for record in records:
-                if record.iteration is None:
-                    continue
-                per_name = values.setdefault(record.name, {})
-                if record.iteration not in per_name:
-                    added += 1
-                per_name[record.iteration] = record.value
-            if added:
-                self.store.set_metadata(self.key, {
-                    "schema_version": MEMO_SCHEMA_VERSION,
-                    "source_digest": self.digest,
-                    "values": {name: {str(iteration): value
-                                      for iteration, value in
-                                      per_name.items()}
-                               for name, per_name in values.items()},
-                })
-                get_metrics().inc("query.memo_cells_written", added)
-            span.set(added=added)
-        return added
+            merged = self.store.update_metadata(self.key, merge)
+            # Refresh the read cache from what the transaction settled on
+            # (it may include another writer's cells).
+            self._values = {
+                name: {int(iteration): value
+                       for iteration, value in per_name.items()}
+                for name, per_name in (merged.get("values") or {}).items()
+            }
+            if added_cells:
+                get_metrics().inc("query.memo_cells_written", added_cells)
+            span.set(added=added_cells)
+        return added_cells
 
     # ------------------------------------------------------------------ #
     # Introspection

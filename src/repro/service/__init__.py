@@ -1,0 +1,28 @@
+"""Multi-tenant hindsight query service.
+
+The record/replay split made queryable (the roadmap's HTAP analogy):
+training jobs record at full speed in their own processes, while a
+long-lived daemon (``python -m repro.serve``) owns the run catalog and
+ONE bounded replay worker pool, and answers concurrent ``query`` /
+``explain`` / ``diff`` requests from many tenants — with admission
+control, per-tenant fair scheduling, in-flight dedup of identical
+queries, and incremental result streaming.
+
+* :mod:`repro.service.protocol` — length-prefixed JSON wire format and
+  the typed error-code contract,
+* :mod:`repro.service.scheduler` — weighted round-robin replay-job
+  scheduling on one process pool,
+* :mod:`repro.service.server` — the daemon: admission, dedup registry,
+  streaming executions, graceful drain,
+* :mod:`repro.service.client` — ``repro.connect(addr)``, with
+  retry/backoff and library-parity results.
+"""
+
+from .client import ServiceClient, connect
+from .protocol import ERROR_CODES, PROTOCOL_VERSION, ProtocolError
+from .scheduler import FairReplayPool, JobTicket, LedgerEntry
+from .server import Execution, QueryService
+
+__all__ = ["ServiceClient", "connect", "QueryService", "Execution",
+           "FairReplayPool", "JobTicket", "LedgerEntry", "ProtocolError",
+           "ERROR_CODES", "PROTOCOL_VERSION"]

@@ -1,0 +1,248 @@
+"""Client of the hindsight query service: ``repro.connect(addr)``.
+
+API parity with the in-process library — ``client.query(...)`` returns
+the same :class:`~repro.query.dataframe.QueryResult` (rows +
+:class:`QueryStats`) ``repro.query(...)`` would, reassembled from the
+streamed batches; ``explain`` and ``diff`` likewise round-trip their
+reports through the documented payload codecs.  The one visible
+difference: service rows come back sorted by ``(run_id, iteration,
+name)`` (batch arrival order is replay-completion order, so the client
+normalizes).
+
+Failure handling is typed and bounded:
+
+* ``SERVICE_BUSY`` → sleep the server's ``retry_after`` hint and retry,
+  up to ``retries`` times, then raise :class:`ServiceBusy`.
+* Connection refused/reset (daemon restarting) → exponential backoff
+  retry on the same budget.
+* ``SHUTTING_DOWN`` → raise immediately (a draining daemon will not
+  come back for this request; the caller should reconnect later).
+* Query/planner errors → :class:`~repro.exceptions.QueryError`, same
+  type the library raises.
+
+One request per connection; ``timeout`` bounds every socket operation,
+so a hung daemon surfaces as ``ServiceError`` rather than a hang.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import uuid
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..exceptions import QueryError, ServiceBusy, ServiceError
+from ..query.dataframe import QueryResult, QueryRow, QueryStats
+from ..query.diff import DiffResult, DiffStats, ValueDrift
+from ..query.explain import ExplainReport
+from .protocol import (PROTOCOL_VERSION, decode_rows, encode_iterations,
+                       read_frame, write_frame)
+
+__all__ = ["ServiceClient", "connect"]
+
+
+def connect(address: str, client_id: str | None = None,
+            timeout: float = 300.0, retries: int = 5,
+            backoff: float = 0.2) -> "ServiceClient":
+    """Open a client for the daemon at ``address``.
+
+    ``address`` is ``host:port`` for TCP or a filesystem path for a Unix
+    socket.  ``client_id`` is the tenant identity fair scheduling weighs
+    requests by; it defaults to a stable per-client random id.
+    """
+    return ServiceClient(address, client_id=client_id, timeout=timeout,
+                         retries=retries, backoff=backoff)
+
+
+class ServiceClient:
+    """See :func:`connect`."""
+
+    def __init__(self, address: str, client_id: str | None = None,
+                 timeout: float = 300.0, retries: int = 5,
+                 backoff: float = 0.2):
+        self.address = address
+        self.client_id = client_id or f"client-{uuid.uuid4().hex[:8]}"
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Public API (library parity)
+    # ------------------------------------------------------------------ #
+    def query(self, values: str | Sequence[str],
+              runs: str | Iterable[str] | None = None,
+              iterations=None, source: str | Path | None = None,
+              workload: str | None = None, workers: int | None = None,
+              memoize: bool | None = None,
+              on_batch: Callable[[list[QueryRow]], None] | None = None,
+              ) -> QueryResult:
+        """Run a hindsight query on the service; parameters match
+        :func:`repro.query`.  ``on_batch`` observes each partial batch as
+        it streams in (rows arrive as spans complete)."""
+        params = self._query_params(values, runs, iterations, source,
+                                    workload, workers, memoize)
+        frames = self._request("query", params)
+        rows: list[QueryRow] = []
+        stats_payload: dict = {}
+        for frame in frames:
+            if frame["type"] == "batch":
+                batch = decode_rows(frame.get("rows") or [])
+                rows.extend(batch)
+                if on_batch is not None and batch:
+                    on_batch(batch)
+            else:
+                stats_payload = frame.get("stats") or {}
+        rows.sort(key=lambda row: (row.run_id, row.iteration, row.name))
+        return QueryResult(rows=rows,
+                           stats=QueryStats.from_payload(stats_payload))
+
+    def explain(self, values: str | Sequence[str],
+                runs: str | Iterable[str] | None = None,
+                iterations=None, source: str | Path | None = None,
+                workload: str | None = None, workers: int | None = None,
+                memoize: bool | None = None) -> ExplainReport:
+        """Plan a query on the service without executing it."""
+        params = self._query_params(values, runs, iterations, source,
+                                    workload, workers, memoize)
+        frames = self._request("explain", params)
+        return ExplainReport.from_payload(frames[-1]["payload"])
+
+    def diff(self, run_a: str, run_b: str,
+             values: str | Sequence[str],
+             source: str | Path | None = None,
+             tolerance: float = 0.0,
+             use_checkpoint_digests: bool = True,
+             workers: int | None = None,
+             memoize: bool | None = None) -> DiffResult:
+        """Locate cross-run drift on the service; mirrors ``repro.diff``."""
+        params = {
+            "run_a": run_a, "run_b": run_b,
+            "values": ([values] if isinstance(values, str)
+                       else list(values)),
+            "source": _resolve_source(source),
+            "tolerance": tolerance,
+            "use_checkpoint_digests": use_checkpoint_digests,
+            "workers": workers, "memoize": memoize,
+        }
+        frames = self._request("diff", params)
+        final = frames[-1]
+        drifts = [ValueDrift(**payload)
+                  for payload in final.get("drifts") or []]
+        return DiffResult(
+            drifts=drifts,
+            stats=DiffStats.from_payload(final.get("stats") or {}))
+
+    def ping(self) -> dict:
+        """The daemon's health/status document."""
+        return self._request("ping", {})[-1]["payload"]
+
+    # ------------------------------------------------------------------ #
+    # Request plumbing
+    # ------------------------------------------------------------------ #
+    def _query_params(self, values, runs, iterations, source, workload,
+                      workers, memoize) -> dict:
+        return {
+            "values": ([values] if isinstance(values, str)
+                       else list(values)),
+            "runs": (list(runs) if isinstance(runs, (list, tuple, set))
+                     else runs),
+            "iterations": encode_iterations(iterations),
+            "source": _resolve_source(source),
+            "workload": workload,
+            "workers": workers,
+            "memoize": memoize,
+        }
+
+    def _request(self, op: str, params: dict) -> list[dict]:
+        """Send one request; collect frames through the terminal one.
+
+        Retries ``SERVICE_BUSY`` (honoring ``retry_after``) and
+        connection failures with exponential backoff, up to ``retries``
+        attempts beyond the first.
+        """
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self._attempt(op, params)
+            except ServiceBusy as busy:
+                last_error = busy
+                delay = busy.retry_after
+            except ServiceError:
+                raise
+            except (ConnectionError, socket.timeout, OSError) as error:
+                last_error = ServiceError(
+                    f"service at {self.address!r} unreachable: {error}",
+                    code="INTERNAL")
+                delay = self.backoff * (2 ** attempt)
+            if attempt < self.retries:
+                time.sleep(min(5.0, delay))
+        assert last_error is not None
+        raise last_error
+
+    def _attempt(self, op: str, params: dict) -> list[dict]:
+        self._seq += 1
+        request_id = f"{self.client_id}-{self._seq}"
+        with self._connect() as conn:
+            write_frame(conn, {"v": PROTOCOL_VERSION, "op": op,
+                               "id": request_id,
+                               "client": self.client_id,
+                               "params": params})
+            frames: list[dict] = []
+            while True:
+                frame = read_frame(conn)
+                if frame is None:
+                    raise ServiceError(
+                        "connection closed before a terminal frame",
+                        code="INTERNAL")
+                kind = frame.get("type")
+                if kind == "batch":
+                    frames.append(frame)
+                elif kind == "result":
+                    frames.append(frame)
+                    return frames
+                elif kind == "error":
+                    raise _error_from_frame(frame)
+                else:
+                    raise ServiceError(
+                        f"unexpected frame type {kind!r}",
+                        code="INTERNAL")
+
+    def _connect(self) -> socket.socket:
+        if ":" in self.address and not self.address.startswith(("/", ".")):
+            host, _colon, port = self.address.rpartition(":")
+            conn = socket.create_connection((host, int(port)),
+                                            timeout=self.timeout)
+        else:
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.settimeout(self.timeout)
+            conn.connect(self.address)
+        return conn
+
+
+def _resolve_source(source: str | Path | None) -> str | None:
+    """Resolve a probe-source path client-side; the daemon sees text.
+
+    The daemon may run on another machine (or another working
+    directory), so path resolution must happen where the path means
+    something.  Mirrors the library's accept-text-or-path behavior.
+    """
+    if source is None:
+        return None
+    if isinstance(source, Path) or ("\n" not in source
+                                    and Path(source).exists()):
+        return Path(source).read_text(encoding="utf-8")
+    return str(source)
+
+
+def _error_from_frame(frame: dict) -> ServiceError:
+    code = frame.get("code") or "INTERNAL"
+    message = frame.get("message") or "service error"
+    if code == "SERVICE_BUSY":
+        return ServiceBusy(message,
+                           retry_after=float(frame.get("retry_after",
+                                                       0.1)))
+    if code == "QUERY":
+        return QueryError(message)
+    return ServiceError(message, code=code)

@@ -1,0 +1,206 @@
+"""Wire protocol of the hindsight query service.
+
+Deliberately trivial, stdlib-only framing: every message is a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON.  A
+request is one frame; a response is a *stream* of frames ending in a
+``result`` or ``error`` frame, so partial query batches can flow to the
+client while replay spans are still executing.  No protocol negotiation,
+no compression, no pipelining — one request per connection keeps client
+failure containment exact (a killed client costs the server one EBADF).
+
+Requests::
+
+    {"v": 1, "op": "query", "id": "<request id>", "client": "<tenant id>",
+     "params": {...}}
+
+Response frames::
+
+    {"type": "batch",  "id": ..., "seq": 0, "rows": [[run, it, name,
+                                                      value, source], ...]}
+    {"type": "result", "id": ..., ...op-specific payload...}
+    {"type": "error",  "id": ..., "code": "SERVICE_BUSY",
+     "message": "...", "retry_after": 0.25}
+
+Error codes are part of the contract (``docs/api.md``): ``SERVICE_BUSY``
+(admission queue full — retry after the hint), ``SHUTTING_DOWN`` (daemon
+draining — do not retry here), ``BAD_REQUEST`` (malformed frame or
+params), ``UNSUPPORTED_OP``, ``QUERY`` (planner/replay error — the
+message carries the library exception text), ``INTERNAL``.
+
+``iterations`` travels as JSON cannot carry a ``slice``: an int stays an
+int, a list stays a list, ``None`` stays ``null``, and a slice becomes
+``{"slice": [start, stop, step]}``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from ..exceptions import ServiceError
+
+__all__ = ["PROTOCOL_VERSION", "MAX_FRAME_BYTES", "ERROR_CODES",
+           "ProtocolError", "read_frame", "write_frame",
+           "encode_iterations", "decode_iterations", "encode_rows",
+           "decode_rows", "validate_request"]
+
+#: Wire schema version carried in every request.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame; a larger announced length is a protocol
+#: error (it is either corruption or abuse, not a real query).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The error-code contract, in rough order of how often clients see them.
+ERROR_CODES = ("SERVICE_BUSY", "SHUTTING_DOWN", "BAD_REQUEST",
+               "UNSUPPORTED_OP", "QUERY", "INTERNAL")
+
+#: Ops the service answers.
+KNOWN_OPS = ("ping", "query", "explain", "diff")
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ServiceError):
+    """A malformed frame, oversized length, or invalid request shape."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="BAD_REQUEST")
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on clean EOF at a frame edge."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> dict | None:
+    """Read one length-prefixed JSON frame; None on clean EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "limit")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed between length and body")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def write_frame(sock: socket.socket, payload: dict) -> None:
+    """Write one length-prefixed JSON frame."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+# --------------------------------------------------------------------------- #
+# Parameter and row codecs
+# --------------------------------------------------------------------------- #
+def encode_iterations(iterations: Any) -> Any:
+    """JSON-encode a query ``iterations`` argument (slice-aware)."""
+    if isinstance(iterations, slice):
+        return {"slice": [iterations.start, iterations.stop,
+                          iterations.step]}
+    if iterations is None or isinstance(iterations, int):
+        return iterations
+    return [int(index) for index in iterations]
+
+
+def decode_iterations(payload: Any) -> Any:
+    """Inverse of :func:`encode_iterations`."""
+    if isinstance(payload, dict):
+        parts = payload.get("slice")
+        if (not isinstance(parts, list) or len(parts) != 3
+                or any(part is not None and not isinstance(part, int)
+                       for part in parts)):
+            raise ProtocolError(
+                f"bad iterations payload: {payload!r} (expected "
+                '{"slice": [start, stop, step]})')
+        return slice(*parts)
+    if payload is None or isinstance(payload, int):
+        return payload
+    if isinstance(payload, list):
+        return [int(index) for index in payload]
+    raise ProtocolError(f"bad iterations payload: {payload!r}")
+
+
+def encode_rows(rows) -> list[list]:
+    """Compact a batch of :class:`QueryRow` for the wire."""
+    return [[row.run_id, row.iteration, row.name, row.value, row.source]
+            for row in rows]
+
+
+def decode_rows(payload: list) -> list:
+    """Inverse of :func:`encode_rows`, back to :class:`QueryRow`."""
+    from ..query.dataframe import QueryRow
+    rows = []
+    for entry in payload:
+        if not isinstance(entry, list) or len(entry) != 5:
+            raise ProtocolError(f"bad row payload: {entry!r}")
+        run_id, iteration, name, value, source = entry
+        rows.append(QueryRow(run_id=str(run_id), iteration=int(iteration),
+                             name=str(name), value=value,
+                             source=str(source)))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Request validation
+# --------------------------------------------------------------------------- #
+def validate_request(payload: dict) -> tuple[str, str, str, dict]:
+    """Check a request frame's shape; returns (op, id, client, params).
+
+    Raises :class:`ProtocolError` on anything malformed, with a message
+    precise enough for the client to fix the request.  Unknown *ops* are
+    accepted here (the server answers ``UNSUPPORTED_OP`` so the client
+    learns the op name was the problem, not the frame).
+    """
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} (this server "
+            f"speaks v{PROTOCOL_VERSION})")
+    op = payload.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request is missing the 'op' string")
+    request_id = payload.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("request is missing the 'id' string")
+    client = payload.get("client")
+    if not isinstance(client, str) or not client:
+        raise ProtocolError("request is missing the 'client' string")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("request 'params' must be an object")
+    return op, request_id, client, params

@@ -1,0 +1,556 @@
+"""The multi-tenant hindsight query daemon.
+
+One process owns the run catalog, the storage-backed memo plane, and ONE
+bounded replay worker pool, and answers concurrent ``query`` / ``explain``
+/ ``diff`` requests over the length-prefixed JSON protocol
+(:mod:`repro.service.protocol`).  The HTAP split the roadmap asks for:
+training jobs keep recording at full speed (the record path never goes
+through this daemon), while analytical hindsight queries from many
+notebooks land here and share replay work instead of each spinning up a
+private engine.
+
+Concurrency model, per request:
+
+1. **Admission control** — a bounded in-flight counter
+   (``FlorConfig.service_queue_size``).  A full queue answers a typed
+   ``SERVICE_BUSY`` error with a ``retry_after`` hint (an EWMA of recent
+   request durations) instead of queueing unboundedly or hanging.
+2. **Planning inline** — the connection thread runs the ordinary
+   :func:`~repro.query.api.prepare_query` planner; plan errors surface
+   immediately as ``QUERY`` errors.
+3. **In-flight dedup** — the prepared query's
+   :meth:`~repro.query.api.PreparedQuery.dedup_digest` keys a registry of
+   running executions.  An identical concurrent query *attaches* to the
+   running execution instead of re-executing: already-published batches
+   are replayed to the late subscriber, then both stream live.  The
+   replay-job ledger shows exactly one set of jobs.
+4. **Fair execution** — replay spans go to the shared
+   :class:`~repro.service.scheduler.FairReplayPool` under the requesting
+   tenant's client id; weighted round-robin keeps one tenant's large
+   query from starving another's small one.
+5. **Incremental streaming** — planner-resolved rows flow as the first
+   batch before any replay lands; each finished span's rows follow as
+   their own batch; the terminal frame carries the full
+   :class:`~repro.query.dataframe.QueryStats`.  A subscriber whose socket
+   dies is detached; the execution continues for the other subscribers.
+
+``diff`` runs inline in the connection thread (its internal probe queries
+manage their own replay pools) — it participates in admission control but
+not in span-level fair scheduling; the docs call this out.
+
+Graceful drain: :meth:`QueryService.shutdown` flips the daemon into
+draining (new work refused with ``SHUTTING_DOWN``, ``ping`` still
+answers), waits for admitted requests to finish, then closes the listener
+and the worker pool.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+import traceback
+
+from .. import telemetry
+from ..config import FlorConfig, get_config
+from ..exceptions import QueryError, ServiceError
+from ..query.api import (PreparedQuery, assemble_result, planned_rows,
+                         prepare_query, replay_rows)
+from ..query.catalog import RunCatalog
+from ..query.diff import diff as run_diff
+from ..query.executor import build_span_specs, outcome_from_results
+from ..query.explain import explain as run_explain
+from ..utils.timing import monotonic
+from .protocol import (KNOWN_OPS, ProtocolError, decode_iterations,
+                       encode_rows, read_frame, validate_request,
+                       write_frame)
+from .scheduler import FairReplayPool
+
+__all__ = ["Execution", "QueryService"]
+
+
+class Execution:
+    """One running query execution, shared by every attached subscriber.
+
+    Frames are published as tuples — ``("batch", seq, rows)``,
+    ``("result", stats_payload)``, ``("error", code, message)`` — into
+    each subscriber's queue.  Batches published before a subscriber
+    attaches are replayed to it, so a deduped late-comer sees the full
+    stream.
+    """
+
+    def __init__(self, digest: str):
+        self.digest = digest
+        self._lock = threading.Lock()
+        self._batches: list[tuple] = []
+        self._subscribers: list[queue.Queue] = []
+        self._terminal: tuple | None = None
+        self._seq = 0
+
+    def attach(self) -> queue.Queue:
+        subscriber: queue.Queue = queue.Queue()
+        with self._lock:
+            for item in self._batches:
+                subscriber.put(item)
+            if self._terminal is not None:
+                subscriber.put(self._terminal)
+            else:
+                self._subscribers.append(subscriber)
+        return subscriber
+
+    def detach(self, subscriber: queue.Queue) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+    def publish_batch(self, rows: list[list]) -> None:
+        if not rows:
+            return
+        with self._lock:
+            item = ("batch", self._seq, rows)
+            self._seq += 1
+            self._batches.append(item)
+            for subscriber in self._subscribers:
+                subscriber.put(item)
+
+    def finish(self, stats_payload: dict) -> None:
+        self._terminate(("result", stats_payload))
+
+    def fail(self, code: str, message: str) -> None:
+        self._terminate(("error", code, message))
+
+    def _terminate(self, item: tuple) -> None:
+        with self._lock:
+            self._terminal = item
+            for subscriber in self._subscribers:
+                subscriber.put(item)
+            self._subscribers.clear()
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+
+class QueryService:
+    """The daemon: listener, admission control, dedup registry, fair pool."""
+
+    def __init__(self, config: FlorConfig | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 socket_path: str | None = None,
+                 workers: int | None = None,
+                 queue_size: int | None = None,
+                 runner=None):
+        self.config = config or get_config()
+        telemetry.enable_from_config(self.config)
+        self.queue_size = (queue_size if queue_size is not None
+                           else self.config.service_queue_size)
+        self.catalog = RunCatalog.open(self.config)
+        self.pool = FairReplayPool(self.config, workers=workers,
+                                   runner=runner)
+        self._socket_path = socket_path
+        self._host, self._port = host, port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._draining = threading.Event()
+        self._closed = threading.Event()
+        self._admit_lock = threading.Lock()
+        self._admitted = 0
+        self._request_ewma = 0.25
+        self._exec_lock = threading.Lock()
+        self._executions: dict[str, Execution] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "QueryService":
+        """Bind, listen, and start accepting connections."""
+        if self._socket_path is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                os.unlink(self._socket_path)
+            except OSError:
+                pass
+            listener.bind(self._socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            self._host, self._port = listener.getsockname()
+        listener.listen(64)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-service-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> str:
+        """The connectable address string (``host:port`` or socket path)."""
+        if self._socket_path is not None:
+            return self._socket_path
+        return f"{self._host}:{self._port}"
+
+    def shutdown(self, drain_seconds: float | None = None) -> bool:
+        """Drain in-flight requests, then stop; True on a clean drain.
+
+        New requests are refused with ``SHUTTING_DOWN`` the moment this
+        is called; requests already admitted get up to ``drain_seconds``
+        (``FlorConfig.service_drain_seconds``) to finish.
+        """
+        budget = (drain_seconds if drain_seconds is not None
+                  else self.config.service_drain_seconds)
+        self._draining.set()
+        deadline = monotonic() + budget
+        drained = True
+        while monotonic() < deadline:
+            with self._admit_lock:
+                if self._admitted == 0:
+                    break
+            time.sleep(0.02)
+        else:
+            with self._admit_lock:
+                drained = self._admitted == 0
+        self._closed.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._socket_path is not None:
+            try:
+                os.unlink(self._socket_path)
+            except OSError:
+                pass
+        self.pool.close(drain=drained)
+        telemetry.get_metrics().inc("service.shutdowns")
+        return drained
+
+    # ------------------------------------------------------------------ #
+    # Accept / dispatch
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed during shutdown
+            thread = threading.Thread(target=self._handle_connection,
+                                      args=(conn,),
+                                      name="repro-service-conn",
+                                      daemon=True)
+            thread.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        request_id = "?"
+        try:
+            conn.settimeout(60.0)
+            request = read_frame(conn)
+            if request is None:
+                return
+            op, request_id, client, params = validate_request(request)
+            conn.settimeout(None)
+            self._dispatch(conn, op, request_id, client, params)
+        except ProtocolError as error:
+            self._send_error(conn, request_id, error.code, str(error))
+        except OSError:
+            pass  # client went away; nothing to answer
+        except Exception:  # noqa: BLE001 - daemon must not die on one conn
+            self._send_error(conn, request_id, "INTERNAL",
+                             traceback.format_exc(limit=8))
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, conn: socket.socket, op: str, request_id: str,
+                  client: str, params: dict) -> None:
+        tracer = telemetry.get_tracer()
+        if op == "ping":
+            # Health checks bypass admission so a busy or draining daemon
+            # is still observable.
+            write_frame(conn, {"type": "result", "id": request_id,
+                               "payload": self._status()})
+            return
+        if op not in KNOWN_OPS:
+            self._send_error(conn, request_id, "UNSUPPORTED_OP",
+                             f"unknown op {op!r}; this server answers "
+                             f"{', '.join(KNOWN_OPS)}")
+            return
+        if self._draining.is_set():
+            self._send_error(conn, request_id, "SHUTTING_DOWN",
+                             "service is draining; connect elsewhere or "
+                             "wait for a restart")
+            return
+        with self._admit_lock:
+            if self._admitted >= self.queue_size:
+                retry_after = max(0.05, min(5.0, self._request_ewma))
+                telemetry.get_metrics().inc("service.rejected_busy")
+                self._send_error(conn, request_id, "SERVICE_BUSY",
+                                 f"admission queue is full "
+                                 f"({self.queue_size} in flight)",
+                                 retry_after=retry_after)
+                return
+            self._admitted += 1
+        started = monotonic()
+        try:
+            with tracer.span("service.request", op=op,
+                             client=client) as request_span:
+                telemetry.get_metrics().inc("service.requests")
+                try:
+                    if op == "query":
+                        self._handle_query(conn, request_id, client,
+                                           params, request_span)
+                    elif op == "explain":
+                        self._handle_explain(conn, request_id, params)
+                    else:
+                        self._handle_diff(conn, request_id, params)
+                except (QueryError, ProtocolError, ServiceError) as error:
+                    code = getattr(error, "code", "QUERY")
+                    request_span.set(error=code)
+                    self._send_error(conn, request_id, code, str(error))
+        finally:
+            duration = monotonic() - started
+            with self._admit_lock:
+                self._admitted -= 1
+                self._request_ewma = (0.8 * self._request_ewma
+                                      + 0.2 * duration)
+
+    def _status(self) -> dict:
+        with self._admit_lock:
+            admitted = self._admitted
+        return {"status": "draining" if self._draining.is_set() else "ok",
+                "admitted": admitted,
+                "queue_size": self.queue_size,
+                "pending_jobs": self.pool.pending(),
+                "workers": self.pool.workers,
+                "executions": len(self._executions),
+                "pid": os.getpid()}
+
+    # ------------------------------------------------------------------ #
+    # query: dedup + fair execution + streaming
+    # ------------------------------------------------------------------ #
+    def _handle_query(self, conn: socket.socket, request_id: str,
+                      client: str, params: dict, request_span) -> None:
+        prepared = self._prepare(params)
+        digest = prepared.dedup_digest()
+        request_span.set(digest=digest[:12])
+        tracer = telemetry.get_tracer()
+
+        with self._exec_lock:
+            execution = self._executions.get(digest)
+            created = execution is None
+            if created:
+                execution = Execution(digest)
+                self._executions[digest] = execution
+        if created:
+            subscriber = execution.attach()
+            publisher = threading.Thread(
+                target=self._run_execution,
+                args=(execution, prepared, client, monotonic()),
+                name=f"repro-service-exec-{digest[:8]}", daemon=True)
+            publisher.start()
+        else:
+            # Identical normalized plan already executing: ride along.
+            subscriber = execution.attach()
+            prepared.close()
+            telemetry.get_metrics().inc("service.dedup_hits")
+            with tracer.span("service.dedup_hit", digest=digest[:12],
+                             subscribers=execution.subscriber_count):
+                pass
+
+        try:
+            self._stream(conn, request_id, subscriber)
+        except OSError:
+            # This client died mid-stream; the execution keeps running
+            # for the other subscribers (and for the memo write-back).
+            execution.detach(subscriber)
+            raise
+
+    def _stream(self, conn: socket.socket, request_id: str,
+                subscriber: queue.Queue) -> None:
+        while True:
+            item = subscriber.get()
+            if item[0] == "batch":
+                _kind, seq, rows = item
+                write_frame(conn, {"type": "batch", "id": request_id,
+                                   "seq": seq, "rows": rows})
+            elif item[0] == "result":
+                write_frame(conn, {"type": "result", "id": request_id,
+                                   "stats": item[1]})
+                return
+            else:
+                _kind, code, message = item
+                self._send_error(conn, request_id, code, message)
+                return
+
+    def _run_execution(self, execution: Execution,
+                       prepared: PreparedQuery, client: str,
+                       started: float) -> None:
+        tracer = telemetry.get_tracer()
+        try:
+            with tracer.span("service.execute",
+                             digest=execution.digest[:12],
+                             client=client) as exec_span:
+                # Rows the planner resolved without replay stream first,
+                # before a single job is scheduled.
+                execution.publish_batch(encode_rows(planned_rows(prepared)))
+                jobs = prepared.balanced_jobs()
+                specs = build_span_specs(jobs, prepared.sources_by_run,
+                                         prepared.probed_by_run)
+                replay_started = monotonic()
+                tickets = [self.pool.submit(client, spec)
+                           for spec in specs]
+                results = []
+                for spec, ticket in zip(specs, tickets):
+                    result = FairReplayPool.wait(ticket)
+                    results.append(result)
+                    if result.succeeded:
+                        execution.publish_batch(encode_rows(replay_rows(
+                            prepared, spec.run_id, result.log_records)))
+                self._ingest_queue_waits(tickets, exec_span)
+                outcome = outcome_from_results(
+                    jobs, specs, results,
+                    replay_seconds=monotonic() - replay_started)
+                result = assemble_result(prepared, outcome,
+                                         started=started)
+                exec_span.set(rows=len(result.rows),
+                              replay_jobs=len(outcome.job_records))
+            self._finish_execution(execution,
+                                   stats=result.stats.to_payload())
+        except (QueryError, ServiceError) as error:
+            self._finish_execution(
+                execution, code=getattr(error, "code", "QUERY"),
+                message=str(error))
+        except Exception:  # noqa: BLE001 - subscribers must hear failures
+            self._finish_execution(execution, code="INTERNAL",
+                                   message=traceback.format_exc(limit=8))
+        finally:
+            prepared.close()
+
+    def _finish_execution(self, execution: Execution,
+                          stats: dict | None = None,
+                          code: str | None = None,
+                          message: str = "") -> None:
+        # Deregister BEFORE publishing the terminal frame: a new identical
+        # query arriving after completion must re-plan (and now hit the
+        # memo) instead of attaching to a finished execution forever.
+        with self._exec_lock:
+            if self._executions.get(execution.digest) is execution:
+                del self._executions[execution.digest]
+        if stats is not None:
+            execution.finish(stats)
+        else:
+            execution.fail(code or "INTERNAL", message)
+
+    def _ingest_queue_waits(self, tickets, exec_span) -> None:
+        """Synthesize retroactive ``service.queue_wait`` spans.
+
+        The wait happened inside the scheduler, which does not trace; the
+        ticket's timestamps reconstruct it after the fact via the same
+        ``ingest`` seam worker spans use.  Skipped entirely when tracing
+        is off (``ingest`` appends unconditionally).
+        """
+        tracer = telemetry.get_tracer()
+        if not tracer.enabled or not tickets:
+            return
+        payloads = [{
+            "name": "service.queue_wait",
+            "span_id": f"qw-{os.getpid():x}-{ticket.sequence:x}",
+            "parent_id": None,
+            "start": ticket.queued_wall,
+            "duration": ticket.queue_wait,
+            "pid": os.getpid(),
+            "thread_id": threading.get_ident(),
+            "attrs": {"client": ticket.client,
+                      "run_id": ticket.spec.run_id},
+        } for ticket in tickets]
+        tracer.ingest(payloads, parent_id=exec_span.span_id)
+
+    def _prepare(self, params: dict) -> PreparedQuery:
+        values = params.get("values")
+        if not values:
+            raise ProtocolError("query params need a non-empty 'values'")
+        return prepare_query(
+            values=values,
+            runs=params.get("runs"),
+            iterations=decode_iterations(params.get("iterations")),
+            source=params.get("source"),
+            workload=params.get("workload"),
+            config=self.config,
+            workers=params.get("workers"),
+            memoize=params.get("memoize"),
+            catalog=self.catalog)
+
+    # ------------------------------------------------------------------ #
+    # explain / diff: inline under admission control
+    # ------------------------------------------------------------------ #
+    def _handle_explain(self, conn: socket.socket, request_id: str,
+                        params: dict) -> None:
+        values = params.get("values")
+        if not values:
+            raise ProtocolError("explain params need a non-empty 'values'")
+        report = run_explain(
+            values=values,
+            runs=params.get("runs"),
+            iterations=decode_iterations(params.get("iterations")),
+            source=params.get("source"),
+            workload=params.get("workload"),
+            config=self.config,
+            workers=params.get("workers"),
+            memoize=params.get("memoize"),
+            catalog=self.catalog)
+        write_frame(conn, {"type": "result", "id": request_id,
+                           "payload": report.to_payload()})
+
+    def _handle_diff(self, conn: socket.socket, request_id: str,
+                     params: dict) -> None:
+        for required in ("run_a", "run_b", "values"):
+            if not params.get(required):
+                raise ProtocolError(
+                    f"diff params need a non-empty {required!r}")
+        result = run_diff(
+            run_a=params["run_a"], run_b=params["run_b"],
+            values=params["values"],
+            source=params.get("source"),
+            tolerance=float(params.get("tolerance", 0.0)),
+            use_checkpoint_digests=bool(
+                params.get("use_checkpoint_digests", True)),
+            config=self.config,
+            workers=params.get("workers"),
+            memoize=params.get("memoize"),
+            catalog=self.catalog)
+        drifts = [{
+            "name": drift.name, "status": drift.status,
+            "first_divergence": drift.first_divergence,
+            "last_equal": drift.last_equal,
+            "value_a": drift.value_a, "value_b": drift.value_b,
+            "baseline_a": drift.baseline_a,
+            "baseline_b": drift.baseline_b,
+            "method": drift.method, "probes": drift.probes,
+        } for drift in result.drifts]
+        write_frame(conn, {"type": "result", "id": request_id,
+                           "drifts": drifts,
+                           "stats": result.stats.to_payload()})
+
+    # ------------------------------------------------------------------ #
+    # Error responses
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _send_error(conn: socket.socket, request_id: str, code: str,
+                    message: str, retry_after: float | None = None) -> None:
+        frame = {"type": "error", "id": request_id, "code": code,
+                 "message": message}
+        if retry_after is not None:
+            frame["retry_after"] = round(retry_after, 3)
+        try:
+            write_frame(conn, frame)
+        except OSError:
+            pass  # the client is gone; the error has no audience

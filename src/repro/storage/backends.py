@@ -49,7 +49,7 @@ import threading
 from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..exceptions import StorageError
 from ..utils.hashing import digest_bytes, stable_hash
@@ -215,6 +215,20 @@ class StorageBackend:
         raise NotImplementedError
 
     def get_metadata_json(self, key: str) -> str | None:
+        raise NotImplementedError
+
+    def update_metadata_json(self, key: str,
+                             update: "Callable[[str | None], str]") -> str:
+        """Atomic read-modify-write of one metadata value.
+
+        ``update`` receives the currently stored JSON string (or None) and
+        returns the JSON string to store; the read and the write happen
+        under one writer transaction, so two concurrent updaters — e.g.
+        two query processes writing memoized replay values back to the
+        same run — serialize instead of losing each other's merge.  The
+        stored result is returned.  ``update`` must be pure: a backend
+        may re-invoke it if its transaction has to retry.
+        """
         raise NotImplementedError
 
     def all_metadata_json(self) -> dict[str, str]:
@@ -514,6 +528,32 @@ class LocalSQLiteBackend(StorageBackend):
             "SELECT value FROM run_metadata WHERE key = ?", (key,))
         return rows[0][0] if rows else None
 
+    def update_metadata_json(self, key, update):
+        # BEGIN IMMEDIATE takes the write lock *before* the read, so the
+        # read-modify-write is one serialized transaction even across
+        # processes sharing this manifest (a deferred transaction would
+        # read a stale snapshot and fail its lock upgrade under WAL).
+        # busy_timeout makes competing updaters wait, not error.
+        with self._lock:
+            conn = self._connection()
+            if conn.in_transaction:
+                conn.commit()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                rows = conn.execute(
+                    "SELECT value FROM run_metadata WHERE key = ?",
+                    (key,)).fetchall()
+                value_json = update(rows[0][0] if rows else None)
+                conn.execute(
+                    "INSERT INTO run_metadata (key, value) VALUES (?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                    (key, value_json))
+            except BaseException:
+                conn.rollback()
+                raise
+            conn.commit()
+            return value_json
+
     def all_metadata_json(self):
         rows = self._query("SELECT key, value FROM run_metadata")
         return {key: value for key, value in rows}
@@ -709,6 +749,12 @@ class InMemoryBackend(StorageBackend):
         with self._lock:
             return self._metadata.get(key)
 
+    def update_metadata_json(self, key, update):
+        with self._lock:
+            value_json = update(self._metadata.get(key))
+            self._metadata[key] = value_json
+            return value_json
+
     def all_metadata_json(self):
         with self._lock:
             return dict(self._metadata)
@@ -862,6 +908,9 @@ class ShardedSQLiteBackend(StorageBackend):
 
     def get_metadata_json(self, key):
         return self.shards[0].get_metadata_json(key)
+
+    def update_metadata_json(self, key, update):
+        return self.shards[0].update_metadata_json(key, update)
 
     def all_metadata_json(self):
         return self.shards[0].all_metadata_json()

@@ -115,6 +115,19 @@ class CheckpointStore:
             return default
         return json.loads(encoded)
 
+    def update_metadata(self, key: str, update):
+        """Atomically read-modify-write one metadata value.
+
+        ``update`` maps the currently stored value (or None) to the value
+        to store; the pair runs inside one backend writer transaction, so
+        concurrent updaters of the same key — e.g. two query processes
+        merging memoized replay values into one run — never lose each
+        other's writes.  Returns the stored result.
+        """
+        return json.loads(self.backend.update_metadata_json(
+            key, lambda encoded: json.dumps(
+                update(None if encoded is None else json.loads(encoded)))))
+
     def all_metadata(self) -> dict:
         return {key: json.loads(value)
                 for key, value in self.backend.all_metadata_json().items()}

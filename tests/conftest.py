@@ -24,16 +24,19 @@ if _TESTS_DIR not in sys.path:
     sys.path.insert(0, _TESTS_DIR)
 
 
-#: Default wall-clock budget for ``@pytest.mark.multiproc`` tests.  A hung
-#: worker process would otherwise stall the whole suite on ``join()``; the
-#: alarm turns the hang into a normal test failure (pytest-timeout is not a
-#: dependency, so the guard is hand-rolled on SIGALRM).
+#: Default wall-clock budget for ``@pytest.mark.multiproc`` and
+#: ``@pytest.mark.service`` tests.  A hung worker process (or a service
+#: request that never answers) would otherwise stall the whole suite on
+#: ``join()``; the alarm turns the hang into a normal test failure
+#: (pytest-timeout is not a dependency, so the guard is hand-rolled on
+#: SIGALRM).
 MULTIPROC_TIMEOUT_SECONDS = 120
 
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
-    marker = item.get_closest_marker("multiproc")
+    marker = (item.get_closest_marker("multiproc")
+              or item.get_closest_marker("service"))
     if marker is None or not hasattr(signal, "SIGALRM"):
         yield
         return
@@ -41,8 +44,8 @@ def pytest_runtest_call(item):
 
     def _expired(signum, frame):
         raise TimeoutError(
-            f"multiproc test exceeded its {seconds}s timeout "
-            "(a recorder subprocess is likely hung)")
+            f"{marker.name} test exceeded its {seconds}s timeout "
+            "(a worker subprocess or service request is likely hung)")
 
     previous = signal.signal(signal.SIGALRM, _expired)
     signal.alarm(seconds)

@@ -31,7 +31,8 @@ from repro.utils.hashing import digest_bytes
 __all__ = ["InjectedCrash", "FaultInjector", "crash_calls",
            "assert_manifest_closed", "assert_no_orphans",
            "assert_crash_consistent", "assert_refcounts_exact",
-           "start_recorder_process", "wait_for_file", "kill_process"]
+           "start_recorder_process", "start_client_process",
+           "wait_for_file", "kill_process"]
 
 
 class InjectedCrash(Exception):
@@ -190,6 +191,49 @@ def start_recorder_process(job_id: str, rank: int, world_size: int, *,
         target=_worker_entry,
         args=((job_id, rank, world_size, workload_name, epochs, seed,
                config),),
+        daemon=True)
+    process.start()
+    return process
+
+
+def _client_query_entry(args: tuple) -> None:
+    """Child entry of :func:`start_client_process` (module-level: picklable).
+
+    Touches ``streaming_path`` on the first streamed batch and
+    ``done_path`` (with the stats summary) on completion, so the parent
+    can tell "mid-stream" from "finished" without a result channel.
+    """
+    address, client_id, params, streaming_path, done_path = args
+    from repro.service.client import connect
+
+    client = connect(address, client_id=client_id, retries=0)
+
+    def on_batch(_rows):
+        Path(streaming_path).write_text("streaming", encoding="utf-8")
+
+    result = client.query(on_batch=on_batch, **params)
+    if done_path:
+        Path(done_path).write_text(result.stats.summary(),
+                                   encoding="utf-8")
+
+
+def start_client_process(address: str, client_id: str, params: dict, *,
+                         streaming_path: str | Path,
+                         done_path: str | Path | None = None
+                         ) -> mp.Process:
+    """Fork one real service client as an OS process, for kill tests.
+
+    The child issues ``client.query(**params)`` against ``address`` and
+    writes ``streaming_path`` the moment the first partial batch arrives
+    — the "mid-stream" sentinel a SIGKILL should land after, so the kill
+    interrupts an in-flight streamed response rather than a connection
+    that never got admitted.
+    """
+    ctx = mp.get_context("fork")
+    process = ctx.Process(
+        target=_client_query_entry,
+        args=((address, client_id, params, str(streaming_path),
+               str(done_path) if done_path else ""),),
         daemon=True)
     process.start()
     return process

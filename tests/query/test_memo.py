@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from repro.query.memo import MEMO_KEY_PREFIX, MemoCache, source_digest
 from repro.record.logger import LogRecord
 from repro.storage.checkpoint_store import CheckpointStore
@@ -74,6 +76,58 @@ class TestMemoCache:
         imposter = MemoCache(store, "a" * 16 + "b" * 48)
         assert imposter.key == victim.key
         assert imposter.load() == {}
+
+    def test_stale_reader_does_not_clobber_interleaved_writer(self, tmp_path):
+        """Write-back merges into the *stored* entry, not a stale snapshot.
+
+        Regression: writer A loads the (empty) entry, writer B lands its
+        cells, then A writes back.  A read-modify-write built on A's stale
+        snapshot would erase B's cells; the transactional merge must keep
+        both.
+        """
+        digest = source_digest("s")
+        writer_a = MemoCache(CheckpointStore(tmp_path / "run"), digest)
+        writer_b = MemoCache(CheckpointStore(tmp_path / "run"), digest)
+        writer_a.load()  # A's snapshot predates B's write
+        assert writer_b.write_back(records(values={10: 1.0})) == 1
+        assert writer_a.write_back(records(values={20: 2.0})) == 1
+        stored = MemoCache(CheckpointStore(tmp_path / "run"), digest).load()
+        assert stored["grad"] == {10: 1.0, 20: 2.0}
+        # A's own read cache was refreshed from the settled transaction.
+        assert writer_a.load()["grad"] == {10: 1.0, 20: 2.0}
+
+    def test_concurrent_writers_lose_no_cells(self, tmp_path):
+        """Two-writer hammer: every thread's cells survive the race.
+
+        Each writer holds its own store (own sqlite connection) and writes
+        disjoint iterations through the shared manifest; without the
+        single-transaction merge, last-writer-wins clobbering drops cells
+        nondeterministically.
+        """
+        digest = source_digest("s")
+        errors: list[BaseException] = []
+
+        def write(offset: int):
+            try:
+                memo = MemoCache(CheckpointStore(tmp_path / "run"), digest)
+                for index in range(10):
+                    memo.write_back(records(
+                        values={offset + index: float(offset + index)}))
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=write, args=(offset,))
+                   for offset in (0, 100, 200, 300)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+        stored = MemoCache(CheckpointStore(tmp_path / "run"), digest).load()
+        expected = {offset + index
+                    for offset in (0, 100, 200, 300)
+                    for index in range(10)}
+        assert set(stored["grad"]) == expected
 
     def test_keys_enumerates_memo_entries_only(self, tmp_path):
         store = CheckpointStore(tmp_path / "run")

@@ -1,0 +1,238 @@
+"""Concurrency battery: the service under simultaneous multi-tenant load.
+
+Each test stands up a real socket-serving daemon (in-process, so its
+ledger is inspectable) and hits it with concurrent clients — threads for
+volume, forked OS processes where the test needs genuinely independent
+clients.  Asserted properties:
+
+* **dedup** — identical concurrent queries coalesce onto one execution:
+  the replay-job ledger shows exactly one set of jobs, every client gets
+  the full identical result;
+* **fairness** — a tenant's small query is not starved while another
+  tenant's large query occupies the pool: its latency stays bounded by a
+  few span-times, not the large query's whole runtime;
+* **admission control** — a full queue answers a typed ``SERVICE_BUSY``
+  with a positive ``retry_after``, never a hang, and the client's
+  retry/backoff eventually lands the request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.exceptions import ServiceBusy
+from repro.replay.parallel import WorkerResult
+from faultutils import start_client_process, wait_for_file
+from serviceutils import (SlowRunner, probe_for, record_run,
+                          start_service, stub_result, wait_until)
+
+pytestmark = pytest.mark.service
+
+
+def test_identical_concurrent_queries_coalesce(flor_config, tmp_path):
+    """8 threads, one digest: the ledger must show ONE set of replay jobs."""
+    record_run(flor_config, iterations=8)
+    probe = probe_for(iterations=8)
+    with start_service(flor_config, workers=2) as service:
+        # Slow the (real) runner so every thread attaches while the
+        # execution is still in flight.
+        real = service.pool._runner
+        service.pool._runner = SlowRunner(delay=0.3, delegate=real)
+
+        results: dict[str, object] = {}
+        errors: list[BaseException] = []
+
+        def issue(tag: str):
+            try:
+                client = repro.connect(service.address, client_id=tag)
+                results[tag] = client.query(["state"], source=probe,
+                                            memoize=False)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=issue, args=(f"tenant-{i}",))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+
+        # ONE deduped execution: every ledgered job belongs to the single
+        # publishing tenant, and every waiter's stats report exactly that
+        # one set of jobs (8 identical queries did NOT run 8 executions).
+        ledger = service.pool.ledger()
+        assert len({entry.client for entry in ledger}) == 1, (
+            f"multiple executions ran: "
+            f"{[(e.client, e.iterations) for e in ledger]}")
+        covered = sorted(iteration for entry in ledger
+                         for iteration in entry.iterations)
+        assert covered == list(range(8)), covered
+        answers = {tag: tuple((row.iteration, row.name, str(row.value))
+                              for row in result.rows)
+                   for tag, result in results.items()}
+        assert len(results) == 8
+        assert len(set(answers.values())) == 1
+        # Every waiter got real stats, not an empty shell.
+        for result in results.values():
+            assert result.stats.requested_cells == 8
+            assert result.stats.replay_job_count == len(ledger)
+
+
+def test_distinct_queries_do_not_coalesce(flor_config):
+    """Different iterations → different digests → separate executions."""
+    record_run(flor_config, iterations=6)
+    probe = probe_for(iterations=6)
+    with start_service(flor_config, workers=2) as service:
+        client = repro.connect(service.address, client_id="solo")
+        first = client.query(["state"], iterations=[1], source=probe,
+                             memoize=False)
+        second = client.query(["state"], iterations=[2], source=probe,
+                              memoize=False)
+        assert first.stats.resolved_replay == 1
+        assert second.stats.resolved_replay == 1
+        assert len(service.pool.ledger()) == 2
+
+
+def test_small_query_latency_bounded_under_large_query(flor_config):
+    """Fairness: small queries finish while the large one still runs.
+
+    One worker, stub-slowed jobs: the large tenant's query fans into 6
+    spans of ~0.2s each; small tenants issue 1-span queries after the
+    large one starts.  Round-robin means each small query waits for at
+    most the in-flight span plus its own — well under the large query's
+    total runtime.  Wall-clock p95 of the small queries is asserted
+    against that bound.
+    """
+    record_run(flor_config, iterations=12, iter_seconds=0.02)
+    probe = probe_for(iterations=12, iter_seconds=0.02)
+    delay = 0.2
+    with start_service(flor_config, workers=1) as service:
+        real = service.pool._runner
+        service.pool._runner = SlowRunner(delay=delay, delegate=real)
+
+        large_done = threading.Event()
+        large_stats = {}
+
+        def large():
+            client = repro.connect(service.address, client_id="large")
+            result = client.query(["state"], source=probe,
+                                  workers=6, memoize=False)
+            large_stats["jobs"] = result.stats.replay_job_count
+            large_done.set()
+
+        large_thread = threading.Thread(target=large)
+        large_thread.start()
+        assert wait_until(lambda: service.pool.pending() >= 2,
+                          timeout=30.0), "large query never queued spans"
+
+        latencies = []
+        for index in range(3):
+            client = repro.connect(service.address,
+                                   client_id=f"small-{index}")
+            started = time.monotonic()
+            result = client.query(["state"], iterations=[index],
+                                  source=probe, memoize=False)
+            latencies.append(time.monotonic() - started)
+            assert result.stats.resolved_replay == 1
+        small_p95 = sorted(latencies)[-1]
+
+        large_thread.join(timeout=120.0)
+        assert large_done.is_set()
+        assert large_stats["jobs"] >= 4
+        # Each small query rides round-robin behind at most the in-flight
+        # span plus its own execution (plus scheduling noise) — nowhere
+        # near the large query's >= 4-span serial runtime.
+        assert small_p95 < 4 * delay + 1.0, (
+            f"small-query p95 {small_p95:.2f}s suggests starvation "
+            f"behind the large query")
+
+
+def test_queue_full_returns_service_busy_not_a_hang(flor_config):
+    """Admission control: overflow is a typed, hinted, immediate error."""
+    record_run(flor_config, iterations=4)
+    probe = probe_for(iterations=4)
+    release = threading.Event()
+
+    with start_service(flor_config, workers=1, queue_size=1) as service:
+        real_runner = service.pool._runner
+
+        def gated(spec) -> WorkerResult:
+            release.wait(30.0)
+            return real_runner(spec)
+
+        service.pool._runner = gated
+
+        occupier_done = threading.Event()
+
+        def occupy():
+            client = repro.connect(service.address, client_id="occupier")
+            client.query(["state"], source=probe, memoize=False)
+            occupier_done.set()
+
+        occupier = threading.Thread(target=occupy)
+        occupier.start()
+        assert wait_until(
+            lambda: service._admitted >= 1, timeout=30.0)
+
+        # retries=0: the rejection must surface as ServiceBusy instantly.
+        rejected = repro.connect(service.address, client_id="rejected",
+                                 retries=0)
+        started = time.monotonic()
+        with pytest.raises(ServiceBusy) as excinfo:
+            rejected.query(["state"], iterations=[0], source=probe)
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0, "SERVICE_BUSY took too long — that's a hang"
+        assert excinfo.value.code == "SERVICE_BUSY"
+        assert excinfo.value.retry_after > 0
+
+        # A client WITH retry budget eventually lands once the queue
+        # frees up.
+        landed = {}
+
+        def retry_client():
+            client = repro.connect(service.address, client_id="patient",
+                                   retries=8, backoff=0.1)
+            landed["result"] = client.query(["state"], iterations=[1],
+                                            source=probe, memoize=False)
+
+        patient = threading.Thread(target=retry_client)
+        patient.start()
+        time.sleep(0.2)
+        release.set()
+        occupier.join(timeout=60.0)
+        patient.join(timeout=60.0)
+        assert occupier_done.is_set()
+        assert landed["result"].stats.resolved_replay == 1
+
+
+def test_real_client_processes_dedup_and_agree(flor_config, tmp_path):
+    """K forked OS-process clients: same answer, one execution."""
+    record_run(flor_config, iterations=8)
+    probe = probe_for(iterations=8)
+    with start_service(flor_config, workers=2) as service:
+        real = service.pool._runner
+        service.pool._runner = SlowRunner(delay=0.3, delegate=real)
+
+        processes = []
+        done_paths = []
+        for index in range(3):
+            streaming = tmp_path / f"stream-{index}"
+            done = tmp_path / f"done-{index}"
+            done_paths.append(done)
+            processes.append(start_client_process(
+                service.address, f"proc-{index}",
+                {"values": ["state"], "source": probe, "memoize": False},
+                streaming_path=streaming, done_path=done))
+        for process in processes:
+            process.join(timeout=120.0)
+            assert process.exitcode == 0
+        summaries = {path.read_text(encoding="utf-8")
+                     for path in done_paths}
+        assert len(summaries) == 1, summaries
+        assert len({entry.client
+                    for entry in service.pool.ledger()}) == 1

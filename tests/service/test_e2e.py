@@ -1,0 +1,161 @@
+"""End-to-end acceptance for the multi-tenant query service.
+
+The ISSUE's acceptance scene, verbatim: a 2-worker pool serving 8
+concurrent clients — 2 submitting the *identical* large query and 6
+submitting small distinct ones — must show
+
+* **dedup**: exactly one large-query execution in the replay-job ledger
+  (the second large tenant rides along and still gets the full answer);
+* **fairness**: every small query finishes before the large one does;
+* **HTAP isolation**: a record session running while the daemon serves
+  queries stays within 10% of the no-service record wall — the record
+  path never goes through the daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro
+from faultutils import start_client_process, wait_for_file
+from serviceutils import (SlowRunner, probe_for, record_run,
+                          serve_daemon, start_service, wait_until)
+
+pytestmark = pytest.mark.service
+
+ITERATIONS = 12
+ITER_SECONDS = 0.02
+
+
+def test_two_workers_eight_tenants_dedup_and_fairness(flor_config):
+    record_run(flor_config, iterations=ITERATIONS,
+               iter_seconds=ITER_SECONDS)
+    probe = probe_for(iterations=ITERATIONS, iter_seconds=ITER_SECONDS)
+    with start_service(flor_config, workers=2) as service:
+        service.pool._runner = SlowRunner(delay=0.3,
+                                          delegate=service.pool._runner)
+
+        finished: dict[str, float] = {}
+        results: dict[str, object] = {}
+        errors: list[BaseException] = []
+        record_lock = threading.Lock()
+
+        def issue(tag: str, **query_kwargs):
+            try:
+                client = repro.connect(service.address, client_id=tag)
+                result = client.query(["state"], source=probe,
+                                      memoize=False, **query_kwargs)
+                with record_lock:
+                    finished[tag] = time.monotonic()
+                    results[tag] = result
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        # The two identical large queries go first; the small ones are
+        # released once the large execution occupies the pool, so
+        # fairness (not luck of arrival order) is what gets them through.
+        large_threads = [
+            threading.Thread(target=issue, args=(f"large-{index}",),
+                             kwargs={"workers": 8})
+            for index in range(2)]
+        for thread in large_threads:
+            thread.start()
+        assert wait_until(lambda: service.pool.pending() >= 1,
+                          timeout=60.0), "large query never queued spans"
+
+        small_threads = [
+            threading.Thread(target=issue, args=(f"small-{index}",),
+                             kwargs={"iterations": [index]})
+            for index in range(6)]
+        for thread in small_threads:
+            thread.start()
+        for thread in large_threads + small_threads:
+            thread.join(timeout=120.0)
+        assert not errors, errors
+        assert len(results) == 8
+
+        # Dedup: exactly ONE large execution ran.  Its ledger entries all
+        # carry the single submitting tenant, and together they replay
+        # each iteration exactly once; the other large tenant produced no
+        # jobs of its own yet got the identical full answer.
+        ledger = service.pool.ledger()
+        large_entries = [entry for entry in ledger
+                         if entry.client.startswith("large-")]
+        assert len({entry.client for entry in large_entries}) == 1, (
+            f"both large tenants executed: "
+            f"{[(e.client, e.iterations) for e in large_entries]}")
+        covered = sorted(iteration for entry in large_entries
+                         for iteration in entry.iterations)
+        assert covered == list(range(ITERATIONS)), covered
+        large_answers = {
+            tag: tuple((row.iteration, str(row.value))
+                       for row in results[tag].rows)
+            for tag in ("large-0", "large-1")}
+        assert large_answers["large-0"] == large_answers["large-1"]
+        assert len(results["large-0"].rows) == ITERATIONS
+
+        # Each small tenant ran its own single-span job...
+        small_entries = [entry for entry in ledger
+                         if entry.client.startswith("small-")]
+        assert len({entry.client for entry in small_entries}) == 6
+        for index in range(6):
+            assert len(results[f"small-{index}"].rows) == 1
+
+        # ...and fairness let every one of them finish before the large
+        # query, despite the large query owning most of the queued spans.
+        slowest_small = max(finished[f"small-{index}"]
+                            for index in range(6))
+        first_large = min(finished["large-0"], finished["large-1"])
+        assert slowest_small < first_large, (
+            f"small queries starved: slowest small at "
+            f"{slowest_small:.2f}, first large at {first_large:.2f}")
+
+
+def test_record_wall_within_ten_percent_of_no_service_baseline(
+        flor_config, tmp_path):
+    """Recording is HTAP-isolated: a busy daemon adds no record overhead."""
+    # Two baseline record sessions (the first also seeds the run the
+    # service clients will query); keep the better one as the reference.
+    started = time.monotonic()
+    record_run(flor_config, iterations=20, iter_seconds=0.03)
+    first = time.monotonic() - started
+    started = time.monotonic()
+    record_run(flor_config, iterations=20, iter_seconds=0.03)
+    second = time.monotonic() - started
+    baseline = min(first, second)
+
+    probe = probe_for(iterations=20, iter_seconds=0.03)
+    daemon = serve_daemon(flor_config.home, tmp_path / "trace.json")
+    try:
+        assert daemon.stdout is not None
+        banner = daemon.stdout.readline().strip()
+        assert banner.startswith("listening ")
+        address = banner.split(" ", 1)[1]
+
+        # A real client process keeps the daemon's replay pool busy
+        # (GIL-isolated from the recording below) through the window.
+        streaming = tmp_path / "streaming"
+        busy = start_client_process(
+            address, "busy",
+            {"values": ["state"], "source": probe, "memoize": False},
+            streaming_path=streaming, done_path=tmp_path / "done")
+        assert wait_for_file(streaming, timeout=120.0)
+
+        started = time.monotonic()
+        record_run(flor_config, iterations=20, iter_seconds=0.03)
+        with_service = time.monotonic() - started
+
+        busy.join(timeout=120.0)
+        assert busy.exitcode == 0
+    finally:
+        daemon.terminate()
+        daemon.communicate(timeout=60.0)
+
+    # 10% plus a small absolute term so scheduler noise on a loaded CI
+    # box cannot flake a passing implementation.
+    assert with_service <= baseline * 1.10 + 0.25, (
+        f"record session slowed by the service: baseline {baseline:.2f}s "
+        f"vs {with_service:.2f}s with the daemon serving")

@@ -1,0 +1,174 @@
+"""Unit battery for the fair replay-job scheduler (no subprocesses).
+
+Everything here drives :class:`FairReplayPool` with an injected stub
+runner, so the scheduling properties — weighted round-robin interleaving,
+no-starvation, the ledger's accounting, shutdown semantics — are asserted
+at thread speed, isolated from real replay.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.replay.parallel import ReplayJobSpec
+from repro.service import FairReplayPool
+from serviceutils import SlowRunner, stub_result
+
+pytestmark = pytest.mark.service
+
+
+def _spec(run_id: str, iteration: int = 0) -> ReplayJobSpec:
+    return ReplayJobSpec(run_id=run_id, instrumented_source="",
+                         probed_blocks=(),
+                         sample_iterations=(iteration,))
+
+
+@pytest.fixture()
+def pool(flor_config):
+    pools: list[FairReplayPool] = []
+
+    def make(workers: int = 1, runner=None, **kwargs) -> FairReplayPool:
+        built = FairReplayPool(flor_config, workers=workers,
+                               runner=runner or stub_result, **kwargs)
+        pools.append(built)
+        return built
+
+    yield make
+    for built in pools:
+        built.close(drain=False, timeout=5.0)
+
+
+def test_single_job_runs_and_returns_result(pool):
+    scheduler = pool(workers=1)
+    ticket = scheduler.submit("alice", _spec("run-a", 3))
+    result = FairReplayPool.wait(ticket, timeout=10.0)
+    assert result.succeeded
+    assert result.iterations == [3]
+    ledger = scheduler.ledger()
+    assert len(ledger) == 1
+    assert ledger[0].client == "alice"
+    assert ledger[0].run_id == "run-a"
+    assert ledger[0].iterations == (3,)
+
+
+def test_round_robin_interleaves_tenants(pool):
+    """A tenant's burst must not run back-to-back while others wait.
+
+    One worker, slow jobs: tenant A enqueues 4 jobs while the first is
+    still running, then tenant B enqueues 1.  Strict FIFO would run B
+    last; round-robin must dispatch B's job right after A's in-flight
+    one finishes (position 2 in the ledger, never position 5).
+    """
+    runner = SlowRunner(delay=0.15)
+    scheduler = pool(workers=1, runner=runner)
+    tickets = [scheduler.submit("a", _spec("run-a", index))
+               for index in range(4)]
+    time.sleep(0.05)  # let the first A job start on the single worker
+    b_ticket = scheduler.submit("b", _spec("run-b"))
+    FairReplayPool.wait(b_ticket, timeout=10.0)
+    for ticket in tickets:
+        FairReplayPool.wait(ticket, timeout=10.0)
+    order = [entry.client for entry in scheduler.ledger()]
+    assert order.index("b") <= 1, (
+        f"tenant b starved behind tenant a's burst: dispatch order "
+        f"{order}")
+
+
+def test_weighted_tenant_gets_consecutive_dispatches(pool):
+    """A weight-2 tenant may run two jobs per rotation visit."""
+    runner = SlowRunner(delay=0.05)
+    scheduler = pool(workers=1, runner=runner, weights={"heavy": 2})
+    first = scheduler.submit("heavy", _spec("run-h", 0))
+    time.sleep(0.02)  # first heavy job occupies the worker
+    tickets = [scheduler.submit("heavy", _spec("run-h", index))
+               for index in range(1, 5)]
+    tickets += [scheduler.submit("light", _spec("run-l"))]
+    for ticket in [first, *tickets]:
+        FairReplayPool.wait(ticket, timeout=10.0)
+    order = [entry.client for entry in scheduler.ledger()]
+    # After the in-flight job, the heavy tenant's visit dispatches two in
+    # a row before light's turn.
+    assert order[1:4].count("heavy") >= 2
+    assert "light" in order
+
+
+def test_all_jobs_complete_under_load(pool):
+    scheduler = pool(workers=4)
+    tickets = [scheduler.submit(f"tenant-{index % 5}",
+                                _spec(f"run-{index % 3}", index))
+               for index in range(60)]
+    results = [FairReplayPool.wait(ticket, timeout=30.0)
+               for ticket in tickets]
+    assert all(result.succeeded for result in results)
+    assert len(scheduler.ledger()) == 60
+    assert scheduler.pending() == 0
+
+
+def test_queue_wait_is_recorded(pool):
+    runner = SlowRunner(delay=0.1)
+    scheduler = pool(workers=1, runner=runner)
+    first = scheduler.submit("a", _spec("run-a", 0))
+    second = scheduler.submit("a", _spec("run-a", 1))
+    FairReplayPool.wait(first, timeout=10.0)
+    FairReplayPool.wait(second, timeout=10.0)
+    entries = scheduler.ledger()
+    # The second job waited behind the first's 0.1s execution.
+    assert entries[1].queue_wait >= 0.05
+
+
+def test_runner_failure_surfaces_to_waiter(pool):
+    def exploding(_spec):
+        raise RuntimeError("replay worker exploded")
+
+    scheduler = pool(workers=1, runner=exploding)
+    ticket = scheduler.submit("a", _spec("run-a"))
+    with pytest.raises(RuntimeError, match="exploded"):
+        FairReplayPool.wait(ticket, timeout=10.0)
+    # The failure is ledgered too: accounting survives errors.
+    assert len(scheduler.ledger()) == 1
+
+
+def test_submit_after_close_is_refused(pool):
+    scheduler = pool(workers=1)
+    scheduler.close(drain=True, timeout=5.0)
+    with pytest.raises(ServiceError) as excinfo:
+        scheduler.submit("a", _spec("run-a"))
+    assert excinfo.value.code == "SHUTTING_DOWN"
+
+
+def test_close_without_drain_fails_pending_tickets(pool):
+    release = threading.Event()
+
+    def blocking(spec):
+        release.wait(10.0)
+        return stub_result(spec)
+
+    scheduler = pool(workers=1, runner=blocking)
+    running = scheduler.submit("a", _spec("run-a", 0))
+    queued = scheduler.submit("a", _spec("run-a", 1))
+    time.sleep(0.05)
+    closer = threading.Thread(
+        target=lambda: scheduler.close(drain=False, timeout=10.0))
+    closer.start()
+    # The queued (never-dispatched) ticket is failed, not leaked.
+    with pytest.raises(ServiceError) as excinfo:
+        FairReplayPool.wait(queued, timeout=10.0)
+    assert excinfo.value.code == "SHUTTING_DOWN"
+    release.set()
+    assert FairReplayPool.wait(running, timeout=10.0).succeeded
+    closer.join(timeout=10.0)
+    assert not closer.is_alive()
+
+
+def test_close_with_drain_finishes_queued_work(pool):
+    runner = SlowRunner(delay=0.05)
+    scheduler = pool(workers=1, runner=runner)
+    tickets = [scheduler.submit("a", _spec("run-a", index))
+               for index in range(3)]
+    scheduler.close(drain=True, timeout=10.0)
+    assert all(FairReplayPool.wait(ticket, timeout=1.0).succeeded
+               for ticket in tickets)

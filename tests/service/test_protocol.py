@@ -1,0 +1,216 @@
+"""Property battery for the service wire codec and the dedup digest.
+
+Two contracts are load-bearing enough for property-based testing:
+
+* the **wire codec** — every JSON-expressible request/response must
+  round-trip through the length-prefixed framing byte-identically in
+  meaning, including the slice encoding the query ``iterations``
+  parameter needs (JSON has no slice);
+* the **dedup-key digest** — the service coalesces concurrent queries
+  that share a digest, so the digest must be *exactly* as coarse as plan
+  equality: equal for any reordering of names/runs (sets, not
+  sequences), different the moment any normalized-plan component
+  (name set, run set, per-run iterations, per-run probe-source digest)
+  differs.  Too-coarse digests serve one tenant another tenant's answer;
+  too-fine ones silently disable dedup.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query.api import PreparedQuery
+from repro.query.dataframe import QueryRow
+from repro.service.protocol import (decode_iterations, decode_rows,
+                                    encode_iterations, encode_rows,
+                                    read_frame, write_frame)
+
+pytestmark = pytest.mark.service
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+json_scalars = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-(2 ** 53), max_value=2 ** 53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40))
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4)),
+    max_leaves=20)
+
+frames = st.dictionaries(st.text(min_size=1, max_size=16), json_values,
+                         max_size=6)
+
+iteration_args = st.one_of(
+    st.none(),
+    st.integers(min_value=0, max_value=10_000),
+    st.lists(st.integers(min_value=0, max_value=10_000), max_size=20),
+    st.builds(slice,
+              st.one_of(st.none(),
+                        st.integers(min_value=-100, max_value=100)),
+              st.one_of(st.none(),
+                        st.integers(min_value=-100, max_value=100)),
+              st.one_of(st.none(),
+                        st.integers(min_value=1, max_value=10))))
+
+rows = st.lists(
+    st.builds(QueryRow,
+              run_id=st.text(min_size=1, max_size=12),
+              iteration=st.integers(min_value=0, max_value=10_000),
+              name=st.text(min_size=1, max_size=12),
+              value=json_values,
+              source=st.sampled_from(["logged", "memo", "analysis",
+                                      "replay"])),
+    max_size=10)
+
+#: Abstract "normalized plan" for digest tests: {run_id: (iterations,
+#: source digest)} plus a name set.
+plan_specs = st.tuples(
+    st.frozensets(st.text(min_size=1, max_size=8), min_size=1,
+                  max_size=4),
+    st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.tuples(st.frozensets(st.integers(min_value=0, max_value=50),
+                                min_size=1, max_size=8),
+                  st.sampled_from(["digest-a", "digest-b", "digest-c"])),
+        min_size=1, max_size=4))
+
+
+def _prepared(names, runs, order=None) -> PreparedQuery:
+    """A minimal PreparedQuery carrying only what dedup_digest reads."""
+    run_ids = order if order is not None else sorted(runs)
+    run_plans = [SimpleNamespace(run_id=run_id,
+                                 wanted_iterations=tuple(runs[run_id][0]))
+                 for run_id in run_ids]
+    memos = {run_id: SimpleNamespace(digest=runs[run_id][1])
+             for run_id in runs}
+    return PreparedQuery(config=None, names=tuple(names), entries=[],
+                         plan=SimpleNamespace(runs=run_plans),
+                         memos=memos)
+
+
+# --------------------------------------------------------------------------- #
+# Framing round-trip
+# --------------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(payload=frames)
+def test_frame_round_trips_over_a_real_socket(payload):
+    left, right = socket.socketpair()
+    try:
+        # A thread writes so large frames cannot deadlock on the
+        # socketpair buffer.
+        writer = threading.Thread(target=write_frame,
+                                  args=(left, payload))
+        writer.start()
+        received = read_frame(right)
+        writer.join(timeout=10.0)
+        assert received == payload
+    finally:
+        left.close()
+        right.close()
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads=st.lists(frames, min_size=1, max_size=5))
+def test_back_to_back_frames_preserve_boundaries(payloads):
+    left, right = socket.socketpair()
+    try:
+        def write_all():
+            for payload in payloads:
+                write_frame(left, payload)
+            left.close()
+
+        writer = threading.Thread(target=write_all)
+        writer.start()
+        received = []
+        while True:
+            frame = read_frame(right)
+            if frame is None:
+                break
+            received.append(frame)
+        writer.join(timeout=10.0)
+        assert received == payloads
+    finally:
+        right.close()
+
+
+@settings(max_examples=100, deadline=None)
+@given(iterations=iteration_args)
+def test_iterations_codec_round_trips(iterations):
+    decoded = decode_iterations(encode_iterations(iterations))
+    if isinstance(iterations, slice):
+        assert decoded == iterations
+    elif isinstance(iterations, list):
+        assert decoded == iterations
+    else:
+        assert decoded == iterations
+
+
+@settings(max_examples=100, deadline=None)
+@given(batch=rows)
+def test_row_codec_round_trips(batch):
+    assert decode_rows(encode_rows(batch)) == batch
+
+
+# --------------------------------------------------------------------------- #
+# Dedup-digest properties
+# --------------------------------------------------------------------------- #
+@settings(max_examples=100, deadline=None)
+@given(spec=plan_specs, seed=st.randoms(use_true_random=False))
+def test_digest_ignores_name_and_run_order(spec, seed):
+    """Reordering names or runs must not change the dedup key."""
+    names, runs = spec
+    shuffled_names = list(names)
+    seed.shuffle(shuffled_names)
+    shuffled_runs = list(runs)
+    seed.shuffle(shuffled_runs)
+    base = _prepared(sorted(names), runs).dedup_digest()
+    shuffled = _prepared(shuffled_names, runs,
+                         order=shuffled_runs).dedup_digest()
+    assert base == shuffled
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec=plan_specs)
+def test_digest_changes_when_any_plan_component_changes(spec):
+    """Two requests dedup iff their normalized plans are equal."""
+    names, runs = spec
+    base = _prepared(names, runs).dedup_digest()
+
+    # Different name set.
+    assert _prepared(set(names) | {"@extra@"}, runs).dedup_digest() != base
+
+    # Different run set.
+    grown = dict(runs)
+    grown["@extra-run@"] = (frozenset({0}), "digest-a")
+    assert _prepared(names, grown).dedup_digest() != base
+
+    # Different iterations on one run.
+    any_run = next(iter(runs))
+    changed_iters = dict(runs)
+    iters, digest = changed_iters[any_run]
+    changed_iters[any_run] = (iters | {99_999}, digest)
+    assert _prepared(names, changed_iters).dedup_digest() != base
+
+    # Different probe-source digest on one run.
+    changed_digest = dict(runs)
+    changed_digest[any_run] = (iters, "digest-other")
+    assert _prepared(names, changed_digest).dedup_digest() != base
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec=plan_specs)
+def test_digest_is_deterministic(spec):
+    names, runs = spec
+    assert (_prepared(names, runs).dedup_digest()
+            == _prepared(names, runs).dedup_digest())
